@@ -1,0 +1,50 @@
+//! # baselines — the comparison algorithms of the paper's evaluation (§2.4, §9)
+//!
+//! Every algorithm produces the same [`cosma::plan::DistPlan`] structure as
+//! COSMA and executes on the same [`mpsim`] machine, so the evaluation
+//! figures compare like with like:
+//!
+//! * [`summa`] — SUMMA [van de Geijn & Watts '97], the 2D panel-broadcast
+//!   algorithm inside ScaLAPACK's `pdgemm`. Stands in for "ScaLAPACK" in the
+//!   experiments (we auto-tune its grid, as the paper manually did).
+//! * [`cannon`] — Cannon's algorithm ['69]: square 2D grid, skew + ring
+//!   shifts. The classical communication-optimal 2D algorithm for square
+//!   matrices and square grids.
+//! * [`p25d`] — the 2.5D decomposition [Solomonik & Demmel '11] with `c`
+//!   replicated layers (3D as the special case `c = q`); the decomposition
+//!   CTF uses. Stands in for "CTF".
+//! * [`carma`] — CARMA [Demmel et al. '13]: BFS recursive splitting of the
+//!   largest dimension, `p` a power of two; memory-oblivious and
+//!   asymptotically optimal, but up to `√3` off in constants (§6.2).
+//!
+//! Each module provides `plan()` (exact per-rank traffic) and `execute()`
+//! (real messages on `mpsim`); integration tests assert the two agree.
+
+pub mod cannon;
+pub mod carma;
+pub mod p25d;
+pub mod summa;
+pub mod analysis;
+
+/// Errors the baseline planners can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Cannon requires a perfect-square rank count.
+    NotSquare,
+    /// CARMA requires a power-of-two rank count.
+    NotPowerOfTwo,
+    /// No feasible decomposition fits the per-rank memory.
+    NoFeasibleGrid,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::NotSquare => write!(f, "algorithm requires a perfect-square rank count"),
+            BaselineError::NotPowerOfTwo => write!(f, "algorithm requires a power-of-two rank count"),
+            BaselineError::NoFeasibleGrid => write!(f, "no feasible decomposition fits per-rank memory"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,319 @@
+//! SUMMA — the ScaLAPACK-style 2D algorithm (van de Geijn & Watts 1997).
+//!
+//! The matrices live on a `g_m × g_n` process grid: rank `(i, j)` owns
+//! `A[rows_i, kslice_j]`, `B[kslice_i, cols_j]` and computes
+//! `C[rows_i, cols_j]` locally (no reduction — the 2D algorithm's defining
+//! property). The k dimension is walked in panels: for each panel, the
+//! owning column broadcasts its `A` panel along the rows and the owning row
+//! broadcasts its `B` panel along the columns. Panels never straddle
+//! ownership boundaries, so every broadcast has a single root and the
+//! per-rank traffic is exact: a rank receives all of `A[rows_i, ·]` and
+//! `B[·, cols_j]` except the slices it owns.
+//!
+//! Grid selection mimics a *well-tuned* ScaLAPACK (the paper hand-tuned it):
+//! among all factor pairs `g_m · g_n = p` we pick the one minimizing modeled
+//! communication, subject to the C tile + panel buffers fitting in `S`.
+
+use cosma::algorithm::even_range;
+use cosma::plan::{Brick, DistPlan, RankPlan, Round};
+use cosma::problem::MmmProblem;
+use cosma::treecount;
+use densemat::gemm::gemm_tiled;
+use densemat::layout::even_splits;
+use densemat::matrix::Matrix;
+use mpsim::collectives::bcast;
+use mpsim::comm::Comm;
+use mpsim::stats::Phase;
+
+use crate::BaselineError;
+
+/// A 2D grid choice for SUMMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2 {
+    /// Parts along m.
+    pub gm: usize,
+    /// Parts along n.
+    pub gn: usize,
+}
+
+impl Grid2 {
+    fn rank_of(&self, i: usize, j: usize) -> usize {
+        i * self.gn + j
+    }
+
+    fn coords_of(&self, rank: usize) -> (usize, usize) {
+        (rank / self.gn, rank % self.gn)
+    }
+
+    fn row_group(&self, i: usize) -> Vec<usize> {
+        (0..self.gn).map(|j| self.rank_of(i, j)).collect()
+    }
+
+    fn col_group(&self, j: usize) -> Vec<usize> {
+        (0..self.gm).map(|i| self.rank_of(i, j)).collect()
+    }
+}
+
+/// Pick the best 2D grid: all `p` ranks, minimal modeled traffic, memory
+/// feasible.
+pub fn choose_grid(prob: &MmmProblem) -> Result<Grid2, BaselineError> {
+    let mut best: Option<(u128, Grid2)> = None;
+    for gm in cosma::grid::divisors(prob.p) {
+        let gn = prob.p / gm;
+        if gm > prob.m || gn > prob.n {
+            continue;
+        }
+        let lm = prob.m.div_ceil(gm);
+        let ln = prob.n.div_ceil(gn);
+        // C tile + one double-buffered panel pair must fit.
+        if lm * ln + 2 * (lm + ln) > prob.mem_words {
+            continue;
+        }
+        // Received words: all of A[rows, .] and B[., cols] except own slices.
+        let cost = (lm as u128) * (prob.k as u128) * (gn as u128 - 1) / gn as u128
+            + (ln as u128) * (prob.k as u128) * (gm as u128 - 1) / gm as u128;
+        if best.map_or(true, |(c, _)| cost < c) {
+            best = Some((cost, Grid2 { gm, gn }));
+        }
+    }
+    best.map(|(_, g)| g).ok_or(BaselineError::NoFeasibleGrid)
+}
+
+/// Panel boundaries along k: ownership cuts (both A's `g_n`-split and B's
+/// `g_m`-split) refined to at most `nb`-wide panels.
+fn panels(prob: &MmmProblem, grid: Grid2, nb: usize) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = even_splits(prob.k, grid.gn);
+    cuts.extend(even_splits(prob.k, grid.gm));
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut out = Vec::new();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mut x = lo;
+        while x < hi {
+            let end = (x + nb).min(hi);
+            out.push(x..end);
+            x = end;
+        }
+    }
+    out
+}
+
+/// The panel width that fills the memory slack, like COSMA's step size.
+fn panel_width(prob: &MmmProblem, lm: usize, ln: usize) -> usize {
+    let slack = prob.mem_words.saturating_sub(lm * ln);
+    (slack / (2 * (lm + ln))).clamp(1, prob.k)
+}
+
+/// Owner of a k-coordinate under an `parts`-way balanced split.
+fn k_owner(k: usize, parts: usize, t: usize) -> usize {
+    let base = k / parts;
+    let extra = k % parts;
+    let long = (base + 1) * extra;
+    if t < long {
+        t / (base + 1)
+    } else {
+        extra + (t - long) / base
+    }
+}
+
+/// Build the SUMMA [`DistPlan`].
+pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
+    let grid = choose_grid(prob)?;
+    let lm_max = prob.m.div_ceil(grid.gm);
+    let ln_max = prob.n.div_ceil(grid.gn);
+    let nb = panel_width(prob, lm_max, ln_max);
+    let panel_list = panels(prob, grid, nb);
+    let mut ranks = Vec::with_capacity(prob.p);
+    for rank in 0..prob.p {
+        let (i, j) = grid.coords_of(rank);
+        let rows = even_range(prob.m, grid.gm, i);
+        let cols = even_range(prob.n, grid.gn, j);
+        let (lm, ln) = (rows.len(), cols.len());
+        // Group panels into at most MAX_PLAN_ROUNDS buckets at paper scale
+        // (totals exact, pipeline granularity coarsened).
+        let buckets = panel_list.len().min(cosma::algorithm::MAX_PLAN_ROUNDS).max(1);
+        let per_bucket = panel_list.len().div_ceil(buckets);
+        let mut rounds = Vec::with_capacity(buckets);
+        for chunk in panel_list.chunks(per_bucket) {
+            let mut acc = Round::default();
+            for panel in chunk {
+                let w = panel.len();
+                let a_root = k_owner(prob.k, grid.gn, panel.start);
+                let b_root = k_owner(prob.k, grid.gm, panel.start);
+                if j != a_root {
+                    acc.a_words += (lm * w) as u64;
+                }
+                if i != b_root {
+                    acc.b_words += (w * ln) as u64;
+                }
+                acc.msgs += treecount::bcast_recv_count(rel(j, a_root, grid.gn), grid.gn)
+                    + treecount::bcast_recv_count(rel(i, b_root, grid.gm), grid.gm);
+                acc.flops += 2 * (lm * ln * w) as u64;
+            }
+            rounds.push(acc);
+        }
+        let mem_words = (lm * ln + 2 * nb * (lm + ln)) as u64;
+        ranks.push(RankPlan {
+            rank,
+            active: true,
+            coords: [i, j, 0],
+            bricks: vec![Brick {
+                rows,
+                cols,
+                ks: 0..prob.k,
+            }],
+            rounds,
+            mem_words,
+        });
+    }
+    Ok(DistPlan {
+        algo: "summa",
+        problem: *prob,
+        grid: [grid.gm, grid.gn, 1],
+        ranks,
+    })
+}
+
+fn rel(pos: usize, root: usize, g: usize) -> usize {
+    (pos + g - root) % g
+}
+
+/// Execute a SUMMA plan on the calling rank; returns its C block.
+pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> (std::ops::Range<usize>, std::ops::Range<usize>, Matrix) {
+    assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
+    let prob = &plan.problem;
+    let grid = Grid2 {
+        gm: plan.grid[0],
+        gn: plan.grid[1],
+    };
+    let rank = comm.rank();
+    let (i, j) = grid.coords_of(rank);
+    let rp = &plan.ranks[rank];
+    let brick = &rp.bricks[0];
+    let (rows, cols) = (brick.rows.clone(), brick.cols.clone());
+    let (lm, ln) = (rows.len(), cols.len());
+    let nb = panel_width(prob, prob.m.div_ceil(grid.gm), prob.n.div_ceil(grid.gn));
+    let mut c_local = Matrix::zeros(lm, ln);
+    comm.track_alloc((lm * ln) as u64);
+    for (round, panel) in panels(prob, grid, nb).into_iter().enumerate() {
+        let w = panel.len();
+        let a_root = k_owner(prob.k, grid.gn, panel.start);
+        let b_root = k_owner(prob.k, grid.gm, panel.start);
+        // A panel broadcast along my row.
+        let mut a_panel = if j == a_root {
+            a.block(rows.clone(), panel.clone()).into_vec()
+        } else {
+            Vec::new()
+        };
+        bcast(comm, &grid.row_group(i), a_root, &mut a_panel, 2 * round as u64, Phase::InputA);
+        // B panel broadcast along my column.
+        let mut b_panel = if i == b_root {
+            b.block(panel.clone(), cols.clone()).into_vec()
+        } else {
+            Vec::new()
+        };
+        bcast(comm, &grid.col_group(j), b_root, &mut b_panel, 2 * round as u64 + 1, Phase::InputB);
+        let ap = Matrix::from_vec(lm, w, a_panel);
+        let bp = Matrix::from_vec(w, ln, b_panel);
+        gemm_tiled(&ap, &bp, &mut c_local);
+        comm.record_flops(2 * (lm * ln * w) as u64);
+    }
+    (rows, cols, c_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gemm::matmul;
+    use mpsim::exec::run_spmd;
+    use mpsim::machine::MachineSpec;
+
+    fn check_summa(m: usize, n: usize, k: usize, p: usize, s: usize) {
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let dplan = plan(&prob).expect("plan");
+        dplan.validate().expect("valid plan");
+        let a = Matrix::deterministic(m, k, 31);
+        let b = Matrix::deterministic(k, n, 32);
+        let want = matmul(&a, &b);
+        let spec = MachineSpec::piz_daint_with_memory(p, s);
+        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &a, &b));
+        let mut c = Matrix::zeros(m, n);
+        for (rows, cols, blk) in out.results {
+            c.set_block(rows.start, cols.start, &blk);
+        }
+        assert!(
+            want.approx_eq(&c, 1e-9),
+            "{m}x{n}x{k} p={p}: wrong product, max diff {}",
+            want.max_abs_diff(&c)
+        );
+        for (r, st) in out.stats.iter().enumerate() {
+            assert_eq!(st.total_recv(), dplan.ranks[r].comm_words(), "rank {r} traffic");
+        }
+    }
+
+    #[test]
+    fn summa_correct_various_shapes() {
+        check_summa(16, 16, 16, 4, 4096);
+        check_summa(18, 24, 30, 6, 4096);
+        check_summa(17, 19, 23, 4, 4096);
+        check_summa(32, 32, 8, 8, 4096); // flat
+        check_summa(8, 8, 128, 4, 4096); // largeK: 2D must still be correct
+    }
+
+    #[test]
+    fn summa_single_rank() {
+        check_summa(10, 12, 14, 1, 4096);
+    }
+
+    #[test]
+    fn summa_tight_memory_many_panels() {
+        check_summa(16, 16, 64, 4, 8 * 8 + 2 * 16 * 2);
+    }
+
+    #[test]
+    fn grid_choice_prefers_matrix_aspect() {
+        // m >> n: the grid must put more parts along m.
+        let prob = MmmProblem::new(1 << 14, 64, 4096, 16, 1 << 22);
+        let g = choose_grid(&prob).unwrap();
+        assert!(g.gm > g.gn, "grid {g:?} ignores the aspect ratio");
+    }
+
+    #[test]
+    fn panels_respect_ownership_and_width() {
+        let prob = MmmProblem::new(64, 64, 100, 6, 1 << 16);
+        let grid = Grid2 { gm: 2, gn: 3 };
+        let ps = panels(&prob, grid, 7);
+        // Cover exactly 0..k with no overlaps.
+        assert_eq!(ps.first().unwrap().start, 0);
+        assert_eq!(ps.last().unwrap().end, 100);
+        for w in ps.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // No panel straddles an ownership cut of either split.
+        for panel in &ps {
+            assert!(panel.len() <= 7);
+            assert_eq!(k_owner(100, 3, panel.start), k_owner(100, 3, panel.end - 1));
+            assert_eq!(k_owner(100, 2, panel.start), k_owner(100, 2, panel.end - 1));
+        }
+    }
+
+    #[test]
+    fn plan_volume_is_2d() {
+        // SUMMA's per-rank volume ~ k(m+n)/sqrt(p) for square problems.
+        let prob = MmmProblem::new(256, 256, 256, 16, 1 << 16);
+        let dplan = plan(&prob).unwrap();
+        let expect = 2.0 * 256.0 * 256.0 / 4.0 * (3.0 / 4.0);
+        let got = dplan.max_comm_words() as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.1,
+            "volume {got} vs 2D model {expect}"
+        );
+    }
+
+    #[test]
+    fn infeasible_memory_is_reported() {
+        let prob = MmmProblem::new(1000, 1000, 10, 2, 100);
+        assert_eq!(plan(&prob), Err(BaselineError::NoFeasibleGrid));
+    }
+}

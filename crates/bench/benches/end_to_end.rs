@@ -1,0 +1,65 @@
+//! End-to-end executed multiplications on the threaded simulator: COSMA
+//! (both backends) against the baselines at a fixed small scale, plus the
+//! plan-predicted-vs-executed ablation (the two paths must cost the same
+//! words; this measures their wall-clock difference).
+
+use cosma::algorithm::{execute as cosma_execute, plan as cosma_plan, Backend, CosmaConfig};
+use cosma::problem::MmmProblem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use densemat::matrix::Matrix;
+use mpsim::cost::CostModel;
+use mpsim::exec::run_spmd;
+use mpsim::machine::MachineSpec;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (m, n, k, p, s) = (128usize, 128usize, 128usize, 16usize, 1usize << 13);
+    let prob = MmmProblem::new(m, n, k, p, s);
+    let model = CostModel::piz_daint_two_sided();
+    let a = Matrix::deterministic(m, k, 1);
+    let b = Matrix::deterministic(k, n, 2);
+    let spec = MachineSpec::piz_daint_with_memory(p, s);
+
+    let mut group = c.benchmark_group("executed-128cube-p16");
+    group.sample_size(10);
+    for backend in [Backend::TwoSided, Backend::OneSided] {
+        let cfg = CosmaConfig { delta: 0.03, backend };
+        let plan = cosma_plan(&prob, &cfg, &model).unwrap();
+        let name = format!("cosma-{backend:?}");
+        group.bench_function(&name, |bch| {
+            bch.iter(|| run_spmd(&spec, |comm| cosma_execute(comm, &plan, &cfg, &a, &b)))
+        });
+    }
+    let plan = baselines::summa::plan(&prob).unwrap();
+    group.bench_function("scalapack", |bch| {
+        bch.iter(|| run_spmd(&spec, |comm| baselines::summa::execute(comm, &plan, &a, &b)))
+    });
+    let plan = baselines::cannon::plan(&prob).unwrap();
+    group.bench_function("cannon", |bch| {
+        bch.iter(|| run_spmd(&spec, |comm| baselines::cannon::execute(comm, &plan, &a, &b)))
+    });
+    let plan = baselines::p25d::plan(&prob).unwrap();
+    group.bench_function("ctf", |bch| {
+        bch.iter(|| run_spmd(&spec, |comm| baselines::p25d::execute(comm, &plan, &a, &b)))
+    });
+    let plan = baselines::carma::plan(&prob).unwrap();
+    group.bench_function("carma", |bch| {
+        bch.iter(|| run_spmd(&spec, |comm| baselines::carma::execute(comm, &plan, &a, &b)))
+    });
+    group.finish();
+
+    // Ablation: planning alone vs planning + threaded execution.
+    let mut group = c.benchmark_group("plan-vs-execute");
+    group.sample_size(10);
+    let cfg = CosmaConfig::default();
+    group.bench_function("plan-only", |bch| {
+        bch.iter(|| cosma_plan(&prob, &cfg, &model).unwrap())
+    });
+    group.bench_function("plan-analyze", |bch| {
+        let plan = cosma_plan(&prob, &cfg, &model).unwrap();
+        bch.iter(|| plan.simulate(&model, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

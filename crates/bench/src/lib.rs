@@ -1,0 +1,15 @@
+//! # bench — experiment harness for the paper's evaluation (§8–§9)
+//!
+//! [`scenarios`] defines the twelve benchmark scenarios of the paper
+//! (4 matrix shapes × {strong scaling, limited memory, extra memory}),
+//! [`runner`] evaluates every algorithm's plan on a scenario instance and
+//! produces the measured rows (per-rank communication volume, simulated
+//! time, % of peak), and [`output`] renders tables and CSV files.
+//!
+//! The `experiments` binary (`src/bin/experiments.rs`) maps each paper
+//! table/figure to a subcommand; see `EXPERIMENTS.md` for the index and the
+//! recorded paper-vs-measured comparison.
+
+pub mod output;
+pub mod runner;
+pub mod scenarios;

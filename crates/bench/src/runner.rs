@@ -1,0 +1,195 @@
+//! Evaluate every algorithm's plan on a problem instance and collect the
+//! measured rows of the paper's figures and tables.
+//!
+//! CARMA only supports power-of-two rank counts (a limitation the paper
+//! calls out in §1); like the paper's comparison we run it on the largest
+//! `2^x ≤ p` ranks and idle the rest, charging the idle cores against its
+//! %-of-peak exactly as the machine would.
+
+use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
+use cosma::plan::{DistPlan, RankPlan};
+use cosma::problem::MmmProblem;
+use mpsim::cost::CostModel;
+
+/// One algorithm's measured outcome on one problem instance.
+#[derive(Debug, Clone)]
+pub struct AlgoRow {
+    /// Algorithm id: `cosma`, `scalapack` (SUMMA), `ctf` (2.5D), `carma`.
+    pub algo: &'static str,
+    /// Cores of the machine (including idled ones).
+    pub p: usize,
+    /// Mean received words per rank (the Table-4/Fig-6 metric), in MB.
+    pub mean_mb: f64,
+    /// Maximum received words over ranks, in MB.
+    pub max_mb: f64,
+    /// Simulated wall-clock seconds (with communication overlap).
+    pub time_s: f64,
+    /// Simulated wall-clock seconds without overlap.
+    pub time_no_overlap_s: f64,
+    /// Percent of machine peak flop/s (with overlap).
+    pub percent_peak: f64,
+    /// The processor grid used.
+    pub grid: [usize; 3],
+    /// Active (non-idle) ranks.
+    pub active: usize,
+}
+
+fn words_to_mb(w: f64) -> f64 {
+    w * 8.0 / 1e6
+}
+
+fn row_from_plan(algo: &'static str, plan: &DistPlan, model: &CostModel) -> AlgoRow {
+    let with = plan.simulate(model, true);
+    let without = plan.simulate(model, false);
+    // Communication–computation overlap (§7.3) is COSMA's implementation
+    // edge: the published ScaLAPACK/CTF/CARMA implementations do not overlap
+    // (the paper additionally notes CARMA's per-step dynamic buffer
+    // allocation, §7.5), so their reported time is the non-overlapped one.
+    let reported = if algo == "cosma" { &with } else { &without };
+    AlgoRow {
+        algo,
+        p: plan.problem.p,
+        mean_mb: words_to_mb(plan.mean_comm_words()),
+        max_mb: words_to_mb(plan.max_comm_words() as f64),
+        time_s: reported.time_s,
+        time_no_overlap_s: without.time_s,
+        percent_peak: reported.percent_peak,
+        grid: plan.grid,
+        active: plan.active_ranks(),
+    }
+}
+
+/// Plan COSMA for `prob`.
+pub fn plan_cosma(prob: &MmmProblem, model: &CostModel) -> Option<DistPlan> {
+    cosma_plan(prob, &CosmaConfig::default(), model).ok()
+}
+
+/// Plan the ScaLAPACK stand-in (SUMMA).
+pub fn plan_scalapack(prob: &MmmProblem) -> Option<DistPlan> {
+    baselines::summa::plan(prob).ok()
+}
+
+/// Plan the CTF stand-in (2.5D).
+pub fn plan_ctf(prob: &MmmProblem) -> Option<DistPlan> {
+    baselines::p25d::plan(prob).ok()
+}
+
+/// Plan CARMA on the largest power-of-two subset of the machine, padding the
+/// plan back to `p` ranks with idles.
+pub fn plan_carma(prob: &MmmProblem) -> Option<DistPlan> {
+    let p2 = if prob.p.is_power_of_two() {
+        prob.p
+    } else {
+        prob.p.next_power_of_two() / 2
+    };
+    let sub = MmmProblem::new(prob.m, prob.n, prob.k, p2, prob.mem_words);
+    let mut plan = baselines::carma::plan(&sub).ok()?;
+    plan.problem = *prob;
+    for rank in p2..prob.p {
+        plan.ranks.push(RankPlan::idle(rank));
+    }
+    Some(plan)
+}
+
+/// Evaluate the four compared algorithms on `prob`. Inapplicable or
+/// infeasible algorithms are skipped (reported by absence).
+pub fn run_all(prob: &MmmProblem, model: &CostModel) -> Vec<AlgoRow> {
+    let mut rows = Vec::with_capacity(4);
+    if let Some(pl) = plan_cosma(prob, model) {
+        rows.push(row_from_plan("cosma", &pl, model));
+    }
+    if let Some(pl) = plan_scalapack(prob) {
+        rows.push(row_from_plan("scalapack", &pl, model));
+    }
+    if let Some(pl) = plan_ctf(prob) {
+        rows.push(row_from_plan("ctf", &pl, model));
+    }
+    if let Some(pl) = plan_carma(prob) {
+        rows.push(row_from_plan("carma", &pl, model));
+    }
+    rows
+}
+
+/// Speedup of COSMA over the fastest other algorithm (> 1 means COSMA wins).
+pub fn cosma_speedup(rows: &[AlgoRow]) -> Option<f64> {
+    let cosma = rows.iter().find(|r| r.algo == "cosma")?;
+    let best_other = rows
+        .iter()
+        .filter(|r| r.algo != "cosma")
+        .map(|r| r.time_s)
+        .fold(f64::INFINITY, f64::min);
+    best_other.is_finite().then(|| best_other / cosma.time_s)
+}
+
+/// Geometric mean helper.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Quartile summary (min, q1, median, q3, max) of a sample.
+pub fn five_numbers(xs: &[f64]) -> [f64; 5] {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let q = |f: f64| -> f64 {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        let idx = f * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+    };
+    [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::piz_daint_two_sided()
+    }
+
+    #[test]
+    fn run_all_produces_all_four_on_friendly_p() {
+        let prob = MmmProblem::new(4096, 4096, 4096, 1024, 1 << 22);
+        let rows = run_all(&prob, &model());
+        let algos: Vec<&str> = rows.iter().map(|r| r.algo).collect();
+        assert!(algos.contains(&"cosma"));
+        assert!(algos.contains(&"scalapack"));
+        assert!(algos.contains(&"ctf"));
+        assert!(algos.contains(&"carma"));
+        for r in &rows {
+            assert!(r.mean_mb > 0.0 && r.time_s > 0.0 && r.percent_peak > 0.0, "{r:?}");
+            assert!(r.time_no_overlap_s >= r.time_s);
+        }
+    }
+
+    #[test]
+    fn carma_padding_on_non_power_of_two() {
+        let prob = MmmProblem::new(2048, 2048, 2048, 1500, 1 << 22);
+        let plan = plan_carma(&prob).unwrap();
+        assert_eq!(plan.ranks.len(), 1500);
+        assert_eq!(plan.active_ranks(), 1024);
+        assert!(plan.validate_coverage().is_ok());
+    }
+
+    #[test]
+    fn cosma_speedup_positive() {
+        let prob = MmmProblem::new(4096, 4096, 4096, 512, 1 << 20);
+        let rows = run_all(&prob, &model());
+        let s = cosma_speedup(&rows).unwrap();
+        assert!(s > 0.5, "speedup {s}");
+    }
+
+    #[test]
+    fn geomean_and_quartiles() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        let f = five_numbers(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(f, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,88 @@
+//! Closed-form COSMA costs (Eq. 33, Table 3 row 4, §6.3 trade-off).
+//!
+//! These are the analytic counterparts of the measured plan volumes; the
+//! `table3` experiment prints both side by side, and tests check that the
+//! measured plan stays within the analytic envelope.
+
+use crate::problem::MmmProblem;
+use crate::schedule::optimal_domain;
+
+/// Eq. 33: COSMA's per-rank I/O cost
+/// `Q = min{2mnk/(p√S) + S, 3(mnk/p)^(2/3)}`, selected by regime like the
+/// bound of Theorem 2 (`a = min(√S, (mnk/p)^(1/3))` decides the branch).
+pub fn io_cost(prob: &MmmProblem) -> f64 {
+    let d = optimal_domain(prob);
+    // Q = 2ab + a² with the optimal a, b.
+    2.0 * d.a * d.b + d.a * d.a
+}
+
+/// The latency cost of the I/O-optimal schedule (§6.3):
+/// `L = ⌈2ab/(S − a²)⌉` communication rounds (two all-gather waves each).
+pub fn latency_cost(prob: &MmmProblem) -> f64 {
+    let d = optimal_domain(prob);
+    let s = prob.mem_words as f64;
+    let denom = (s - d.a * d.a).max(2.0 * d.a); // feasible schedules keep a² < S
+    (2.0 * d.a * d.b / denom).ceil()
+}
+
+/// The I/O–latency trade-off of §6.3: for a tile edge `a ≤ √S`, the schedule
+/// pays `Q(a) = 2·(mnk/p)/a + a²` words and `L(a) = 2·(mnk/p)/(a·(S − a²))`
+/// rounds. Returns `(Q, L)`.
+pub fn io_latency_tradeoff(prob: &MmmProblem, a: f64) -> (f64, f64) {
+    assert!(a > 0.0, "tile edge must be positive");
+    let s = prob.mem_words as f64;
+    assert!(a * a < s, "tile must leave room for buffers (a² < S)");
+    let per_domain = prob.volume() as f64 / prob.p as f64;
+    let q = 2.0 * per_domain / a + a * a;
+    let l = 2.0 * per_domain / (a * (s - a * a));
+    (q, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebbles::bounds::theorem2_parallel_bound;
+
+    #[test]
+    fn io_cost_matches_theorem2_in_both_regimes() {
+        // Limited memory: mnk/p = 2^30 >= S^{3/2} with S = 2^16.
+        let limited = MmmProblem::new(1 << 12, 1 << 12, 1 << 12, 64, 1 << 16);
+        let q = io_cost(&limited);
+        let bound = theorem2_parallel_bound(limited.m, limited.n, limited.k, limited.p, limited.mem_words);
+        assert!((q - bound).abs() / bound < 1e-9, "limited: {q} vs {bound}");
+        // Extra memory: cubic branch.
+        let extra = MmmProblem::new(1 << 12, 1 << 12, 1 << 12, 64, 1 << 26);
+        let q = io_cost(&extra);
+        let bound = theorem2_parallel_bound(extra.m, extra.n, extra.k, extra.p, extra.mem_words);
+        assert!((q - bound).abs() / bound < 1e-9, "extra: {q} vs {bound}");
+    }
+
+    #[test]
+    fn latency_positive_and_shrinks_with_memory() {
+        let tight = MmmProblem::new(1 << 10, 1 << 10, 1 << 10, 8, 1 << 14);
+        let roomy = MmmProblem::new(1 << 10, 1 << 10, 1 << 10, 8, 1 << 22);
+        assert!(latency_cost(&tight) >= 1.0);
+        assert!(latency_cost(&roomy) <= latency_cost(&tight));
+    }
+
+    #[test]
+    fn tradeoff_monotonicity() {
+        // Growing a lowers Q (up to sqrt(S)) and raises... L decreases in a
+        // too until a² approaches S, where the shrinking buffer blows L up.
+        let prob = MmmProblem::new(1 << 10, 1 << 10, 1 << 10, 8, 10_000);
+        let (q1, _l1) = io_latency_tradeoff(&prob, 20.0);
+        let (q2, _l2) = io_latency_tradeoff(&prob, 60.0);
+        assert!(q2 < q1, "bigger tiles move fewer words");
+        // Near the memory limit the latency term explodes.
+        let (_, l_edge) = io_latency_tradeoff(&prob, 99.0);
+        let (_, l_mid) = io_latency_tradeoff(&prob, 60.0);
+        assert!(l_edge > l_mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for buffers")]
+    fn tradeoff_rejects_oversized_tile() {
+        let prob = MmmProblem::new(64, 64, 64, 2, 100);
+        let _ = io_latency_tradeoff(&prob, 10.0);
+    }
+}

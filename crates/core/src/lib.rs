@@ -1,0 +1,43 @@
+//! # cosma — Communication Optimal S-partition-based Matrix multiplication Algorithm
+//!
+//! The core contribution of the paper: a distributed matrix-multiplication
+//! algorithm that *first* derives the near-I/O-optimal sequential schedule
+//! (outer products over `√S × √S` C-blocks, §5) and *then* parallelizes it
+//! bottom-up (§6), instead of fixing a processor grid top-down and hoping it
+//! matches the matrices.
+//!
+//! Pipeline (Algorithm 1 of the paper):
+//!
+//! 1. [`schedule::find_seq_schedule`] — `a = min(√S, (mnk/p)^(1/3))`
+//!    (`FindSeqSchedule`, sequential I/O optimality, §5);
+//! 2. [`schedule::parallelize_schedule`] — `b = max(mnk/(pS), (mnk/p)^(1/3))`
+//!    (`ParallelizeSched`, parallel I/O optimality, §6.3);
+//! 3. [`grid::fit_ranks`] — fit an integer processor grid to the optimal
+//!    local domain, possibly idling up to `δ·p` ranks (`FitRanks`, §7.1);
+//! 4. [`plan::DistPlan`] — the materialized schedule: per-rank bricks of the
+//!    iteration space and per-round exact communication volumes;
+//! 5. [`algorithm::execute`] — run it on an [`mpsim`] machine with real
+//!    messages: per-round A/B all-gathers along grid fibers (`DistrData`),
+//!    local tiled GEMM (`Multiply`), and a balanced ring reduce-scatter of C
+//!    (`Reduce`; the output stays in COSMA's blocked layout), with two-sided
+//!    or one-sided (§7.4) backends;
+//! 6. [`analysis`] — the closed-form I/O and latency costs (Table 3, Eq. 33)
+//!    to compare against the measured plan.
+//!
+//! Baseline algorithms (`baselines` crate) produce the same [`plan::DistPlan`]
+//! structure, so every comparison in the paper's evaluation is a comparison
+//! between two plans measured identically.
+
+pub mod algorithm;
+pub mod analysis;
+pub mod grid;
+pub mod layout;
+pub mod plan;
+pub mod problem;
+pub mod schedule;
+pub mod treecount;
+
+pub use algorithm::{execute, plan as cosma_plan, Backend, CosmaConfig};
+pub use grid::{fit_ranks, FitResult, Grid3};
+pub use plan::{Brick, DistPlan, PlanError, RankPlan, Round, SimReport};
+pub use problem::{MmmProblem, Shape};

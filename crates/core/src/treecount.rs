@@ -1,0 +1,146 @@
+//! Exact message/word counts of the tree collectives in `mpsim`.
+//!
+//! The plans in [`crate::plan`] must predict, per rank, exactly the traffic
+//! the executed collectives generate — the integration tests assert equality.
+//! These helpers mirror the binomial algorithms in `mpsim::collectives`
+//! move-for-move.
+
+/// Number of messages a member at relative position `rel` (root = 0)
+/// *receives* during a binomial-tree broadcast over `g` members (1 for every
+/// non-root, 0 for the root).
+pub fn bcast_recv_count(rel: usize, g: usize) -> u64 {
+    debug_assert!(rel < g.max(1));
+    u64::from(g > 1 && rel != 0)
+}
+
+/// Number of messages a member at relative position `rel` *sends* during a
+/// binomial-tree broadcast over `g` members (its child count).
+pub fn bcast_send_count(rel: usize, g: usize) -> u64 {
+    if g <= 1 {
+        return 0;
+    }
+    // Find the bit we (would) receive on; children live below it.
+    let mut mask = 1usize;
+    while mask < g {
+        if rel & mask != 0 {
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut sends = 0;
+    let mut m = mask >> 1;
+    while m > 0 {
+        if rel + m < g {
+            sends += 1;
+        }
+        m >>= 1;
+    }
+    sends
+}
+
+/// Number of messages a member at relative position `rel` (root = 0)
+/// *receives* during a binomial-tree reduction over `g` members.
+pub fn reduce_recv_count(rel: usize, g: usize) -> u64 {
+    if g <= 1 {
+        return 0;
+    }
+    let mut mask = 1usize;
+    let mut recvs = 0;
+    while mask < g {
+        if rel & mask == 0 {
+            if rel | mask < g {
+                recvs += 1;
+            }
+        } else {
+            break;
+        }
+        mask <<= 1;
+    }
+    recvs
+}
+
+/// Number of messages a member at relative position `rel` *sends* during a
+/// binomial-tree reduction (1 for every non-root, 0 for the root).
+pub fn reduce_send_count(rel: usize, g: usize) -> u64 {
+    u64::from(g > 1 && rel != 0)
+}
+
+/// Words received by group position `pos` in a ring all-gather where member
+/// `i` contributes `chunks[i]` words: everything except one's own chunk.
+pub fn allgather_recv_words(pos: usize, chunks: &[u64]) -> u64 {
+    chunks.iter().enumerate().filter(|&(i, _)| i != pos).map(|(_, &w)| w).sum()
+}
+
+/// Messages received in a ring all-gather over `g` members: `g − 1`.
+pub fn allgather_recv_count(g: usize) -> u64 {
+    g.saturating_sub(1) as u64
+}
+
+/// Messages received in a Bruck all-gather over `g` members: `⌈log₂ g⌉`.
+pub fn allgather_bruck_msgs(g: usize) -> u64 {
+    if g <= 1 {
+        0
+    } else {
+        (usize::BITS - (g - 1).leading_zeros()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_counts_conserve_messages() {
+        // Total sends == total receives == g - 1 for every group size.
+        for g in 1..40 {
+            let sends: u64 = (0..g).map(|r| bcast_send_count(r, g)).sum();
+            let recvs: u64 = (0..g).map(|r| bcast_recv_count(r, g)).sum();
+            assert_eq!(sends, recvs, "g={g}");
+            assert_eq!(recvs, (g - 1) as u64, "g={g}");
+        }
+    }
+
+    #[test]
+    fn bcast_root_sends_log_children() {
+        assert_eq!(bcast_send_count(0, 8), 3);
+        assert_eq!(bcast_send_count(0, 5), 3); // children 1, 2, 4
+        assert_eq!(bcast_send_count(0, 1), 0);
+        assert_eq!(bcast_send_count(4, 8), 2); // children 5, 6
+        assert_eq!(bcast_recv_count(0, 8), 0);
+        assert_eq!(bcast_recv_count(3, 8), 1);
+    }
+
+    #[test]
+    fn reduce_counts_conserve_messages() {
+        for g in 1..40 {
+            let sends: u64 = (0..g).map(|r| reduce_send_count(r, g)).sum();
+            let recvs: u64 = (0..g).map(|r| reduce_recv_count(r, g)).sum();
+            assert_eq!(sends, recvs, "g={g}");
+            assert_eq!(recvs, (g - 1) as u64, "g={g}");
+        }
+    }
+
+    #[test]
+    fn reduce_root_receives_log() {
+        assert_eq!(reduce_recv_count(0, 8), 3);
+        assert_eq!(reduce_recv_count(0, 5), 3);
+        assert_eq!(reduce_recv_count(2, 8), 1); // receives from 3, sends to 0
+        assert_eq!(reduce_recv_count(1, 8), 0);
+        assert_eq!(reduce_send_count(0, 8), 0);
+        assert_eq!(reduce_send_count(5, 8), 1);
+    }
+
+    #[test]
+    fn allgather_words() {
+        let chunks = [10, 20, 30];
+        assert_eq!(allgather_recv_words(0, &chunks), 50);
+        assert_eq!(allgather_recv_words(1, &chunks), 40);
+        assert_eq!(allgather_recv_count(3), 2);
+        assert_eq!(allgather_recv_count(1), 0);
+        assert_eq!(allgather_bruck_msgs(1), 0);
+        assert_eq!(allgather_bruck_msgs(2), 1);
+        assert_eq!(allgather_bruck_msgs(5), 3);
+        assert_eq!(allgather_bruck_msgs(8), 3);
+        assert_eq!(allgather_bruck_msgs(9), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Local matrix-multiplication kernels (`C += A * B`).
+//!
+//! The paper uses vendor BLAS for the per-rank multiplications; this module is
+//! the from-scratch substitute. Three kernels are provided:
+//!
+//! * [`gemm_naive`] — triple loop in `i, k, j` order (row-major friendly);
+//!   the correctness reference.
+//! * [`gemm_tiled`] — the same computation blocked into cache-sized tiles.
+//!   This is exactly the sequential near-I/O-optimal schedule of the paper's
+//!   Listing 1 generalized to `a_opt x b_opt` blocks: each tile of C is kept
+//!   "red" (hot) while streaming panels of A and B through it.
+//! * [`gemm_parallel`] — row-band parallelization of the tiled kernel using
+//!   crossbeam scoped threads (the local-domain rows are independent).
+//!
+//! All kernels *accumulate* into C, matching the distributed algorithms that
+//! sum partial products over k-slabs.
+
+use crate::matrix::Matrix;
+
+/// Number of floating-point operations of a classical `m x k x n` MMM
+/// (one multiply and one add per iteration-space point): `2 m n k`.
+#[inline]
+pub fn mmm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Kernel selector used by the distributed algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gemm {
+    /// Reference triple loop.
+    Naive,
+    /// Cache-tiled sequential kernel.
+    Tiled,
+    /// Multi-threaded tiled kernel with the given number of threads.
+    Parallel(usize),
+}
+
+impl Gemm {
+    /// Run the selected kernel: `c += a * b`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn run(self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        match self {
+            Gemm::Naive => gemm_naive(a, b, c),
+            Gemm::Tiled => gemm_tiled(a, b, c),
+            Gemm::Parallel(t) => gemm_parallel(a, b, c, t),
+        }
+    }
+}
+
+fn check_dims(a: &Matrix, b: &Matrix, c: &Matrix) -> (usize, usize, usize) {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions of A ({k}) and B ({kb}) differ");
+    assert_eq!(c.rows(), m, "C has {} rows, expected {m}", c.rows());
+    assert_eq!(c.cols(), n, "C has {} cols, expected {n}", c.cols());
+    (m, n, k)
+}
+
+/// Reference kernel: `c += a * b` with the plain `i, k, j` triple loop.
+pub fn gemm_naive(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, k) = check_dims(a, b, c);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = av[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// Tile edge (in elements) used by the cache-blocked kernel. 64x64 f64 tiles
+/// of C (32 KiB) fit comfortably in L1/L2 alongside the streamed panels.
+const TILE: usize = 64;
+
+/// Cache-tiled kernel: `c += a * b`.
+///
+/// Loops over `TILE x TILE` tiles of C; for each, streams `TILE`-wide panels
+/// of A and B. This is the "keep the C tile red, load thin panels" schedule
+/// that Section 5.2.7 of the paper proves near-optimal sequentially.
+pub fn gemm_tiled(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, k) = check_dims(a, b, c);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    gemm_tiled_raw(av, bv, cv, m, n, k, 0, m);
+}
+
+/// Tiled kernel over a row band `[row0, row1)` of C (and A). Shared by the
+/// sequential and parallel drivers.
+fn gemm_tiled_raw(
+    av: &[f64],
+    bv: &[f64],
+    cv: &mut [f64],
+    _m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    row1: usize,
+) {
+    let mut i0 = row0;
+    while i0 < row1 {
+        let i1 = (i0 + TILE).min(row1);
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + TILE).min(k);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + TILE).min(n);
+                // Micro tile: C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1]
+                for i in i0..i1 {
+                    let arow = &av[i * k..i * k + k];
+                    let crow = &mut cv[i * n + j0..i * n + j1];
+                    for kk in k0..k1 {
+                        let aik = arow[kk];
+                        let brow = &bv[kk * n + j0..kk * n + j1];
+                        for (cj, bj) in crow.iter_mut().zip(brow) {
+                            *cj += aik * *bj;
+                        }
+                    }
+                }
+                j0 = j1;
+            }
+            k0 = k1;
+        }
+        i0 = i1;
+    }
+}
+
+/// Multi-threaded kernel: `c += a * b` using `threads` crossbeam scoped
+/// threads, each owning a contiguous row band of C.
+///
+/// Row bands are disjoint, so no synchronization is needed beyond the scope
+/// join — the same argument the paper uses for its `P_ij` parallelization
+/// (dependencies are parallel to the k dimension only).
+pub fn gemm_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix, threads: usize) {
+    let (m, n, k) = check_dims(a, b, c);
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m == 0 || n == 0 || k == 0 {
+        gemm_tiled(a, b, c);
+        return;
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    // Split C into row bands, one chunk per thread.
+    let band = m.div_ceil(threads);
+    let mut bands: Vec<(usize, &mut [f64])> = Vec::with_capacity(threads);
+    let mut rest = cv;
+    let mut row = 0;
+    while row < m {
+        let rows_here = band.min(m - row);
+        let (head, tail) = rest.split_at_mut(rows_here * n);
+        bands.push((row, head));
+        rest = tail;
+        row += rows_here;
+    }
+    crossbeam::scope(|s| {
+        for (row0, cband) in bands {
+            let rows_here = cband.len() / n;
+            s.spawn(move |_| {
+                // Each band is an independent (rows_here x n x k) gemm.
+                let asub = &av[row0 * k..(row0 + rows_here) * k];
+                gemm_tiled_raw(asub, bv, cband, rows_here, n, k, 0, rows_here);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Convenience wrapper: allocate C and return `a * b`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_tiled(a, b, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for kk in 0..a.cols() {
+                    acc += a.get(i, kk) * b.get(kk, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(mmm_flops(2, 3, 4), 48);
+        assert_eq!(mmm_flops(0, 3, 4), 0);
+        assert_eq!(mmm_flops(1000, 1000, 1000), 2_000_000_000);
+    }
+
+    #[test]
+    fn naive_matches_reference_small() {
+        let a = Matrix::deterministic(5, 7, 1);
+        let b = Matrix::deterministic(7, 4, 2);
+        let mut c = Matrix::zeros(5, 4);
+        gemm_naive(&a, &b, &mut c);
+        assert!(c.approx_eq(&reference(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn naive_accumulates_rather_than_overwrites() {
+        let a = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let mut c = Matrix::from_fn(2, 2, |_, _| 10.0);
+        gemm_naive(&a, &b, &mut c);
+        assert!(c.approx_eq(&Matrix::from_fn(2, 2, |_, _| 11.0), 1e-12));
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_tile_boundaries() {
+        // Sizes straddling the TILE edge exercise remainder handling.
+        for &(m, n, k) in &[(64, 64, 64), (65, 63, 64), (1, 130, 7), (130, 1, 129)] {
+            let a = Matrix::deterministic(m, k, 3);
+            let b = Matrix::deterministic(k, n, 4);
+            let mut c1 = Matrix::zeros(m, n);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_naive(&a, &b, &mut c1);
+            gemm_tiled(&a, &b, &mut c2);
+            assert!(
+                c1.approx_eq(&c2, 1e-10),
+                "tiled mismatch at {m}x{n}x{k}: {}",
+                c1.max_abs_diff(&c2)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_tiled_various_thread_counts() {
+        let a = Matrix::deterministic(97, 55, 5);
+        let b = Matrix::deterministic(55, 83, 6);
+        let mut want = Matrix::zeros(97, 83);
+        gemm_tiled(&a, &b, &mut want);
+        for threads in [1, 2, 3, 4, 8, 97, 200] {
+            let mut c = Matrix::zeros(97, 83);
+            gemm_parallel(&a, &b, &mut c, threads);
+            assert!(
+                want.approx_eq(&c, 1e-10),
+                "parallel({threads}) mismatch: {}",
+                want.max_abs_diff(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_accumulates() {
+        let a = Matrix::deterministic(10, 10, 7);
+        let b = Matrix::deterministic(10, 10, 8);
+        let mut c = Matrix::from_fn(10, 10, |_, _| 5.0);
+        let mut want = Matrix::from_fn(10, 10, |_, _| 5.0);
+        gemm_naive(&a, &b, &mut want);
+        gemm_parallel(&a, &b, &mut c, 4);
+        assert!(want.approx_eq(&c, 1e-10));
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(0, 3);
+        gemm_naive(&a, &b, &mut c);
+        gemm_tiled(&a, &b, &mut c);
+        gemm_parallel(&a, &b, &mut c, 4);
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::zeros(3, 2);
+        gemm_parallel(&a, &b, &mut c, 2);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm_naive(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn gemm_enum_dispatch() {
+        let a = Matrix::deterministic(20, 30, 9);
+        let b = Matrix::deterministic(30, 10, 10);
+        let want = reference(&a, &b);
+        for g in [Gemm::Naive, Gemm::Tiled, Gemm::Parallel(3)] {
+            let mut c = Matrix::zeros(20, 10);
+            g.run(&a, &b, &mut c);
+            assert!(want.approx_eq(&c, 1e-10), "{g:?} mismatch");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::deterministic(6, 6, 11);
+        let eye = Matrix::from_fn(6, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert!(matmul(&a, &eye).approx_eq(&a, 1e-12));
+        assert!(matmul(&eye, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_associativity_numerically() {
+        let a = Matrix::deterministic(8, 5, 12);
+        let b = Matrix::deterministic(5, 9, 13);
+        let c = Matrix::deterministic(9, 4, 14);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.approx_eq(&right, 1e-9));
+    }
+}

@@ -1,0 +1,409 @@
+//! Distributed data layouts: ScaLAPACK block-cyclic and COSMA blocked (§7.6).
+//!
+//! A *layout* assigns every element `(i, j)` of a global matrix to exactly one
+//! owner rank. The paper's implementation accepts matrices in the ScaLAPACK
+//! block-cyclic format and re-arranges them into COSMA's own blocked layout,
+//! in which each rank owns one contiguous sub-block so that no local
+//! reshuffling is needed between communication rounds.
+//!
+//! This module provides both layouts behind the [`Distribution`] trait,
+//! scatter/gather between a global matrix and per-rank local storage, and an
+//! exact count of the words that a layout transformation must move — the
+//! quantity the paper's preprocessing phase minimizes.
+
+use crate::matrix::Matrix;
+
+/// An assignment of global matrix elements to owning ranks.
+pub trait Distribution {
+    /// Rank that owns global element `(i, j)`.
+    fn owner(&self, i: usize, j: usize) -> usize;
+    /// Number of ranks participating in the layout.
+    fn num_ranks(&self) -> usize;
+    /// Global matrix shape `(rows, cols)`.
+    fn shape(&self) -> (usize, usize);
+
+    /// Number of elements owned by `rank`.
+    fn local_len(&self, rank: usize) -> usize {
+        let (rows, cols) = self.shape();
+        let mut count = 0;
+        for i in 0..rows {
+            for j in 0..cols {
+                if self.owner(i, j) == rank {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Scatter a global matrix into per-rank element vectors.
+///
+/// Elements are stored in global row-major order of the elements each rank
+/// owns, which both layouts here use as their canonical local order.
+pub fn scatter(dist: &dyn Distribution, global: &Matrix) -> Vec<Vec<f64>> {
+    let (rows, cols) = dist.shape();
+    assert_eq!((global.rows(), global.cols()), (rows, cols), "shape mismatch");
+    let mut locals = vec![Vec::new(); dist.num_ranks()];
+    for i in 0..rows {
+        for j in 0..cols {
+            locals[dist.owner(i, j)].push(global.get(i, j));
+        }
+    }
+    locals
+}
+
+/// Gather per-rank element vectors (as produced by [`scatter`]) back into a
+/// global matrix.
+///
+/// # Panics
+/// Panics if the local vectors do not have the sizes the layout implies.
+pub fn gather(dist: &dyn Distribution, locals: &[Vec<f64>]) -> Matrix {
+    let (rows, cols) = dist.shape();
+    assert_eq!(locals.len(), dist.num_ranks(), "rank count mismatch");
+    let mut cursors = vec![0usize; locals.len()];
+    let mut global = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let r = dist.owner(i, j);
+            let c = cursors[r];
+            assert!(c < locals[r].len(), "local vector of rank {r} too short");
+            global.set(i, j, locals[r][c]);
+            cursors[r] += 1;
+        }
+    }
+    for (r, (cur, loc)) in cursors.iter().zip(locals).enumerate() {
+        assert_eq!(*cur, loc.len(), "local vector of rank {r} too long");
+    }
+    global
+}
+
+/// Exact number of words that moving from layout `from` to layout `to`
+/// requires (elements whose owner changes). This is the cost of the
+/// preprocessing phase that adapts a ScaLAPACK-layout matrix to COSMA's
+/// blocked layout.
+pub fn relayout_words(from: &dyn Distribution, to: &dyn Distribution) -> u64 {
+    assert_eq!(from.shape(), to.shape(), "layout shapes differ");
+    let (rows, cols) = from.shape();
+    let mut moved = 0u64;
+    for i in 0..rows {
+        for j in 0..cols {
+            if from.owner(i, j) != to.owner(i, j) {
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+/// The ScaLAPACK 2D block-cyclic layout.
+///
+/// The matrix is cut into `rb x cb` blocks; block `(bi, bj)` is owned by rank
+/// `(bi mod pr, bj mod pc)` on a `pr x pc` process grid (row-major rank
+/// numbering). This is the format produced by `descinit` in ScaLAPACK.
+#[derive(Debug, Clone)]
+pub struct BlockCyclic {
+    rows: usize,
+    cols: usize,
+    /// Block height.
+    pub rb: usize,
+    /// Block width.
+    pub cb: usize,
+    /// Process-grid rows.
+    pub pr: usize,
+    /// Process-grid cols.
+    pub pc: usize,
+}
+
+impl BlockCyclic {
+    /// Create a block-cyclic layout.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(rows: usize, cols: usize, rb: usize, cb: usize, pr: usize, pc: usize) -> Self {
+        assert!(rb > 0 && cb > 0, "block sizes must be positive");
+        assert!(pr > 0 && pc > 0, "grid sizes must be positive");
+        BlockCyclic {
+            rows,
+            cols,
+            rb,
+            cb,
+            pr,
+            pc,
+        }
+    }
+}
+
+impl Distribution for BlockCyclic {
+    fn owner(&self, i: usize, j: usize) -> usize {
+        let gr = (i / self.rb) % self.pr;
+        let gc = (j / self.cb) % self.pc;
+        gr * self.pc + gc
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// The COSMA blocked layout: each rank owns one contiguous rectangular block.
+///
+/// Rows are cut at `row_splits` and columns at `col_splits`; the block at grid
+/// position `(bi, bj)` belongs to `owners[bi * (col_splits.len()-1) + bj]`.
+/// COSMA derives the split points from the processor grid returned by
+/// `FitRanks` so that each rank's block is exactly the data its local domain
+/// touches first (§7.6), eliminating local reshuffling.
+#[derive(Debug, Clone)]
+pub struct BlockedLayout {
+    /// Ascending row cut points; first is 0, last is the row count.
+    pub row_splits: Vec<usize>,
+    /// Ascending column cut points; first is 0, last is the column count.
+    pub col_splits: Vec<usize>,
+    /// Owner rank per block, row-major over the `(row, col)` block grid.
+    pub owners: Vec<usize>,
+    num_ranks: usize,
+}
+
+impl BlockedLayout {
+    /// Build a blocked layout from explicit split points and block owners.
+    ///
+    /// # Panics
+    /// Panics if the splits are not ascending from 0, or the owner table has
+    /// the wrong size.
+    pub fn new(row_splits: Vec<usize>, col_splits: Vec<usize>, owners: Vec<usize>, num_ranks: usize) -> Self {
+        assert!(row_splits.len() >= 2 && col_splits.len() >= 2, "need at least one block");
+        assert_eq!(row_splits[0], 0, "row splits must start at 0");
+        assert_eq!(col_splits[0], 0, "col splits must start at 0");
+        assert!(row_splits.windows(2).all(|w| w[0] < w[1]), "row splits must ascend");
+        assert!(col_splits.windows(2).all(|w| w[0] < w[1]), "col splits must ascend");
+        let blocks = (row_splits.len() - 1) * (col_splits.len() - 1);
+        assert_eq!(owners.len(), blocks, "owner table size mismatch");
+        assert!(owners.iter().all(|&o| o < num_ranks), "owner out of range");
+        BlockedLayout {
+            row_splits,
+            col_splits,
+            owners,
+            num_ranks,
+        }
+    }
+
+    /// Even `gr x gc` grid over a `rows x cols` matrix, blocks owned by ranks
+    /// `0..gr*gc` in row-major order. Remainder rows/cols go to the leading
+    /// blocks (sizes differ by at most one).
+    pub fn even_grid(rows: usize, cols: usize, gr: usize, gc: usize) -> Self {
+        let owners = (0..gr * gc).collect();
+        BlockedLayout::new(even_splits(rows, gr), even_splits(cols, gc), owners, gr * gc)
+    }
+
+    /// Index of the block that contains coordinate `x` along splits `s`.
+    fn find(splits: &[usize], x: usize) -> usize {
+        // partition_point returns the number of split points <= x; the block
+        // index is one less (splits[0] == 0 <= x always).
+        splits.partition_point(|&s| s <= x) - 1
+    }
+
+    /// The rectangular extent of rank `r`'s blocks, if it owns exactly one
+    /// block: `(rows, cols)` ranges. Returns `None` for multi-block owners.
+    pub fn block_of(&self, rank: usize) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+        let gc = self.col_splits.len() - 1;
+        let mut found = None;
+        for (b, &o) in self.owners.iter().enumerate() {
+            if o == rank {
+                if found.is_some() {
+                    return None;
+                }
+                let (bi, bj) = (b / gc, b % gc);
+                found = Some((
+                    self.row_splits[bi]..self.row_splits[bi + 1],
+                    self.col_splits[bj]..self.col_splits[bj + 1],
+                ));
+            }
+        }
+        found
+    }
+}
+
+impl Distribution for BlockedLayout {
+    fn owner(&self, i: usize, j: usize) -> usize {
+        let bi = Self::find(&self.row_splits, i);
+        let bj = Self::find(&self.col_splits, j);
+        self.owners[bi * (self.col_splits.len() - 1) + bj]
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (
+            *self.row_splits.last().expect("non-empty splits"),
+            *self.col_splits.last().expect("non-empty splits"),
+        )
+    }
+}
+
+/// Cut `n` into `parts` nearly-even contiguous ranges; returns the `parts+1`
+/// split points. Leading parts are one longer when `n % parts != 0`.
+pub fn even_splits(n: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "parts must be positive");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut splits = Vec::with_capacity(parts + 1);
+    let mut x = 0;
+    splits.push(0);
+    for p in 0..parts {
+        x += base + usize::from(p < extra);
+        splits.push(x);
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_splits_cover_and_balance() {
+        let s = even_splits(10, 3);
+        assert_eq!(s, vec![0, 4, 7, 10]);
+        let s = even_splits(9, 3);
+        assert_eq!(s, vec![0, 3, 6, 9]);
+        let s = even_splits(2, 5);
+        assert_eq!(s.len(), 6);
+        assert_eq!(*s.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn block_cyclic_owner_matches_scalapack_formula() {
+        let bc = BlockCyclic::new(8, 8, 2, 2, 2, 2);
+        // Block (0,0) -> rank 0, (0,1) -> 1, (1,0) -> 2, (1,1) -> 3, cyclic.
+        assert_eq!(bc.owner(0, 0), 0);
+        assert_eq!(bc.owner(0, 2), 1);
+        assert_eq!(bc.owner(2, 0), 2);
+        assert_eq!(bc.owner(2, 2), 3);
+        assert_eq!(bc.owner(4, 4), 0); // wraps around
+        assert_eq!(bc.owner(7, 7), 3);
+    }
+
+    #[test]
+    fn block_cyclic_balanced_when_divisible() {
+        let bc = BlockCyclic::new(8, 8, 2, 2, 2, 2);
+        for r in 0..4 {
+            assert_eq!(bc.local_len(r), 16);
+        }
+    }
+
+    #[test]
+    fn blocked_even_grid_owner_and_blocks() {
+        let bl = BlockedLayout::even_grid(6, 6, 2, 3);
+        assert_eq!(bl.owner(0, 0), 0);
+        assert_eq!(bl.owner(0, 2), 1);
+        assert_eq!(bl.owner(0, 4), 2);
+        assert_eq!(bl.owner(3, 0), 3);
+        assert_eq!(bl.owner(5, 5), 5);
+        let (rs, cs) = bl.block_of(4).unwrap();
+        assert_eq!(rs, 3..6);
+        assert_eq!(cs, 2..4);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_block_cyclic() {
+        let m = Matrix::deterministic(9, 7, 21);
+        let bc = BlockCyclic::new(9, 7, 2, 3, 2, 2);
+        let locals = scatter(&bc, &m);
+        assert_eq!(locals.iter().map(Vec::len).sum::<usize>(), 63);
+        let back = gather(&bc, &locals);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_blocked() {
+        let m = Matrix::deterministic(10, 10, 22);
+        let bl = BlockedLayout::even_grid(10, 10, 3, 2);
+        let locals = scatter(&bl, &m);
+        let back = gather(&bl, &locals);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn local_len_matches_scatter() {
+        let bc = BlockCyclic::new(11, 5, 3, 2, 2, 3);
+        let m = Matrix::zeros(11, 5);
+        let locals = scatter(&bc, &m);
+        for r in 0..bc.num_ranks() {
+            assert_eq!(bc.local_len(r), locals[r].len(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn relayout_identity_is_free() {
+        let bl = BlockedLayout::even_grid(12, 12, 2, 2);
+        assert_eq!(relayout_words(&bl, &bl.clone()), 0);
+    }
+
+    #[test]
+    fn relayout_counts_moved_words() {
+        // Blocked 1x2 vs 2x1 over 4x4 with 2 ranks: the off-diagonal quadrants
+        // change owner (2 quadrants of 4 elements each).
+        let a = BlockedLayout::even_grid(4, 4, 1, 2);
+        let b = BlockedLayout::even_grid(4, 4, 2, 1);
+        assert_eq!(relayout_words(&a, &b), 8);
+    }
+
+    #[test]
+    fn relayout_block_cyclic_to_blocked_preserves_content() {
+        let m = Matrix::deterministic(8, 8, 5);
+        let from = BlockCyclic::new(8, 8, 2, 2, 2, 2);
+        let to = BlockedLayout::even_grid(8, 8, 2, 2);
+        // Transform via gather+scatter and verify content identical.
+        let locals = scatter(&from, &m);
+        let global = gather(&from, &locals);
+        let relaid = scatter(&to, &global);
+        let back = gather(&to, &relaid);
+        assert_eq!(back, m);
+        // With block size 2 on a 2x2 grid over 8x8, cyclic and blocked differ.
+        assert!(relayout_words(&from, &to) > 0);
+    }
+
+    #[test]
+    fn blocked_one_block_per_rank_extent() {
+        let bl = BlockedLayout::even_grid(7, 5, 2, 2);
+        let mut total = 0;
+        for r in 0..4 {
+            let (rs, cs) = bl.block_of(r).unwrap();
+            total += rs.len() * cs.len();
+        }
+        assert_eq!(total, 35);
+    }
+
+    #[test]
+    fn blocked_custom_owner_table() {
+        // Two ranks share the four quadrants checkerboard-style.
+        let bl = BlockedLayout::new(vec![0, 2, 4], vec![0, 2, 4], vec![0, 1, 1, 0], 2);
+        assert_eq!(bl.owner(0, 0), 0);
+        assert_eq!(bl.owner(0, 3), 1);
+        assert_eq!(bl.owner(3, 0), 1);
+        assert_eq!(bl.owner(3, 3), 0);
+        assert_eq!(bl.block_of(0), None, "rank 0 owns two blocks");
+        assert_eq!(bl.local_len(0), 8);
+        assert_eq!(bl.local_len(1), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner table size mismatch")]
+    fn blocked_rejects_bad_owner_table() {
+        let _ = BlockedLayout::new(vec![0, 2], vec![0, 2], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn scatter_rejects_wrong_shape() {
+        let bl = BlockedLayout::even_grid(4, 4, 2, 2);
+        let m = Matrix::zeros(3, 4);
+        let _ = scatter(&bl, &m);
+    }
+}

@@ -1,0 +1,30 @@
+//! # densemat — dense-matrix substrate
+//!
+//! This crate is the "BLAS + data-layout" substrate that the COSMA reproduction
+//! is built on. The paper uses Intel MKL for local computation and the
+//! ScaLAPACK block-cyclic format for interoperability (§7.6 of the paper); this
+//! crate provides from-scratch replacements:
+//!
+//! * [`matrix`] — a row-major `f64` matrix with block extraction/insertion and
+//!   views, used both by the local kernels and by the distributed algorithms to
+//!   describe sub-domains.
+//! * [`gemm`] — local matrix-multiplication kernels: a reference naive kernel,
+//!   a cache-tiled kernel, and a multi-threaded kernel (crossbeam scoped
+//!   threads). All kernels compute `C += A * B` so that the distributed
+//!   algorithms can accumulate partial results exactly like the paper's
+//!   rank-1-update formulation (Listing 1).
+//! * [`layout`] — distributed data layouts: the ScaLAPACK block-cyclic layout
+//!   and the COSMA blocked layout (§7.6), plus transformations between them
+//!   with exact word-movement accounting.
+//!
+//! The kernels are deliberately simple enough to audit, yet tiled/parallel so
+//! the cost model's "local compute" term corresponds to a real, measured code
+//! path (see `crates/bench/benches/gemm.rs`).
+
+pub mod gemm;
+pub mod layout;
+pub mod matrix;
+
+pub use gemm::{gemm_naive, gemm_parallel, gemm_tiled, mmm_flops, Gemm};
+pub use layout::{BlockCyclic, BlockedLayout, Distribution};
+pub use matrix::Matrix;

@@ -1,0 +1,409 @@
+//! Row-major dense matrix storage with block (sub-matrix) operations.
+//!
+//! The distributed algorithms in this workspace constantly cut matrices into
+//! rectangular blocks (local domains, panels, k-slabs). `Matrix` therefore
+//! focuses on cheap, explicit block extraction/insertion rather than on a
+//! full linear-algebra API.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A dense, row-major `f64` matrix.
+///
+/// Element `(i, j)` lives at `data[i * cols + j]`. All distributed algorithms
+/// in this workspace move sub-blocks of `Matrix` values between simulated
+/// ranks, so the block accessors ([`Matrix::block`], [`Matrix::set_block`],
+/// [`Matrix::add_block`]) are the workhorse API.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a generator function `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix that owns the given row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix with deterministic pseudo-random entries in `[-1, 1)`.
+    ///
+    /// Uses a splitmix64-style hash of `(seed, i, j)` so that a given element
+    /// has the same value regardless of which rank materializes it. This is
+    /// what lets the simulated ranks conjure "their" part of the input without
+    /// a central scatter phase (the paper assumes inputs start distributed).
+    pub fn deterministic(rows: usize, cols: usize, seed: u64) -> Self {
+        Matrix::from_fn(rows, cols, |i, j| hash_entry(seed, i as u64, j as u64))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements (`rows * cols`), i.e. words of storage.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Write element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy the sub-matrix `rows x cols` out of this matrix.
+    ///
+    /// # Panics
+    /// Panics if the ranges exceed the matrix bounds.
+    pub fn block(&self, rows: Range<usize>, cols: Range<usize>) -> Matrix {
+        assert!(rows.end <= self.rows, "row range out of bounds");
+        assert!(cols.end <= self.cols, "col range out of bounds");
+        let (h, w) = (rows.len(), cols.len());
+        let mut data = Vec::with_capacity(h * w);
+        for i in rows {
+            data.extend_from_slice(&self.data[i * self.cols + cols.start..i * self.cols + cols.end]);
+        }
+        Matrix {
+            rows: h,
+            cols: w,
+            data,
+        }
+    }
+
+    /// Overwrite the sub-matrix starting at `(r0, c0)` with `src`.
+    ///
+    /// # Panics
+    /// Panics if `src` does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(r0 + src.rows <= self.rows, "block rows out of bounds");
+        assert!(c0 + src.cols <= self.cols, "block cols out of bounds");
+        for i in 0..src.rows {
+            let dst = (r0 + i) * self.cols + c0;
+            self.data[dst..dst + src.cols].copy_from_slice(src.row(i));
+        }
+    }
+
+    /// Accumulate (`+=`) the sub-matrix starting at `(r0, c0)` with `src`.
+    ///
+    /// Used when assembling reduced partial C results from several ranks.
+    pub fn add_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(r0 + src.rows <= self.rows, "block rows out of bounds");
+        assert!(c0 + src.cols <= self.cols, "block cols out of bounds");
+        for i in 0..src.rows {
+            let dst = (r0 + i) * self.cols + c0;
+            for (d, s) in self.data[dst..dst + src.cols].iter_mut().zip(src.row(i)) {
+                *d += *s;
+            }
+        }
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        for (d, s) in self.data.iter_mut().zip(&other.data) {
+            *d += *s;
+        }
+    }
+
+    /// Return the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True if all elements are within `tol` of `other`, relative to the
+    /// magnitude of the involved values (suitable for verifying a distributed
+    /// product against a sequential reference).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0_f64.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:9.4} ", self.get(i, j))?;
+            }
+            writeln!(f, "{}", if self.cols > max_show { "…" } else { "" })?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// splitmix64-style deterministic entry in `[-1, 1)` for `(seed, i, j)`.
+fn hash_entry(seed: u64, i: u64, j: u64) -> f64 {
+    let mut x = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ j.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // Map the top 53 bits to [0, 1), then to [-1, 1).
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * unit - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape_and_content() {
+        let m = Matrix::zeros(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.len(), 15);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = Matrix::from_vec(2, 3, v.clone());
+        assert_eq!(m.into_vec(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn deterministic_is_reproducible_and_rank_independent() {
+        let a = Matrix::deterministic(7, 9, 42);
+        let b = Matrix::deterministic(7, 9, 42);
+        assert_eq!(a, b);
+        // A sub-block materialized "remotely" must agree element-wise.
+        let blk = a.block(2..5, 3..8);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(blk.get(i, j), a.get(2 + i, 3 + j));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_entries_in_range_and_not_constant() {
+        let a = Matrix::deterministic(16, 16, 1);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let first = a.get(0, 0);
+        assert!(a.as_slice().iter().any(|&x| x != first));
+    }
+
+    #[test]
+    fn deterministic_seed_changes_content() {
+        let a = Matrix::deterministic(4, 4, 1);
+        let b = Matrix::deterministic(4, 4, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn block_extracts_correct_submatrix() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let b = m.block(1..3, 2..4);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 2);
+        assert_eq!(b.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn block_full_range_is_identity() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i + j) as f64);
+        assert_eq!(m.block(0..3, 0..5), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn block_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.block(0..3, 0..1);
+    }
+
+    #[test]
+    fn set_block_then_block_roundtrip() {
+        let mut m = Matrix::zeros(5, 5);
+        let b = Matrix::from_fn(2, 3, |i, j| (1 + i * 3 + j) as f64);
+        m.set_block(2, 1, &b);
+        assert_eq!(m.block(2..4, 1..4), b);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn add_block_accumulates() {
+        let mut m = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let b = Matrix::from_fn(2, 2, |_, _| 2.0);
+        m.add_block(1, 1, &b);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(2, 2), 3.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn add_assign_elementwise() {
+        let mut a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(2, 2, |_, _| 10.0);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[10.0, 11.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 1.0 + 1e-12);
+        assert!(a.max_abs_diff(&b) > 0.0);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    fn approx_eq_shape_mismatch_is_false() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit() {
+        let m = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert!((m.frobenius_norm() - 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_slice_matches_get() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.row(2), &[6.0, 7.0, 8.0]);
+    }
+}

@@ -1,0 +1,491 @@
+//! Tree and ring collectives over arbitrary rank groups (§7.2).
+//!
+//! The paper replaces Cray-MPICH's broadcast with a hand-crafted binomial
+//! broadcast tree exploiting the known processor grid; these helpers are the
+//! equivalent building blocks. All collectives take an explicit `group` (a
+//! slice of absolute rank ids) so a grid algorithm can broadcast along a row,
+//! column or fiber of the processor grid by passing that fiber's ranks.
+//!
+//! Traffic accounting is inherited from the point-to-point layer: interior
+//! tree nodes both receive and forward, exactly as an MPI implementation
+//! would be measured by mpiP.
+
+use crate::comm::Comm;
+use crate::stats::Phase;
+
+fn my_pos(comm: &Comm, group: &[usize]) -> usize {
+    group
+        .iter()
+        .position(|&r| r == comm.rank())
+        .unwrap_or_else(|| panic!("rank {} not in group {group:?}", comm.rank()))
+}
+
+/// Binomial-tree broadcast of `data` from `group[root_pos]` to the whole
+/// group. On non-root ranks `data`'s previous contents are replaced.
+pub fn bcast(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut Vec<f64>, tag: u64, phase: Phase) {
+    let g = group.len();
+    assert!(root_pos < g, "root position out of range");
+    if g <= 1 {
+        return;
+    }
+    let pos = my_pos(comm, group);
+    let relative = (pos + g - root_pos) % g;
+    let abs = |rel: usize| group[(rel + root_pos) % g];
+
+    // Receive from the parent (the sender that owns our lowest set bit).
+    let mut mask = 1usize;
+    while mask < g {
+        if relative & mask != 0 {
+            *data = comm.recv(abs(relative - mask), tag, phase);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children below the bit we received on (or all bits, for the
+    // root where mask ran past g).
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < g {
+            comm.send(abs(relative + mask), tag, data.clone(), phase);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Binomial-tree sum-reduction of equal-length vectors onto
+/// `group[root_pos]`. On the root, `data` holds the element-wise sum on
+/// return; on other ranks its contents are the partial sums that were
+/// forwarded (callers should treat them as garbage).
+pub fn reduce_sum(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut [f64], tag: u64, phase: Phase) {
+    let g = group.len();
+    assert!(root_pos < g, "root position out of range");
+    if g <= 1 {
+        return;
+    }
+    let pos = my_pos(comm, group);
+    let relative = (pos + g - root_pos) % g;
+    let abs = |rel: usize| group[(rel + root_pos) % g];
+
+    let mut mask = 1usize;
+    while mask < g {
+        if relative & mask == 0 {
+            let src_rel = relative | mask;
+            if src_rel < g {
+                let chunk = comm.recv(abs(src_rel), tag, phase);
+                assert_eq!(chunk.len(), data.len(), "reduce length mismatch");
+                for (d, s) in data.iter_mut().zip(&chunk) {
+                    *d += *s;
+                }
+            }
+        } else {
+            comm.send(abs(relative - mask), tag, data.to_vec(), phase);
+            break;
+        }
+        mask <<= 1;
+    }
+}
+
+/// Ring all-gather: every group member contributes `mine`; returns all
+/// contributions ordered by group position. `g - 1` steps, each forwarding
+/// the chunk received in the previous step — per-rank received volume is the
+/// total payload minus one's own contribution, the textbook ring cost.
+pub fn allgather_ring(comm: &mut Comm, group: &[usize], mine: Vec<f64>, tag: u64, phase: Phase) -> Vec<Vec<f64>> {
+    let g = group.len();
+    let pos = my_pos(comm, group);
+    let mut chunks: Vec<Option<Vec<f64>>> = vec![None; g];
+    chunks[pos] = Some(mine);
+    let right = group[(pos + 1) % g];
+    let left = group[(pos + g - 1) % g];
+    for step in 0..g.saturating_sub(1) {
+        let send_idx = (pos + g - step) % g;
+        let recv_idx = (pos + g - step - 1) % g;
+        let outgoing = chunks[send_idx].clone().expect("ring invariant: chunk to forward present");
+        let incoming = comm.sendrecv(right, left, tag.wrapping_add(step as u64), outgoing, phase);
+        chunks[recv_idx] = Some(incoming);
+    }
+    chunks.into_iter().map(|c| c.expect("all chunks gathered")).collect()
+}
+
+/// Bruck all-gather: every member contributes `mine`; returns all
+/// contributions ordered by group position, like [`allgather_ring`], but in
+/// `⌈log₂ g⌉` rounds of doubling block counts instead of `g − 1` ring steps.
+/// Per-rank received words are identical to the ring (every foreign block
+/// arrives exactly once); only the message count changes — this is the
+/// latency-optimized pattern of the paper's §7.2 broadcast trees.
+///
+/// `chunk_words[i]` must give every member's contribution length (all
+/// members must agree), so receivers can split concatenated payloads.
+pub fn allgather_bruck(
+    comm: &mut Comm,
+    group: &[usize],
+    mine: Vec<f64>,
+    chunk_words: &[usize],
+    tag: u64,
+    phase: Phase,
+) -> Vec<Vec<f64>> {
+    let g = group.len();
+    assert_eq!(chunk_words.len(), g, "chunk size table must cover the group");
+    let pos = my_pos(comm, group);
+    assert_eq!(mine.len(), chunk_words[pos], "own chunk size mismatch");
+    // have[j] = chunk of member (pos + j) mod g.
+    let mut have: Vec<Vec<f64>> = vec![mine];
+    let mut step = 1usize;
+    let mut round = 0u64;
+    while have.len() < g {
+        let want = (g - have.len()).min(step);
+        let dst = group[(pos + g - step) % g];
+        let src = group[(pos + step) % g];
+        // dst lacks my first `want` blocks (its collection ends at pos - 1).
+        let mut payload = Vec::new();
+        for blk in have.iter().take(want) {
+            payload.extend_from_slice(blk);
+        }
+        let received = comm.sendrecv(dst, src, tag.wrapping_add(round), payload, phase);
+        // Split by the known sizes of blocks (pos + step + j) mod g.
+        let mut off = 0;
+        for j in 0..want {
+            let len = chunk_words[(pos + step + j) % g];
+            have.push(received[off..off + len].to_vec());
+            off += len;
+        }
+        assert_eq!(off, received.len(), "bruck payload framing mismatch");
+        step <<= 1;
+        round += 1;
+    }
+    // Reorder from my-relative to group-position order.
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); g];
+    for (j, blk) in have.into_iter().enumerate() {
+        out[(pos + j) % g] = blk;
+    }
+    out
+}
+
+/// Ring reduce-scatter: element-wise sum of every member's `data`, scattered
+/// so that the member at group position `pos` ends up owning the summed
+/// chunk `(pos + 1) mod g` (balanced chunks by [`even_chunk_ranges`]).
+/// Returns `(owned_chunk_index, summed_chunk)`.
+///
+/// `g − 1` steps; each member receives every chunk except its own position's,
+/// i.e. `total − |chunk_pos|` words — perfectly balanced, unlike a tree
+/// reduction whose root transiently receives `log g` full payloads.
+pub fn reduce_scatter_ring(
+    comm: &mut Comm,
+    group: &[usize],
+    data: &mut [f64],
+    tag: u64,
+    phase: Phase,
+) -> (usize, Vec<f64>) {
+    let g = group.len();
+    let pos = my_pos(comm, group);
+    let ranges = even_chunk_ranges(data.len(), g);
+    if g == 1 {
+        return (0, data.to_vec());
+    }
+    let right = group[(pos + 1) % g];
+    let left = group[(pos + g - 1) % g];
+    for s in 0..g - 1 {
+        let send_idx = (pos + g - s) % g;
+        let recv_idx = (pos + g - s - 1) % g;
+        let outgoing = data[ranges[send_idx].clone()].to_vec();
+        let incoming = comm.sendrecv(right, left, tag.wrapping_add(s as u64), outgoing, phase);
+        let dst = &mut data[ranges[recv_idx].clone()];
+        assert_eq!(incoming.len(), dst.len(), "reduce-scatter chunk mismatch");
+        for (d, v) in dst.iter_mut().zip(&incoming) {
+            *d += *v;
+        }
+    }
+    let own = (pos + 1) % g;
+    (own, data[ranges[own].clone()].to_vec())
+}
+
+/// Balanced chunk ranges of `0..len` split `parts` ways (leading chunks one
+/// longer on remainders) — the chunking used by [`reduce_scatter_ring`].
+pub fn even_chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut x = 0;
+    for i in 0..parts {
+        let w = base + usize::from(i < extra);
+        out.push(x..x + w);
+        x += w;
+    }
+    out
+}
+
+/// One ring-shift step (Cannon): send `data` to `dst` and receive the
+/// replacement from `src`.
+pub fn shift(comm: &mut Comm, dst: usize, src: usize, data: Vec<f64>, tag: u64, phase: Phase) -> Vec<f64> {
+    comm.sendrecv(dst, src, tag, data, phase)
+}
+
+/// Direct gather onto `group[root_pos]`: returns `Some(contributions)` (by
+/// group position) on the root, `None` elsewhere. Linear pattern — used for
+/// collecting verification output, not in measured algorithm phases.
+pub fn gather(comm: &mut Comm, group: &[usize], root_pos: usize, mine: Vec<f64>, tag: u64, phase: Phase) -> Option<Vec<Vec<f64>>> {
+    let g = group.len();
+    let pos = my_pos(comm, group);
+    if pos == root_pos {
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; g];
+        out[root_pos] = Some(mine);
+        for (i, &r) in group.iter().enumerate() {
+            if i != root_pos {
+                out[i] = Some(comm.recv(r, tag, phase));
+            }
+        }
+        Some(out.into_iter().map(|c| c.expect("gather complete")).collect())
+    } else {
+        comm.send(group[root_pos], tag, mine, phase);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_spmd;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn bcast_delivers_to_all_group_sizes_and_roots() {
+        for p in [1usize, 2, 3, 4, 5, 8, 13] {
+            for root in [0, p / 2, p - 1] {
+                let spec = MachineSpec::test_machine(p, 1000);
+                let out = run_spmd(&spec, |c| {
+                    let group: Vec<usize> = (0..c.size()).collect();
+                    let mut data = if c.rank() == group[root] { vec![42.0, 7.0] } else { vec![] };
+                    bcast(c, &group, root, &mut data, 9, Phase::InputA);
+                    data
+                });
+                for (r, d) in out.results.iter().enumerate() {
+                    assert_eq!(d, &vec![42.0, 7.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_traffic_is_tree_shaped() {
+        // Binomial tree over g ranks: g-1 point-to-point messages in total;
+        // every non-root receives exactly the payload once.
+        let p = 8;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            let mut data = if c.rank() == 0 { vec![1.0; 100] } else { vec![] };
+            bcast(c, &group, 0, &mut data, 1, Phase::InputA);
+        });
+        let total_recv: u64 = out.stats.iter().map(|s| s.total_recv()).sum();
+        assert_eq!(total_recv, 700, "7 receivers x 100 words");
+        assert_eq!(out.stats[0].total_recv(), 0);
+        // The root of a binomial tree over 8 sends log2(8) = 3 messages.
+        assert_eq!(out.stats[0].msgs_sent, 3);
+    }
+
+    #[test]
+    fn bcast_on_subgroup_leaves_others_untouched() {
+        let spec = MachineSpec::test_machine(6, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group = vec![1, 3, 5];
+            if group.contains(&c.rank()) {
+                let mut data = if c.rank() == 3 { vec![5.0] } else { vec![] };
+                bcast(c, &group, 1, &mut data, 2, Phase::InputB);
+                data
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(out.results[1], vec![5.0]);
+        assert_eq!(out.results[3], vec![5.0]);
+        assert_eq!(out.results[5], vec![5.0]);
+        assert_eq!(out.stats[0].total_recv() + out.stats[2].total_recv() + out.stats[4].total_recv(), 0);
+    }
+
+    #[test]
+    fn reduce_sum_collects_on_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let spec = MachineSpec::test_machine(p, 1000);
+            let out = run_spmd(&spec, |c| {
+                let group: Vec<usize> = (0..c.size()).collect();
+                let mut data = vec![c.rank() as f64, 1.0];
+                reduce_sum(c, &group, 0, &mut data, 3, Phase::OutputC);
+                data
+            });
+            let expect_sum: f64 = (0..p).map(|r| r as f64).sum();
+            assert_eq!(out.results[0], vec![expect_sum, p as f64], "p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_sum_nonzero_root() {
+        let spec = MachineSpec::test_machine(5, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            let mut data = vec![1.0];
+            reduce_sum(c, &group, 2, &mut data, 4, Phase::OutputC);
+            data
+        });
+        assert_eq!(out.results[2], vec![5.0]);
+    }
+
+    #[test]
+    fn allgather_ring_returns_position_ordered_chunks() {
+        let spec = MachineSpec::test_machine(5, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            allgather_ring(c, &group, vec![c.rank() as f64; c.rank() + 1], 10, Phase::InputA)
+        });
+        for r in 0..5 {
+            for pos in 0..5 {
+                assert_eq!(out.results[r][pos], vec![pos as f64; pos + 1], "rank {r} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_ring_volume_is_total_minus_own() {
+        let p = 4;
+        let chunk = 25usize;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            allgather_ring(c, &group, vec![0.0; chunk], 11, Phase::InputB);
+        });
+        for s in &out.stats {
+            assert_eq!(s.total_recv() as usize, (p - 1) * chunk);
+            assert_eq!(s.total_sent() as usize, (p - 1) * chunk);
+        }
+    }
+
+    #[test]
+    fn allgather_singleton_group_is_free() {
+        let spec = MachineSpec::test_machine(2, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group = vec![c.rank()];
+            allgather_ring(c, &group, vec![3.0], 12, Phase::InputA)
+        });
+        assert_eq!(out.results[0], vec![vec![3.0]]);
+        assert_eq!(out.stats[0].total_recv(), 0);
+    }
+
+    #[test]
+    fn shift_rotates_ring() {
+        let spec = MachineSpec::test_machine(4, 1000);
+        let out = run_spmd(&spec, |c| {
+            let dst = (c.rank() + 1) % c.size();
+            let src = (c.rank() + c.size() - 1) % c.size();
+            shift(c, dst, src, vec![c.rank() as f64], 13, Phase::InputA)
+        });
+        for r in 0..4 {
+            assert_eq!(out.results[r], vec![((r + 3) % 4) as f64]);
+        }
+    }
+
+    #[test]
+    fn bruck_allgather_matches_ring() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 13] {
+            let spec = MachineSpec::test_machine(p, 1000);
+            let out = run_spmd(&spec, |c| {
+                let group: Vec<usize> = (0..c.size()).collect();
+                let sizes: Vec<usize> = (0..c.size()).map(|r| r + 1).collect();
+                let mine = vec![c.rank() as f64; c.rank() + 1];
+                allgather_bruck(c, &group, mine, &sizes, 40, Phase::InputA)
+            });
+            for r in 0..p {
+                for posn in 0..p {
+                    assert_eq!(out.results[r][posn], vec![posn as f64; posn + 1], "p={p} r={r}");
+                }
+            }
+            // Words: everything except one's own chunk; messages: ceil(log2 g).
+            let total: usize = (1..=p).sum();
+            for (r, st) in out.stats.iter().enumerate() {
+                assert_eq!(st.total_recv() as usize, total - (r + 1), "p={p} rank {r} words");
+                let expect_msgs = (usize::BITS - (p - 1).leading_zeros()) as u64;
+                assert_eq!(st.msgs_recv, expect_msgs, "p={p} rank {r} msgs");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_scatters() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            let len = 13;
+            let spec = MachineSpec::test_machine(p, 1000);
+            let out = run_spmd(&spec, |c| {
+                let group: Vec<usize> = (0..c.size()).collect();
+                let mut data: Vec<f64> = (0..len).map(|i| (c.rank() * 100 + i) as f64).collect();
+                reduce_scatter_ring(c, &group, &mut data, 50, Phase::OutputC)
+            });
+            // Reference sum.
+            let want: Vec<f64> = (0..len)
+                .map(|i| (0..p).map(|r| (r * 100 + i) as f64).sum())
+                .collect();
+            let ranges = even_chunk_ranges(len, p);
+            let mut owned = vec![false; p];
+            for (pos, (idx, chunk)) in out.results.iter().enumerate() {
+                assert_eq!(*idx, (pos + 1) % p, "p={p}: wrong owned chunk");
+                assert!(!owned[*idx], "chunk owned twice");
+                owned[*idx] = true;
+                assert_eq!(chunk.as_slice(), &want[ranges[*idx].clone()], "p={p} pos={pos}");
+            }
+            assert!(owned.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_traffic_is_balanced() {
+        let p = 4;
+        let len = 40; // divisible: every chunk is 10 words
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            let mut data = vec![1.0; len];
+            reduce_scatter_ring(c, &group, &mut data, 51, Phase::OutputC);
+        });
+        for st in &out.stats {
+            assert_eq!(st.total_recv() as usize, len - len / p);
+            assert_eq!(st.msgs_recv as usize, p - 1);
+        }
+    }
+
+    #[test]
+    fn even_chunk_ranges_cover() {
+        let r = even_chunk_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        let r = even_chunk_ranges(3, 5);
+        assert_eq!(r.iter().map(|x| x.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn gather_collects_on_root_only() {
+        let spec = MachineSpec::test_machine(3, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            gather(c, &group, 1, vec![c.rank() as f64], 14, Phase::Other)
+        });
+        assert!(out.results[0].is_none());
+        assert!(out.results[2].is_none());
+        let collected = out.results[1].as_ref().unwrap();
+        assert_eq!(collected, &vec![vec![0.0], vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let spec = MachineSpec::test_machine(4, 1000);
+        let out = run_spmd(&spec, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            let mut a = if c.rank() == 0 { vec![1.0] } else { vec![] };
+            bcast(c, &group, 0, &mut a, 100, Phase::InputA);
+            let mut b = if c.rank() == 3 { vec![2.0] } else { vec![] };
+            bcast(c, &group, 3, &mut b, 101, Phase::InputB);
+            let mut s = vec![1.0];
+            reduce_sum(c, &group, 0, &mut s, 102, Phase::OutputC);
+            (a, b, s)
+        });
+        for r in 0..4 {
+            assert_eq!(out.results[r].0, vec![1.0]);
+            assert_eq!(out.results[r].1, vec![2.0]);
+        }
+        assert_eq!(out.results[0].2, vec![4.0]);
+    }
+}

@@ -1,0 +1,379 @@
+//! The communicator: tagged two-sided message passing and one-sided windows.
+//!
+//! Two backends mirror §7.4 of the paper:
+//!
+//! * **Two-sided** — [`Comm::send`]/[`Comm::recv`] with `(source, tag)`
+//!   matching over unbounded crossbeam channels (the Message Passing model).
+//!   Unbounded buffering means a send never blocks, so exchange patterns like
+//!   Cannon shifts cannot deadlock.
+//! * **One-sided** — per-rank shared-memory *windows* with
+//!   [`Comm::put`]/[`Comm::get`]/[`Comm::accumulate`] and a
+//!   [`Comm::fence`] epoch barrier (the RMA model; zero-copy into the target
+//!   window exactly like `MPI_Put` into an `MPI_Win_allocate` buffer).
+//!
+//! Every operation updates the per-rank [`StatsBoard`] counters, which is how
+//! the "communication volume per rank" measurements of Figures 6–7 are taken.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::stats::{Phase, StatsBoard};
+
+/// How long a blocking receive waits before declaring the run deadlocked.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A tagged message.
+#[derive(Debug)]
+struct Packet {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// State shared by all ranks of one simulated machine.
+struct SharedState {
+    senders: Vec<Sender<Packet>>,
+    stats: Arc<StatsBoard>,
+    barrier: std::sync::Barrier,
+    windows: Vec<Mutex<Vec<f64>>>,
+}
+
+/// A rank's handle to the simulated machine.
+pub struct Comm {
+    rank: usize,
+    p: usize,
+    shared: Arc<SharedState>,
+    inbox: Receiver<Packet>,
+    /// Out-of-order messages awaiting a matching receive.
+    pending: Vec<Packet>,
+}
+
+impl Comm {
+    /// Build communicators for a world of `p` ranks sharing `stats`.
+    pub fn create_world(p: usize, stats: Arc<StatsBoard>) -> Vec<Comm> {
+        assert!(p > 0, "world needs at least one rank");
+        assert_eq!(stats.len(), p, "stats board size mismatch");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(SharedState {
+            senders,
+            stats,
+            barrier: std::sync::Barrier::new(p),
+            windows: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Comm {
+                rank,
+                p,
+                shared: shared.clone(),
+                inbox,
+                pending: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// This rank's id, `0..p`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// The shared statistics board.
+    pub fn stats(&self) -> &StatsBoard {
+        &self.shared.stats
+    }
+
+    /// Record `flops` local floating-point operations for this rank.
+    pub fn record_flops(&self, flops: u64) {
+        self.shared.stats.rank(self.rank).record_flops(flops);
+    }
+
+    /// Record a working-memory allocation (peak-memory accounting).
+    pub fn track_alloc(&self, words: u64) {
+        self.shared.stats.rank(self.rank).record_alloc(words);
+    }
+
+    /// Record a working-memory release.
+    pub fn track_free(&self, words: u64) {
+        self.shared.stats.rank(self.rank).record_free(words);
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided backend
+    // ------------------------------------------------------------------
+
+    /// Send `data` to rank `to` with `tag`. Never blocks.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>, phase: Phase) {
+        assert!(to < self.p, "send to rank {to} of {}", self.p);
+        self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
+        self.shared.senders[to]
+            .send(Packet { from: self.rank, tag, data })
+            .expect("receiver dropped: a rank exited early");
+    }
+
+    /// Receive the next message from `from` with `tag`, blocking until it
+    /// arrives. Messages from the same sender with the same tag are delivered
+    /// in send order.
+    ///
+    /// # Panics
+    /// Panics after two minutes without a matching message (deadlock guard).
+    pub fn recv(&mut self, from: usize, tag: u64, phase: Phase) -> Vec<f64> {
+        // Check the out-of-order buffer first.
+        if let Some(i) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
+            let msg = self.pending.remove(i);
+            self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
+            return msg.data;
+        }
+        loop {
+            let msg = self
+                .inbox
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| panic!("rank {}: timed out waiting for (from={from}, tag={tag})", self.rank));
+            if msg.from == from && msg.tag == tag {
+                self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
+                return msg.data;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Combined exchange: send `data` to `to` and receive from `from` under
+    /// the same tag (a ring-shift step). Non-deadlocking because sends are
+    /// buffered.
+    pub fn sendrecv(&mut self, to: usize, from: usize, tag: u64, data: Vec<f64>, phase: Phase) -> Vec<f64> {
+        self.send(to, tag, data, phase);
+        self.recv(from, tag, phase)
+    }
+
+    /// Block until all ranks reach the barrier.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided (RMA) backend
+    // ------------------------------------------------------------------
+
+    /// (Re)size this rank's window to `words` zeroed words. Like
+    /// `MPI_Win_allocate`, every rank must call it before the first
+    /// [`Comm::fence`] of the epoch that uses the window.
+    pub fn win_resize(&self, words: usize) {
+        let mut w = self.shared.windows[self.rank].lock();
+        w.clear();
+        w.resize(words, 0.0);
+    }
+
+    /// Write `data` into `target`'s window at `offset` (like `MPI_Put`).
+    /// Counts as `data.len()` words sent by this rank and received by the
+    /// target.
+    ///
+    /// # Panics
+    /// Panics if the target window is too small.
+    pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
+        let mut w = self.shared.windows[target].lock();
+        assert!(
+            offset + data.len() <= w.len(),
+            "put past window end: {} + {} > {}",
+            offset,
+            data.len(),
+            w.len()
+        );
+        w[offset..offset + data.len()].copy_from_slice(data);
+        self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
+        self.shared.stats.rank(target).record_recv(data.len() as u64, phase);
+    }
+
+    /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
+    /// Counts as words received by this rank and sent by the target.
+    pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
+        let w = self.shared.windows[target].lock();
+        assert!(offset + len <= w.len(), "get past window end");
+        let out = w[offset..offset + len].to_vec();
+        drop(w);
+        self.shared.stats.rank(target).record_send(len as u64, phase);
+        self.shared.stats.rank(self.rank).record_recv(len as u64, phase);
+        out
+    }
+
+    /// Element-wise add `data` into `target`'s window at `offset` (like
+    /// `MPI_Accumulate` with `MPI_SUM`).
+    pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
+        let mut w = self.shared.windows[target].lock();
+        assert!(offset + data.len() <= w.len(), "accumulate past window end");
+        for (dst, src) in w[offset..offset + data.len()].iter_mut().zip(data) {
+            *dst += *src;
+        }
+        drop(w);
+        self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
+        self.shared.stats.rank(target).record_recv(data.len() as u64, phase);
+    }
+
+    /// Replace this rank's window contents (no traffic counted — populating
+    /// one's own window is a local operation, like filling an
+    /// `MPI_Win_allocate` buffer).
+    pub fn win_fill(&self, data: Vec<f64>) {
+        *self.shared.windows[self.rank].lock() = data;
+    }
+
+    /// Read this rank's own window (no traffic counted).
+    pub fn win_local(&self) -> Vec<f64> {
+        self.shared.windows[self.rank].lock().clone()
+    }
+
+    /// Read a slice of this rank's own window (no traffic counted).
+    pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
+        let w = self.shared.windows[self.rank].lock();
+        assert!(offset + len <= w.len(), "local window read past end");
+        w[offset..offset + len].to_vec()
+    }
+
+    /// Close an RMA epoch: all puts/gets/accumulates issued before the fence
+    /// are visible after it (like `MPI_Win_fence`).
+    pub fn fence(&self) {
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(p: usize) -> (Vec<Comm>, Arc<StatsBoard>) {
+        let stats = Arc::new(StatsBoard::new(p));
+        (Comm::create_world(p, stats.clone()), stats)
+    }
+
+    #[test]
+    fn simple_send_recv() {
+        let (mut comms, stats) = world(2);
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 7, vec![1.0, 2.0, 3.0], Phase::InputA);
+        let got = c1.recv(0, 7, Phase::InputA);
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+        let snap = stats.snapshot();
+        assert_eq!(snap[0].total_sent(), 3);
+        assert_eq!(snap[1].total_recv(), 3);
+        assert_eq!(snap[1].msgs_recv, 1);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let (mut comms, _) = world(2);
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 1, vec![1.0], Phase::Other);
+        c0.send(1, 2, vec![2.0], Phase::Other);
+        // Receive tag 2 first; tag 1 is buffered and found afterwards.
+        assert_eq!(c1.recv(0, 2, Phase::Other), vec![2.0]);
+        assert_eq!(c1.recv(0, 1, Phase::Other), vec![1.0]);
+    }
+
+    #[test]
+    fn same_tag_fifo_per_sender() {
+        let (mut comms, _) = world(2);
+        let mut c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.send(1, 5, vec![1.0], Phase::Other);
+        c0.send(1, 5, vec![2.0], Phase::Other);
+        assert_eq!(c1.recv(0, 5, Phase::Other), vec![1.0]);
+        assert_eq!(c1.recv(0, 5, Phase::Other), vec![2.0]);
+    }
+
+    #[test]
+    fn self_send() {
+        let (mut comms, _) = world(1);
+        let mut c0 = comms.pop().unwrap();
+        c0.send(0, 3, vec![9.0], Phase::Other);
+        assert_eq!(c0.recv(0, 3, Phase::Other), vec![9.0]);
+    }
+
+    #[test]
+    fn threaded_exchange() {
+        let (comms, stats) = world(4);
+        crossbeam::scope(|s| {
+            for mut c in comms {
+                s.spawn(move |_| {
+                    let right = (c.rank() + 1) % c.size();
+                    let left = (c.rank() + c.size() - 1) % c.size();
+                    let got = c.sendrecv(right, left, 0, vec![c.rank() as f64; 10], Phase::InputB);
+                    assert_eq!(got, vec![left as f64; 10]);
+                });
+            }
+        })
+        .unwrap();
+        let snap = stats.snapshot();
+        for r in 0..4 {
+            assert_eq!(snap[r].total_sent(), 10);
+            assert_eq!(snap[r].total_recv(), 10);
+        }
+    }
+
+    #[test]
+    fn rma_put_get_accumulate() {
+        let (comms, stats) = world(2);
+        crossbeam::scope(|s| {
+            for c in comms {
+                s.spawn(move |_| {
+                    c.win_resize(4);
+                    c.fence();
+                    if c.rank() == 0 {
+                        c.put(1, 0, &[1.0, 2.0], Phase::InputA);
+                        c.accumulate(1, 1, &[10.0], Phase::OutputC);
+                    }
+                    c.fence();
+                    if c.rank() == 1 {
+                        assert_eq!(c.win_local(), vec![1.0, 12.0, 0.0, 0.0]);
+                        let fetched = c.get(0, 0, 2, Phase::InputB);
+                        assert_eq!(fetched, vec![0.0, 0.0]);
+                    }
+                    c.fence();
+                });
+            }
+        })
+        .unwrap();
+        let snap = stats.snapshot();
+        // rank 0 sent 3 words by put/accumulate and 2 more serving the get;
+        // rank 1 received those 3 words plus the 2 it fetched itself.
+        assert_eq!(snap[0].total_sent(), 5);
+        assert_eq!(snap[0].total_recv(), 0);
+        assert_eq!(snap[1].total_recv(), 5);
+        assert_eq!(snap[1].total_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "put past window end")]
+    fn rma_bounds_checked() {
+        let (mut comms, _) = world(2);
+        let _c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        c0.win_resize(2);
+        c0.put(0, 1, &[1.0, 2.0], Phase::Other);
+    }
+
+    #[test]
+    fn alloc_tracking_reaches_stats() {
+        let (comms, stats) = world(1);
+        comms[0].track_alloc(500);
+        comms[0].track_free(200);
+        comms[0].track_alloc(100);
+        assert_eq!(stats.snapshot()[0].peak_mem_words, 500);
+    }
+}

@@ -1,0 +1,232 @@
+//! The α-β-γ cost model and %-of-peak reporting.
+//!
+//! The paper reports runtime and "% of peak flop/s" on Piz Daint. We model a
+//! rank's execution as a sequence of rounds, each with a communication part
+//! (`α` per message + `β` per word) and a computation part (`flops/γ`), and
+//! evaluate the sequence either back-to-back (no overlap) or double-buffered
+//! (§7.3: the next round's communication overlaps the current round's
+//! computation). The %-peak metric divides achieved flop/s by the machine's
+//! *raw* peak, exactly like Figure 8/10/13/14.
+
+/// Communication/computation cost constants of one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Raw peak flop rate per rank (flop/s). % peak is measured against this.
+    pub peak_flops: f64,
+    /// Sustained fraction of peak the local GEMM kernel achieves (γ =
+    /// `peak_flops · kernel_efficiency`).
+    pub kernel_efficiency: f64,
+    /// Per-message latency in seconds (α).
+    pub alpha_s: f64,
+    /// Per-word transfer time in seconds (β, for 8-byte words).
+    pub beta_s_per_word: f64,
+}
+
+impl CostModel {
+    /// Piz-Daint-XC40-like constants (two-sided MPI backend): 2×18-core
+    /// Xeon E5-2695 v4 nodes (33.6 Gflop/s peak per core), Aries network
+    /// (~10 GB/s injection per 36-core node → ~0.28 GB/s per core).
+    pub fn piz_daint_two_sided() -> Self {
+        CostModel {
+            peak_flops: 33.6e9,
+            kernel_efficiency: 0.90,
+            alpha_s: 2.0e-6,
+            beta_s_per_word: 2.83e-8,
+        }
+    }
+
+    /// Same machine with the one-sided (RDMA) backend of §7.4: lower
+    /// per-message latency because the OS/matching path is bypassed.
+    pub fn piz_daint_one_sided() -> Self {
+        CostModel {
+            alpha_s: 1.2e-6,
+            ..Self::piz_daint_two_sided()
+        }
+    }
+
+    /// Time to execute `flops` floating-point operations locally.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / (self.peak_flops * self.kernel_efficiency)
+    }
+
+    /// Time to move `words` words in `msgs` messages.
+    pub fn comm_time(&self, words: u64, msgs: u64) -> f64 {
+        self.alpha_s * msgs as f64 + self.beta_s_per_word * words as f64
+    }
+}
+
+/// One round of a rank's schedule: receive some words, then compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCost {
+    /// Words received this round.
+    pub words: u64,
+    /// Messages received this round.
+    pub msgs: u64,
+    /// Flops computed this round.
+    pub flops: u64,
+}
+
+/// A rank's simulated time, split into its exposed parts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Seconds spent computing.
+    pub compute_s: f64,
+    /// Seconds of communication that are *exposed* (not hidden by overlap).
+    pub exposed_comm_s: f64,
+    /// Total communication seconds (exposed + hidden).
+    pub total_comm_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Wall-clock seconds of the rank: compute + exposed communication.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.exposed_comm_s
+    }
+}
+
+/// Evaluate a sequence of rounds under the cost model.
+///
+/// Without overlap every round is `comm_i` then `comp_i` back to back. With
+/// overlap (double buffering, §7.3) round `i+1`'s communication proceeds
+/// while round `i` computes: the exposed time is
+/// `comm_0 + Σ max(comp_i, comm_{i+1}) + comp_last`.
+pub fn simulate_rounds(rounds: &[RoundCost], model: &CostModel, overlap: bool) -> TimeBreakdown {
+    let comm: Vec<f64> = rounds.iter().map(|r| model.comm_time(r.words, r.msgs)).collect();
+    let comp: Vec<f64> = rounds.iter().map(|r| model.compute_time(r.flops)).collect();
+    let compute_s: f64 = comp.iter().sum();
+    let total_comm_s: f64 = comm.iter().sum();
+    if rounds.is_empty() {
+        return TimeBreakdown::default();
+    }
+    let exposed_comm_s = if !overlap {
+        total_comm_s
+    } else {
+        // Pipeline: the first fetch is exposed; afterwards communication of
+        // round i+1 hides behind computation of round i; whatever exceeds the
+        // computation time stays exposed.
+        let mut exposed = comm[0];
+        for i in 0..rounds.len() - 1 {
+            exposed += (comm[i + 1] - comp[i]).max(0.0);
+        }
+        exposed
+    };
+    TimeBreakdown {
+        compute_s,
+        exposed_comm_s,
+        total_comm_s,
+    }
+}
+
+/// Percent of machine peak achieved: `flops / (p · peak · seconds) · 100`.
+pub fn percent_peak(total_flops: u64, p: usize, seconds: f64, model: &CostModel) -> f64 {
+    if seconds <= 0.0 || p == 0 {
+        return 0.0;
+    }
+    100.0 * total_flops as f64 / (p as f64 * model.peak_flops * seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_model() -> CostModel {
+        CostModel {
+            peak_flops: 1.0,
+            kernel_efficiency: 1.0,
+            alpha_s: 0.0,
+            beta_s_per_word: 1.0,
+        }
+    }
+
+    #[test]
+    fn compute_and_comm_time() {
+        let m = CostModel {
+            peak_flops: 100.0,
+            kernel_efficiency: 0.5,
+            alpha_s: 2.0,
+            beta_s_per_word: 0.1,
+        };
+        assert!((m.compute_time(100) - 2.0).abs() < 1e-12);
+        assert!((m.comm_time(10, 3) - (6.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_is_sum() {
+        let rounds = [
+            RoundCost { words: 5, msgs: 0, flops: 10 },
+            RoundCost { words: 3, msgs: 0, flops: 4 },
+        ];
+        let t = simulate_rounds(&rounds, &unit_model(), false);
+        assert!((t.compute_s - 14.0).abs() < 1e-12);
+        assert!((t.exposed_comm_s - 8.0).abs() < 1e-12);
+        assert!((t.total_s() - 22.0).abs() < 1e-12);
+        assert!((t.total_comm_s - t.exposed_comm_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_hides_comm_behind_compute() {
+        // comm = [5, 3], comp = [10, 4]: with overlap only the first fetch is
+        // exposed (3 < 10 hides fully): total = 5 + 10 + 4.
+        let rounds = [
+            RoundCost { words: 5, msgs: 0, flops: 10 },
+            RoundCost { words: 3, msgs: 0, flops: 4 },
+        ];
+        let t = simulate_rounds(&rounds, &unit_model(), true);
+        assert!((t.exposed_comm_s - 5.0).abs() < 1e-12);
+        assert!((t.total_s() - 19.0).abs() < 1e-12);
+        // Total comm still accounts for the hidden part.
+        assert!((t.total_comm_s - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_exposes_excess_comm() {
+        // comm = [2, 20], comp = [4, 1]: second fetch exceeds the compute it
+        // hides behind by 16.
+        let rounds = [
+            RoundCost { words: 2, msgs: 0, flops: 4 },
+            RoundCost { words: 20, msgs: 0, flops: 1 },
+        ];
+        let t = simulate_rounds(&rounds, &unit_model(), true);
+        assert!((t.exposed_comm_s - 18.0).abs() < 1e-12);
+        assert!((t.total_s() - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_never_slower_never_faster_than_bounds() {
+        let model = CostModel::piz_daint_two_sided();
+        let rounds: Vec<RoundCost> = (0..20)
+            .map(|i| RoundCost { words: 1000 * (i + 1), msgs: 2, flops: 500_000 * (20 - i) })
+            .collect();
+        let no = simulate_rounds(&rounds, &model, false);
+        let yes = simulate_rounds(&rounds, &model, true);
+        assert!(yes.total_s() <= no.total_s() + 1e-15);
+        // Overlap cannot beat the max(comm, comp) lower bound.
+        assert!(yes.total_s() + 1e-15 >= no.compute_s.max(no.total_comm_s));
+    }
+
+    #[test]
+    fn empty_rounds() {
+        let t = simulate_rounds(&[], &unit_model(), true);
+        assert_eq!(t.total_s(), 0.0);
+    }
+
+    #[test]
+    fn percent_peak_formula() {
+        let m = unit_model();
+        // 50 flops on 1 rank of peak 1 flop/s over 100 s = 50%.
+        assert!((percent_peak(50, 1, 100.0, &m) - 50.0).abs() < 1e-12);
+        assert_eq!(percent_peak(50, 0, 100.0, &m), 0.0);
+        assert_eq!(percent_peak(50, 1, 0.0, &m), 0.0);
+    }
+
+    #[test]
+    fn piz_daint_presets_sane() {
+        let two = CostModel::piz_daint_two_sided();
+        let one = CostModel::piz_daint_one_sided();
+        assert!(one.alpha_s < two.alpha_s, "RMA must have lower latency");
+        assert_eq!(one.beta_s_per_word, two.beta_s_per_word);
+        // A core computes a 1000^3 GEMM in ~66 ms at 90% of 33.6 Gflop/s.
+        let t = two.compute_time(2_000_000_000);
+        assert!(t > 0.05 && t < 0.08, "gemm time {t}");
+    }
+}

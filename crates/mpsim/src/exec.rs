@@ -1,0 +1,109 @@
+//! The SPMD executor: run one closure per rank, each on its own OS thread.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::machine::MachineSpec;
+use crate::stats::{RankStats, StatsBoard};
+
+/// Maximum number of simulated ranks the threaded executor accepts. Beyond
+/// this, use plan-level analysis (the per-rank word counts are exact either
+/// way; the threaded path exists to validate them with real data).
+pub const MAX_THREADED_RANKS: usize = 512;
+
+/// Results and measured statistics of an SPMD run.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank measured statistics (the mpiP-equivalent numbers).
+    pub stats: Vec<RankStats>,
+}
+
+/// Run `f` on every rank of `spec` concurrently and collect results.
+///
+/// # Panics
+/// Panics if any rank panics (the panic is propagated), or if
+/// `spec.p > MAX_THREADED_RANKS`.
+pub fn run_spmd<R, F>(spec: &MachineSpec, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(
+        spec.p <= MAX_THREADED_RANKS,
+        "threaded execution supports at most {MAX_THREADED_RANKS} ranks; use plan analysis beyond that"
+    );
+    let stats = Arc::new(StatsBoard::new(spec.p));
+    let comms = Comm::create_world(spec.p, stats.clone());
+    let mut slots: Vec<Option<R>> = (0..spec.p).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| {
+                let f = &f;
+                s.spawn(move |_| f(&mut c))
+            })
+            .collect();
+        for (slot, h) in slots.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    })
+    .expect("executor scope failed");
+    RunOutput {
+        results: slots.into_iter().map(|s| s.expect("missing rank result")).collect(),
+        stats: stats.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Phase;
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let spec = MachineSpec::test_machine(8, 1000);
+        let out = run_spmd(&spec, |c| c.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(out.stats.len(), 8);
+    }
+
+    #[test]
+    fn stats_reflect_execution() {
+        let spec = MachineSpec::test_machine(4, 1000);
+        let out = run_spmd(&spec, |c| {
+            // Everyone sends rank+1 words to rank 0.
+            if c.rank() != 0 {
+                c.send(0, 1, vec![0.0; c.rank() + 1], Phase::OutputC);
+                0u64
+            } else {
+                let mut total = 0u64;
+                for from in 1..c.size() {
+                    total += c.recv(from, 1, Phase::OutputC).len() as u64;
+                }
+                total
+            }
+        });
+        assert_eq!(out.results[0], 2 + 3 + 4);
+        assert_eq!(out.stats[0].total_recv(), 9);
+        assert_eq!(out.stats[2].total_sent(), 3);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let spec = MachineSpec::test_machine(6, 1000);
+        let out = run_spmd(&spec, |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(out.results.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "threaded execution supports at most")]
+    fn rank_limit_enforced() {
+        let spec = MachineSpec::test_machine(MAX_THREADED_RANKS + 1, 10);
+        let _ = run_spmd(&spec, |_| ());
+    }
+}

@@ -1,0 +1,96 @@
+//! Machine descriptions: rank count, per-rank memory, cost constants.
+
+use crate::cost::CostModel;
+
+/// A distributed machine: `p` ranks, each with `mem_words` words of local
+/// memory (the paper's `S`), and a communication/computation cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Number of ranks (the paper's `p`; one rank per core in §8).
+    pub p: usize,
+    /// Local memory per rank in 8-byte words (the paper's `S`).
+    pub mem_words: usize,
+    /// Cost constants for the time model.
+    pub cost: CostModel,
+}
+
+impl MachineSpec {
+    /// A machine with explicit parameters.
+    pub fn new(p: usize, mem_words: usize, cost: CostModel) -> Self {
+        assert!(p > 0, "machine needs at least one rank");
+        assert!(mem_words > 0, "ranks need memory");
+        MachineSpec { p, mem_words, cost }
+    }
+
+    /// Piz-Daint-like machine: one rank per core, 64 GiB per 36-core node
+    /// (≈238 M words per core), two-sided backend. This mirrors §8's
+    /// "we set p to the number of available cores and S to the main memory
+    /// size per core".
+    pub fn piz_daint(p: usize) -> Self {
+        MachineSpec::new(p, 64 * 1024 * 1024 * 1024 / 36 / 8, CostModel::piz_daint_two_sided())
+    }
+
+    /// Piz-Daint-like machine with a reduced per-rank memory — used by the
+    /// "limited memory" scenarios where `S` is scaled to the problem.
+    pub fn piz_daint_with_memory(p: usize, mem_words: usize) -> Self {
+        MachineSpec::new(p, mem_words, CostModel::piz_daint_two_sided())
+    }
+
+    /// A tiny test machine: `p` ranks with `mem_words` memory and a unit cost
+    /// model — convenient in unit tests.
+    pub fn test_machine(p: usize, mem_words: usize) -> Self {
+        MachineSpec::new(
+            p,
+            mem_words,
+            CostModel {
+                peak_flops: 1e9,
+                kernel_efficiency: 1.0,
+                alpha_s: 1e-6,
+                beta_s_per_word: 1e-9,
+            },
+        )
+    }
+
+    /// Can the three matrices of an `m x k · k x n` product fit in the
+    /// collective memory? (The paper's §6 assumption
+    /// `pS ≥ mn + mk + nk`.)
+    pub fn fits_problem(&self, m: usize, n: usize, k: usize) -> bool {
+        let need = m as u128 * n as u128 + m as u128 * k as u128 + n as u128 * k as u128;
+        (self.p as u128) * (self.mem_words as u128) >= need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piz_daint_memory_per_core() {
+        let m = MachineSpec::piz_daint(1024);
+        assert_eq!(m.p, 1024);
+        // 64 GiB / 36 cores / 8 bytes ≈ 238 M words.
+        assert!(m.mem_words > 230_000_000 && m.mem_words < 245_000_000);
+    }
+
+    #[test]
+    fn fits_problem_boundary() {
+        let m = MachineSpec::test_machine(4, 100);
+        // mn + mk + nk = 100 + 100 + 100 = 300 <= 400.
+        assert!(m.fits_problem(10, 10, 10));
+        // 3 * 400 = 1200 > 400.
+        assert!(!m.fits_problem(20, 20, 20));
+    }
+
+    #[test]
+    fn fits_problem_no_overflow_at_paper_scale() {
+        let m = MachineSpec::piz_daint(2048);
+        // The RPA workload: m = n = 17,408, k = 3,735,552.
+        assert!(m.fits_problem(17_408, 17_408, 3_735_552));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = MachineSpec::test_machine(0, 10);
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-rank traffic, flop and memory counters — the mpiP substitute.
+//!
+//! The paper measures "total communication volume per MPI rank" with the
+//! mpiP profiler (Figures 6–7, Table 4). Here every point-to-point and
+//! one-sided operation updates atomic per-rank counters, bucketed by
+//! [`Phase`] so that Figure 12's breakdown (A-input vs B-input vs C-output
+//! traffic) can be regenerated from an actual execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Communication phase buckets used for the Figure-12 style breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Distributing/propagating elements of the input matrix A.
+    InputA,
+    /// Distributing/propagating elements of the input matrix B.
+    InputB,
+    /// Reducing or writing back partial results of C.
+    OutputC,
+    /// Initial data-layout transformation traffic (§7.6 preprocessing).
+    Layout,
+    /// Anything else (tests, auxiliary exchanges).
+    Other,
+}
+
+/// Number of phase buckets.
+pub const NUM_PHASES: usize = 5;
+
+impl Phase {
+    /// Dense index of the phase, for array-backed counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::InputA => 0,
+            Phase::InputB => 1,
+            Phase::OutputC => 2,
+            Phase::Layout => 3,
+            Phase::Other => 4,
+        }
+    }
+
+    /// All phases in index order.
+    pub fn all() -> [Phase; NUM_PHASES] {
+        [Phase::InputA, Phase::InputB, Phase::OutputC, Phase::Layout, Phase::Other]
+    }
+}
+
+/// Atomic counters of a single rank.
+#[derive(Debug, Default)]
+pub struct RankCounters {
+    words_sent: [AtomicU64; NUM_PHASES],
+    words_recv: [AtomicU64; NUM_PHASES],
+    msgs_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    flops: AtomicU64,
+    cur_mem_words: AtomicU64,
+    peak_mem_words: AtomicU64,
+}
+
+impl RankCounters {
+    /// Record a sent message of `words` words in `phase`.
+    pub fn record_send(&self, words: u64, phase: Phase) {
+        self.words_sent[phase.index()].fetch_add(words, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a received message of `words` words in `phase`.
+    pub fn record_recv(&self, words: u64, phase: Phase) {
+        self.words_recv[phase.index()].fetch_add(words, Ordering::Relaxed);
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `flops` floating-point operations of local compute.
+    pub fn record_flops(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Record an allocation of `words` words of communication/working memory.
+    pub fn record_alloc(&self, words: u64) {
+        let cur = self.cur_mem_words.fetch_add(words, Ordering::Relaxed) + words;
+        self.peak_mem_words.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Record a release of `words` words.
+    pub fn record_free(&self, words: u64) {
+        self.cur_mem_words.fetch_sub(words, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of one rank's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Words sent, by phase index.
+    pub words_sent: [u64; NUM_PHASES],
+    /// Words received, by phase index.
+    pub words_recv: [u64; NUM_PHASES],
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Peak tracked memory, in words.
+    pub peak_mem_words: u64,
+}
+
+impl RankStats {
+    /// Total words sent across phases.
+    pub fn total_sent(&self) -> u64 {
+        self.words_sent.iter().sum()
+    }
+
+    /// Total words received across phases.
+    pub fn total_recv(&self) -> u64 {
+        self.words_recv.iter().sum()
+    }
+
+    /// The "communication volume per rank" reported in the paper's Table 4
+    /// and Figures 6–7: words received (every received word was sent by a
+    /// peer, so summing receives over ranks counts each transfer once).
+    pub fn volume(&self) -> u64 {
+        self.total_recv()
+    }
+
+    /// Received words of one phase.
+    pub fn recv_in(&self, phase: Phase) -> u64 {
+        self.words_recv[phase.index()]
+    }
+}
+
+/// Shared board of all ranks' counters.
+#[derive(Debug)]
+pub struct StatsBoard {
+    ranks: Vec<RankCounters>,
+}
+
+impl StatsBoard {
+    /// Create counters for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        StatsBoard {
+            ranks: (0..p).map(|_| RankCounters::default()).collect(),
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when tracking zero ranks.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Counters of one rank.
+    pub fn rank(&self, r: usize) -> &RankCounters {
+        &self.ranks[r]
+    }
+
+    /// Snapshot all ranks.
+    pub fn snapshot(&self) -> Vec<RankStats> {
+        self.ranks
+            .iter()
+            .map(|c| RankStats {
+                words_sent: std::array::from_fn(|i| c.words_sent[i].load(Ordering::Relaxed)),
+                words_recv: std::array::from_fn(|i| c.words_recv[i].load(Ordering::Relaxed)),
+                msgs_sent: c.msgs_sent.load(Ordering::Relaxed),
+                msgs_recv: c.msgs_recv.load(Ordering::Relaxed),
+                flops: c.flops.load(Ordering::Relaxed),
+                peak_mem_words: c.peak_mem_words.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Aggregate helpers over per-rank snapshots.
+pub mod aggregate {
+    use super::RankStats;
+
+    /// Maximum received volume over ranks (the paper's per-rank plots).
+    pub fn max_volume(stats: &[RankStats]) -> u64 {
+        stats.iter().map(RankStats::volume).max().unwrap_or(0)
+    }
+
+    /// Mean received volume over ranks.
+    pub fn mean_volume(stats: &[RankStats]) -> f64 {
+        if stats.is_empty() {
+            return 0.0;
+        }
+        stats.iter().map(RankStats::volume).sum::<u64>() as f64 / stats.len() as f64
+    }
+
+    /// Total flops over ranks.
+    pub fn total_flops(stats: &[RankStats]) -> u64 {
+        stats.iter().map(|s| s.flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_distinct() {
+        let mut seen = [false; NUM_PHASES];
+        for p in Phase::all() {
+            assert!(!seen[p.index()], "duplicate index for {p:?}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let board = StatsBoard::new(2);
+        board.rank(0).record_send(100, Phase::InputA);
+        board.rank(0).record_send(50, Phase::InputA);
+        board.rank(1).record_recv(150, Phase::InputB);
+        board.rank(0).record_flops(1000);
+        let snap = board.snapshot();
+        assert_eq!(snap[0].words_sent[Phase::InputA.index()], 150);
+        assert_eq!(snap[0].msgs_sent, 2);
+        assert_eq!(snap[1].words_recv[Phase::InputB.index()], 150);
+        assert_eq!(snap[1].msgs_recv, 1);
+        assert_eq!(snap[0].flops, 1000);
+        assert_eq!(snap[0].total_sent(), 150);
+        assert_eq!(snap[1].volume(), 150);
+        assert_eq!(snap[1].recv_in(Phase::InputB), 150);
+        assert_eq!(snap[1].recv_in(Phase::InputA), 0);
+    }
+
+    #[test]
+    fn memory_peak_tracks_high_water_mark() {
+        let board = StatsBoard::new(1);
+        board.rank(0).record_alloc(100);
+        board.rank(0).record_alloc(200);
+        board.rank(0).record_free(250);
+        board.rank(0).record_alloc(100);
+        let snap = board.snapshot();
+        assert_eq!(snap[0].peak_mem_words, 300);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let board = std::sync::Arc::new(StatsBoard::new(1));
+        let threads = 8;
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let b = board.clone();
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        b.rank(0).record_send(1, Phase::Other);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let snap = board.snapshot();
+        assert_eq!(snap[0].words_sent[Phase::Other.index()], 8000);
+        assert_eq!(snap[0].msgs_sent, 8000);
+    }
+
+    #[test]
+    fn aggregates() {
+        let stats = vec![
+            RankStats {
+                words_recv: [10, 0, 0, 0, 0],
+                flops: 5,
+                ..Default::default()
+            },
+            RankStats {
+                words_recv: [0, 30, 0, 0, 0],
+                flops: 7,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(aggregate::max_volume(&stats), 30);
+        assert!((aggregate::mean_volume(&stats) - 20.0).abs() < 1e-12);
+        assert_eq!(aggregate::total_flops(&stats), 12);
+        assert_eq!(aggregate::max_volume(&[]), 0);
+        assert_eq!(aggregate::mean_volume(&[]), 0.0);
+    }
+}

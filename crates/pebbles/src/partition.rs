@@ -1,0 +1,386 @@
+//! `X`-partitions of a CDAG (paper §4).
+//!
+//! An `X`-partition is a series of subcomputations `V_1, …, V_h` that are
+//! pairwise disjoint, cover the compute vertices of the CDAG, have no cyclic
+//! dependencies between one another, and whose dominator and minimum sets
+//! have size at most `X`. The paper's Lemma 2/3 turn the minimum number of
+//! parts `H(X)` into an I/O lower bound.
+//!
+//! Besides the validity checker, this module computes *minimum* dominator-set
+//! sizes exactly via vertex-capacity max-flow (Menger's theorem), which lets
+//! tests certify that the frontier dominator used for MMM bricks (Eq. 5) is
+//! indeed minimal.
+
+use crate::cdag::{Cdag, VertexId};
+
+/// Why a candidate partition is not a valid `X`-partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A vertex appears in two different parts.
+    Overlap(VertexId),
+    /// A compute (non-input) vertex is not covered by any part.
+    Uncovered(VertexId),
+    /// The quotient graph of parts has a cycle involving this part index.
+    CyclicDependency(usize),
+    /// Part `part` has a dominator set larger than `X`.
+    DominatorTooLarge { part: usize, size: usize },
+    /// Part `part` has a minimum set larger than `X`.
+    MinimumSetTooLarge { part: usize, size: usize },
+}
+
+/// Validate that `parts` forms an `X`-partition of `graph`.
+///
+/// Cover is required for all *compute* vertices (vertices with parents);
+/// inputs may appear in parts but do not have to (the paper's MMM partitions
+/// consist of `C` vertices only). Dominator sizes are measured with the
+/// exact minimum dominator (max-flow), matching the definition.
+pub fn validate_x_partition(graph: &Cdag, parts: &[Vec<VertexId>], x: usize) -> Result<(), PartitionError> {
+    let n = graph.len();
+    // Disjointness + cover.
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    for (pi, part) in parts.iter().enumerate() {
+        for &v in part {
+            let slot = &mut owner[v as usize];
+            if slot.is_some() {
+                return Err(PartitionError::Overlap(v));
+            }
+            *slot = Some(pi);
+        }
+    }
+    for v in 0..n as VertexId {
+        if !graph.preds(v).is_empty() && owner[v as usize].is_none() {
+            return Err(PartitionError::Uncovered(v));
+        }
+    }
+    // Acyclicity of the quotient graph.
+    let h = parts.len();
+    let mut indeg = vec![0usize; h];
+    let mut qsuccs: Vec<Vec<usize>> = vec![Vec::new(); h];
+    for v in 0..n as VertexId {
+        let Some(pv) = owner[v as usize] else { continue };
+        for &w in graph.succs(v) {
+            if let Some(pw) = owner[w as usize] {
+                if pv != pw && !qsuccs[pv].contains(&pw) {
+                    qsuccs[pv].push(pw);
+                    indeg[pw] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..h).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        seen += 1;
+        for &j in &qsuccs[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if seen != h {
+        let bad = (0..h).find(|&i| indeg[i] > 0).expect("cycle must leave positive indegree");
+        return Err(PartitionError::CyclicDependency(bad));
+    }
+    // Dominator and minimum set sizes.
+    for (pi, part) in parts.iter().enumerate() {
+        let dom = min_dominator_size(graph, part);
+        if dom > x {
+            return Err(PartitionError::DominatorTooLarge { part: pi, size: dom });
+        }
+        let min = graph.minimum_set(part).len();
+        if min > x {
+            return Err(PartitionError::MinimumSetTooLarge { part: pi, size: min });
+        }
+    }
+    Ok(())
+}
+
+/// Exact minimum *external* dominator-set size of `targets` in `graph`.
+///
+/// The dominator set models the data that must enter fast memory before the
+/// subcomputation `V_i` runs (Hong & Kung's counting argument), so its
+/// members must be vertices *outside* `V_i` — with the exception of CDAG
+/// inputs contained in `V_i`, which must be loaded and hence dominate
+/// themselves. Under this definition the MMM bricks of §5.1 have minimal
+/// dominator `α_r ∪ β_r ∪ Γ_r` exactly (Eq. 5).
+///
+/// By Menger's theorem the size equals the maximum number of vertex-disjoint
+/// paths from the CDAG inputs to the target set, computed as max-flow on the
+/// vertex-split graph: every cuttable vertex becomes an `in → out` arc of
+/// capacity 1 (capacity ∞ for non-input target vertices, which may not be
+/// cut); every CDAG edge `u → v` becomes `u_out → v_in` with capacity ∞; a
+/// super source feeds every input's `in` node and every target's `out` node
+/// drains to a super sink.
+pub fn min_dominator_size(graph: &Cdag, targets: &[VertexId]) -> usize {
+    if targets.is_empty() {
+        return 0;
+    }
+    let n = graph.len();
+    let mut in_target = vec![false; n];
+    for &t in targets {
+        in_target[t as usize] = true;
+    }
+    // Node numbering: v_in = 2v, v_out = 2v+1, source = 2n, sink = 2n+1.
+    let source = 2 * n;
+    let sink = 2 * n + 1;
+    let mut flow = MaxFlow::new(2 * n + 2);
+    const INF: i64 = i64::MAX / 4;
+    for v in 0..n {
+        let cuttable = !in_target[v] || graph.preds(v as VertexId).is_empty();
+        flow.add_edge(2 * v, 2 * v + 1, if cuttable { 1 } else { INF });
+        for &w in graph.succs(v as VertexId) {
+            flow.add_edge(2 * v + 1, 2 * (w as usize), INF);
+        }
+    }
+    for v in graph.inputs() {
+        flow.add_edge(source, 2 * (v as usize), INF);
+    }
+    for &t in targets {
+        flow.add_edge(2 * (t as usize) + 1, sink, INF);
+    }
+    flow.max_flow(source, sink) as usize
+}
+
+/// Dinic max-flow on a small graph (unit vertex capacities dominate, so the
+/// classic `O(E·√V)` bound applies; our graphs have a few hundred vertices).
+struct MaxFlow {
+    // Edge list: to, capacity; paired edges i ^ 1 are reverse edges.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    head: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl MaxFlow {
+    fn new(n: usize) -> Self {
+        MaxFlow {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, c: i64) {
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(c);
+        self.head[u].push(e);
+        self.to.push(u);
+        self.cap.push(0);
+        self.head[v].push(e + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.fill(-1);
+        self.level[s] = 0;
+        let mut queue = vec![s];
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &e in &self.head[u] {
+                let v = self.to[e];
+                if self.cap[e] > 0 && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    queue.push(v);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: i64) -> i64 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.head[u].len() {
+            let e = self.head[u][self.iter[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && self.level[v] == self.level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut total = 0;
+        while self.bfs(s, t) {
+            self.iter.fill(0);
+            loop {
+                let f = self.dfs(s, t, i64::MAX / 4);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmm::MmmCdag;
+
+    fn diamond() -> Cdag {
+        let mut g = Cdag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn min_dominator_of_diamond_sink_is_one() {
+        // Everything funnels through vertex 0, so one blocker suffices.
+        let g = diamond();
+        assert_eq!(min_dominator_size(&g, &[3]), 1);
+        assert_eq!(min_dominator_size(&g, &[1, 2]), 1);
+        assert_eq!(min_dominator_size(&g, &[0]), 1);
+        assert_eq!(min_dominator_size(&g, &[]), 0);
+    }
+
+    #[test]
+    fn min_dominator_two_independent_paths() {
+        // Two parallel chains: 0->2, 1->3; dominating both ends needs 2.
+        let mut g = Cdag::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        assert_eq!(min_dominator_size(&g, &[2, 3]), 2);
+        assert_eq!(min_dominator_size(&g, &[2]), 1);
+    }
+
+    #[test]
+    fn min_dominator_matches_frontier_on_mmm_bricks() {
+        // Eq. 5: for MMM bricks the minimal dominator is α ∪ β ∪ Γ.
+        let g = MmmCdag::new(3, 3, 3);
+        for (t1, t2, t3) in [
+            (vec![0, 1], vec![1, 2], vec![1, 2]),
+            (vec![0], vec![0, 1, 2], vec![0]),
+            (vec![0, 1, 2], vec![0, 1, 2], vec![2]),
+        ] {
+            let brick = g.brick(&t1, &t2, &t3);
+            let frontier = g.graph().frontier_dominators(&brick);
+            assert_eq!(
+                min_dominator_size(g.graph(), &brick),
+                frontier.len(),
+                "brick {t1:?} x {t2:?} x {t3:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_tree_min_dominator_is_cut_width() {
+        let g = Cdag::reduction_tree(8);
+        let root = g.outputs()[0];
+        // The cheapest external cut for the root is its two children.
+        assert_eq!(min_dominator_size(&g, &[root]), 2);
+        // Dominating all 4 level-1 sums (ids 8..12 for 8 leaves) requires
+        // cutting all 8 leaves: the sums themselves are not external.
+        let level1: Vec<VertexId> = vec![8, 9, 10, 11];
+        assert_eq!(min_dominator_size(&g, &level1), 8);
+        // If the part includes the root, its children become internal and the
+        // cut moves further up: still the 8 leaves... but cutting the two
+        // level-2 sums' own children (the 4 level-1 sums) is cheaper when
+        // they are external. Root + level-2 sums: cut = 4 level-1 sums.
+        assert_eq!(min_dominator_size(&g, &[12, 13, root]), 4);
+    }
+
+    #[test]
+    fn valid_partition_of_path() {
+        let g = Cdag::path(5);
+        let parts = vec![vec![1, 2], vec![3, 4]];
+        assert_eq!(validate_x_partition(&g, &parts, 2), Ok(()));
+    }
+
+    #[test]
+    fn partition_overlap_detected() {
+        let g = Cdag::path(4);
+        let parts = vec![vec![1, 2], vec![2, 3]];
+        assert_eq!(validate_x_partition(&g, &parts, 4), Err(PartitionError::Overlap(2)));
+    }
+
+    #[test]
+    fn partition_uncovered_detected() {
+        let g = Cdag::path(4);
+        let parts = vec![vec![1, 2]];
+        assert_eq!(validate_x_partition(&g, &parts, 4), Err(PartitionError::Uncovered(3)));
+    }
+
+    #[test]
+    fn partition_cycle_detected() {
+        // 0 -> 1 -> 2 -> 3 and 1 -> 4, 4 -> 3.
+        // Parts {1, 3} and {2, 4} depend on each other cyclically.
+        let mut g = Cdag::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 4);
+        g.add_edge(4, 3);
+        let parts = vec![vec![1, 3], vec![2, 4]];
+        assert!(matches!(
+            validate_x_partition(&g, &parts, 5),
+            Err(PartitionError::CyclicDependency(_))
+        ));
+    }
+
+    #[test]
+    fn partition_dominator_size_enforced() {
+        let g = Cdag::reduction_tree(4);
+        // The whole internal layer {4, 5, 6}: external dominator = 4 leaves.
+        let parts = vec![vec![4, 5, 6]];
+        assert_eq!(validate_x_partition(&g, &parts, 4), Ok(()));
+        assert_eq!(
+            validate_x_partition(&g, &parts, 3),
+            Err(PartitionError::DominatorTooLarge { part: 0, size: 4 })
+        );
+    }
+
+    #[test]
+    fn partition_minimum_set_enforced() {
+        // One input fans out to two independent sinks: the dominator is tiny
+        // ({0}) but the minimum set is both sinks.
+        let mut g = Cdag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let parts = vec![vec![1, 2]];
+        assert_eq!(
+            validate_x_partition(&g, &parts, 1),
+            Err(PartitionError::MinimumSetTooLarge { part: 0, size: 2 })
+        );
+        assert_eq!(validate_x_partition(&g, &parts, 2), Ok(()));
+    }
+
+    #[test]
+    fn mmm_x_partition_from_bricks_is_valid() {
+        // Partition the 2x2x2 MMM CDAG's C vertices into two k-slabs;
+        // each slab is a valid subcomputation with dominator 4 + 4 + 4.
+        let g = MmmCdag::new(2, 2, 2);
+        let slab0 = g.brick(&[0, 1], &[0, 1], &[0]);
+        let slab1 = g.brick(&[0, 1], &[0, 1], &[1]);
+        // slab0 dominator: α(2x1)+β(1x2)... for 2x2: α = 2, β = 2, Γ = 0 -> 4.
+        // slab1 dominator: α 2, β 2, Γ 4 -> 8.
+        let parts = vec![slab0, slab1];
+        assert_eq!(validate_x_partition(g.graph(), &parts, 8), Ok(()));
+        assert!(matches!(
+            validate_x_partition(g.graph(), &parts, 7),
+            Err(PartitionError::DominatorTooLarge { part: 1, size: 8 })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! Communication planner / advisor: for a given `m n k p S`, print each
+//! algorithm's decomposition, per-rank traffic and modeled time, and pick a
+//! winner — the "no hand tuning" promise of the paper as a tool.
+//!
+//! Run with: `cargo run --release --example comm_planner -- 4096 4096 4096 512 1000000`
+//! (arguments optional; defaults shown).
+
+use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
+use cosma::problem::MmmProblem;
+use mpsim::cost::CostModel;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("arguments must be positive integers: m n k p S"))
+        .collect();
+    let (m, n, k, p, s) = match args.as_slice() {
+        [] => (4096, 4096, 4096, 512, 1_000_000),
+        [m, n, k, p, s] => (*m, *n, *k, *p, *s),
+        _ => {
+            eprintln!("usage: comm_planner [m n k p S]");
+            std::process::exit(2);
+        }
+    };
+    let prob = MmmProblem::new(m, n, k, p, s);
+    let model = CostModel::piz_daint_two_sided();
+    println!(
+        "C = A·B with m={m} n={n} k={k} on p={p} ranks, S={s} words/rank (shape: {:?})\n",
+        prob.shape()
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>10}  decomposition",
+        "algorithm", "mean MB/rank", "max MB/rank", "time (ms)", "% peak"
+    );
+
+    let mut results: Vec<(String, f64, String)> = Vec::new();
+    let mut show = |name: &str, plan: Option<cosma::plan::DistPlan>, note: &str| {
+        match plan {
+            Some(pl) => {
+                let rep = pl.simulate(&model, true);
+                println!(
+                    "{:<10} {:>14.2} {:>14.2} {:>12.2} {:>10.1}  {}x{}x{} {}",
+                    name,
+                    pl.mean_comm_words() * 8.0 / 1e6,
+                    pl.max_comm_words() as f64 * 8.0 / 1e6,
+                    rep.time_s * 1e3,
+                    rep.percent_peak,
+                    pl.grid[0],
+                    pl.grid[1],
+                    pl.grid[2],
+                    note,
+                );
+                results.push((name.to_string(), rep.time_s, note.to_string()));
+            }
+            None => println!("{name:<10} {:>14} — not applicable {note}", "-"),
+        }
+    };
+
+    show(
+        "cosma",
+        cosma_plan(&prob, &CosmaConfig::default(), &model).ok(),
+        "",
+    );
+    show("summa", baselines::summa::plan(&prob).ok(), "(ScaLAPACK-style 2D)");
+    show("cannon", baselines::cannon::plan(&prob).ok(), "(needs square p)");
+    show("p25d", baselines::p25d::plan(&prob).ok(), "(CTF-style)");
+    show("carma", baselines::carma::plan(&prob).ok(), "(needs p = 2^x)");
+
+    if let Some((best, t, _)) = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+    {
+        println!("\nrecommendation: {best} (modeled {:.2} ms)", t * 1e3);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cosma-repro — workspace façade
+//!
+//! Re-exports the crates of the COSMA reproduction so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`pebbles`] — red-blue pebble game, CDAGs, X-partitions, MMM I/O lower
+//!   bounds (paper §2.2, §4, §5).
+//! * [`densemat`] — dense-matrix substrate: storage, GEMM kernels, layouts.
+//! * [`mpsim`] — simulated distributed machine: SPMD executor, collectives,
+//!   traffic counters, α-β-γ cost model (replaces Piz Daint + MPI + mpiP).
+//! * [`cosma`] — the paper's contribution: near-communication-optimal
+//!   distributed matrix multiplication (§3, §6, §7).
+//! * [`baselines`] — ScaLAPACK-style SUMMA, Cannon, 2.5D/3D (CTF-style) and
+//!   CARMA comparison algorithms (§2.4).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use baselines;
+pub use cosma;
+pub use densemat;
+pub use mpsim;
+pub use pebbles;

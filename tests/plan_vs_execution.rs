@@ -1,0 +1,168 @@
+//! The central consistency contract of this reproduction: the *analytic*
+//! plans (which produce the paper-scale numbers in Figures 6–14 and
+//! Table 4) must predict, word for word and rank for rank, the traffic of
+//! the *executed* algorithms as measured by the mpiP-style counters.
+
+use cosma::algorithm::{execute as cosma_execute, plan as cosma_plan, Backend, CosmaConfig};
+use cosma::plan::DistPlan;
+use cosma::problem::MmmProblem;
+use densemat::matrix::Matrix;
+use mpsim::cost::CostModel;
+use mpsim::exec::run_spmd;
+use mpsim::machine::MachineSpec;
+use mpsim::stats::RankStats;
+
+fn assert_traffic_matches(plan: &DistPlan, stats: &[RankStats]) {
+    for (r, st) in stats.iter().enumerate() {
+        assert_eq!(
+            st.total_recv(),
+            plan.ranks[r].comm_words(),
+            "{}: rank {r} received {} planned {}",
+            plan.algo,
+            st.total_recv(),
+            plan.ranks[r].comm_words()
+        );
+        assert_eq!(
+            st.msgs_recv,
+            plan.ranks[r].comm_msgs(),
+            "{}: rank {r} message count",
+            plan.algo
+        );
+    }
+}
+
+fn inputs(prob: &MmmProblem) -> (Matrix, Matrix) {
+    (
+        Matrix::deterministic(prob.m, prob.k, 17),
+        Matrix::deterministic(prob.k, prob.n, 18),
+    )
+}
+
+#[test]
+fn cosma_plan_predicts_execution_exactly() {
+    for &(m, n, k, p, s) in &[
+        (32usize, 32usize, 32usize, 8usize, 1usize << 12),
+        (20, 36, 28, 12, 1 << 11),
+        (16, 16, 128, 16, 700),
+        (96, 64, 16, 9, 1 << 12),
+        (23, 29, 31, 5, 1 << 11),
+    ] {
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let cfg = CosmaConfig::default();
+        let plan = cosma_plan(&prob, &cfg, &CostModel::piz_daint_two_sided()).unwrap();
+        let (a, b) = inputs(&prob);
+        let spec = MachineSpec::piz_daint_with_memory(p, s);
+        let out = run_spmd(&spec, |comm| {
+            cosma_execute(comm, &plan, &cfg, &a, &b);
+        });
+        assert_traffic_matches(&plan, &out.stats);
+    }
+}
+
+#[test]
+fn cosma_one_sided_backend_matches_same_plan() {
+    // §7.4: both backends move exactly the planned words.
+    let prob = MmmProblem::new(24, 24, 48, 8, 1 << 11);
+    let cfg1 = CosmaConfig { delta: 0.03, backend: Backend::OneSided };
+    let plan = cosma_plan(&prob, &cfg1, &CostModel::piz_daint_one_sided()).unwrap();
+    let (a, b) = inputs(&prob);
+    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+    let out = run_spmd(&spec, |comm| {
+        cosma_execute(comm, &plan, &cfg1, &a, &b);
+    });
+    for (r, st) in out.stats.iter().enumerate() {
+        assert_eq!(st.total_recv(), plan.ranks[r].comm_words(), "rank {r} words (RMA)");
+    }
+}
+
+#[test]
+fn summa_plan_predicts_execution_exactly() {
+    for &(m, n, k, p, s) in &[
+        (32usize, 32usize, 32usize, 4usize, 1usize << 12),
+        (40, 24, 56, 6, 1 << 12),
+        (16, 16, 96, 8, 500),
+    ] {
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let plan = baselines::summa::plan(&prob).unwrap();
+        let (a, b) = inputs(&prob);
+        let spec = MachineSpec::piz_daint_with_memory(p, s);
+        let out = run_spmd(&spec, |comm| {
+            baselines::summa::execute(comm, &plan, &a, &b);
+        });
+        assert_traffic_matches(&plan, &out.stats);
+    }
+}
+
+#[test]
+fn cannon_plan_predicts_execution_exactly() {
+    for &(m, n, k, p) in &[(32usize, 32usize, 32usize, 9usize), (25, 30, 35, 25), (18, 20, 22, 4)] {
+        let prob = MmmProblem::new(m, n, k, p, 1 << 13);
+        let plan = baselines::cannon::plan(&prob).unwrap();
+        let (a, b) = inputs(&prob);
+        let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
+        let out = run_spmd(&spec, |comm| {
+            baselines::cannon::execute(comm, &plan, &a, &b);
+        });
+        assert_traffic_matches(&plan, &out.stats);
+    }
+}
+
+#[test]
+fn p25d_plan_predicts_execution_exactly() {
+    for &(m, n, k, p, s) in &[
+        (32usize, 32usize, 32usize, 8usize, 1usize << 13),
+        (24, 24, 96, 27, 1 << 12),
+        (36, 28, 44, 16, 1 << 13),
+    ] {
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let plan = baselines::p25d::plan(&prob).unwrap();
+        let (a, b) = inputs(&prob);
+        let spec = MachineSpec::piz_daint_with_memory(p, s);
+        let out = run_spmd(&spec, |comm| {
+            baselines::p25d::execute(comm, &plan, &a, &b);
+        });
+        assert_traffic_matches(&plan, &out.stats);
+    }
+}
+
+#[test]
+fn carma_plan_predicts_execution_exactly() {
+    for &(m, n, k, p) in &[
+        (32usize, 32usize, 32usize, 8usize),
+        (12, 12, 384, 16),
+        (128, 16, 16, 8),
+        (19, 27, 41, 32),
+    ] {
+        let prob = MmmProblem::new(m, n, k, p, 1 << 13);
+        let plan = baselines::carma::plan(&prob).unwrap();
+        let (a, b) = inputs(&prob);
+        let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
+        let out = run_spmd(&spec, |comm| {
+            baselines::carma::execute(comm, &plan, &a, &b);
+        });
+        assert_traffic_matches(&plan, &out.stats);
+    }
+}
+
+#[test]
+fn planned_memory_is_respected_by_execution() {
+    // The executor's tracked peak allocation stays within the plan's
+    // memory figure plus the input-shard footprint convention.
+    let prob = MmmProblem::new(32, 32, 64, 8, 1 << 11);
+    let cfg = CosmaConfig::default();
+    let plan = cosma_plan(&prob, &cfg, &CostModel::piz_daint_two_sided()).unwrap();
+    plan.validate().unwrap();
+    let (a, b) = inputs(&prob);
+    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+    let out = run_spmd(&spec, |comm| {
+        cosma_execute(comm, &plan, &cfg, &a, &b);
+    });
+    for (r, st) in out.stats.iter().enumerate() {
+        assert!(
+            st.peak_mem_words <= plan.ranks[r].mem_words.max(1) + prob.mem_words as u64,
+            "rank {r} tracked {} vs plan {}",
+            st.peak_mem_words,
+            plan.ranks[r].mem_words
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) over the core invariants:
+//! random problems always yield valid plans; random tile shapes always yield
+//! legal pebble schedules whose measured I/O matches the closed form; random
+//! layouts always round-trip.
+
+use cosma::algorithm::{even_range, plan as cosma_plan, CosmaConfig};
+use cosma::problem::MmmProblem;
+use densemat::layout::{gather, scatter, BlockCyclic, BlockedLayout};
+use densemat::matrix::Matrix;
+use mpsim::cost::CostModel;
+use pebbles::bounds::{theorem1_lower_bound, tiled_io};
+use pebbles::game::validate_complete;
+use pebbles::greedy::{tiled_capacity, tiled_moves};
+use pebbles::mmm::MmmCdag;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn even_range_partitions_exactly(total in 1usize..5000, parts in 1usize..64) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for idx in 0..parts {
+            let r = even_range(total, parts, idx);
+            prop_assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            covered += r.len();
+            // Balanced: sizes differ by at most one.
+            prop_assert!(r.len() >= total / parts);
+            prop_assert!(r.len() <= total.div_ceil(parts));
+        }
+        prop_assert_eq!(covered, total);
+        prop_assert_eq!(prev_end, total);
+    }
+
+    #[test]
+    fn cosma_plans_always_valid(
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 1usize..80,
+        p in 1usize..24,
+        s_extra in 0usize..4000,
+    ) {
+        // Guarantee feasibility: enough memory for a 1x1 tile plus buffers,
+        // scaled up randomly.
+        let s = m * n + 2 * (m + n) + 16 + s_extra;
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let plan = cosma_plan(&prob, &CosmaConfig::default(), &CostModel::piz_daint_two_sided())
+            .expect("feasible problem must plan");
+        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        // Load balance: no active rank does more than ceil-share work by
+        // more than the ceil rounding in each dimension.
+        let total: u64 = plan.ranks.iter().map(|r| r.volume()).sum();
+        prop_assert_eq!(total, prob.volume());
+    }
+
+    #[test]
+    fn carma_plans_cover_space(
+        m in 1usize..64,
+        n in 1usize..64,
+        k in 1usize..64,
+        logp in 0u32..6,
+    ) {
+        let prob = MmmProblem::new(m, n, k, 1 << logp, 1 << 20);
+        let plan = baselines::carma::plan(&prob).unwrap();
+        prop_assert!(plan.validate_coverage().is_ok());
+    }
+
+    #[test]
+    fn summa_plans_cover_space(
+        m in 2usize..64,
+        n in 2usize..64,
+        k in 2usize..64,
+        p in 1usize..17,
+    ) {
+        // SUMMA needs a gm x gn = p grid no finer than the C matrix.
+        prop_assume!(m * n >= p);
+        let prob = MmmProblem::new(m, n, k, p, 1 << 20);
+        match baselines::summa::plan(&prob) {
+            Ok(plan) => prop_assert!(plan.validate().is_ok()),
+            // p may still not factor into gm <= m, gn <= n (e.g. p = 13,
+            // m = 2): a reported infeasibility is acceptable, silence not.
+            Err(e) => prop_assert_eq!(e, baselines::BaselineError::NoFeasibleGrid),
+        }
+    }
+
+    #[test]
+    fn tiled_pebbling_valid_and_io_exact(
+        m in 1usize..10,
+        n in 1usize..10,
+        k in 1usize..8,
+        a in 1usize..5,
+        b in 1usize..5,
+    ) {
+        let g = MmmCdag::new(m, n, k);
+        let moves = tiled_moves(&g, a, b);
+        let io = validate_complete(g.graph(), tiled_capacity(a, b), &moves)
+            .expect("generated schedule must be legal");
+        prop_assert_eq!(io, tiled_io(m, n, k, a, b));
+        prop_assert!(io as f64 >= theorem1_lower_bound(m, n, k, tiled_capacity(a, b)) - (m * n) as f64 - 1.0);
+    }
+
+    #[test]
+    fn block_cyclic_roundtrip(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        rb in 1usize..8,
+        cb in 1usize..8,
+        pr in 1usize..5,
+        pc in 1usize..5,
+    ) {
+        let m = Matrix::deterministic(rows, cols, 99);
+        let bc = BlockCyclic::new(rows, cols, rb, cb, pr, pc);
+        let locals = scatter(&bc, &m);
+        prop_assert_eq!(locals.iter().map(Vec::len).sum::<usize>(), rows * cols);
+        let back = gather(&bc, &locals);
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn blocked_layout_roundtrip(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        gr in 1usize..6,
+        gc in 1usize..6,
+    ) {
+        let m = Matrix::deterministic(rows, cols, 7);
+        let gr = gr.min(rows);
+        let gc = gc.min(cols);
+        let bl = BlockedLayout::even_grid(rows, cols, gr, gc);
+        let back = gather(&bl, &scatter(&bl, &m));
+        prop_assert_eq!(back, m);
+        // Every rank owns a contiguous block whose size is balanced.
+        for r in 0..gr * gc {
+            let (rs, cs) = bl.block_of(r).expect("one block per rank");
+            prop_assert!(rs.len() >= rows / gr && rs.len() <= rows.div_ceil(gr));
+            prop_assert!(cs.len() >= cols / gc && cs.len() <= cols.div_ceil(gc));
+        }
+    }
+
+    #[test]
+    fn gemm_kernels_agree(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        threads in 1usize..5,
+    ) {
+        use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
+        let a = Matrix::deterministic(m, k, 1);
+        let b = Matrix::deterministic(k, n, 2);
+        let mut c0 = Matrix::zeros(m, n);
+        let mut c1 = Matrix::zeros(m, n);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm_naive(&a, &b, &mut c0);
+        gemm_tiled(&a, &b, &mut c1);
+        gemm_parallel(&a, &b, &mut c2, threads);
+        prop_assert!(c0.approx_eq(&c1, 1e-10));
+        prop_assert!(c0.approx_eq(&c2, 1e-10));
+    }
+
+    #[test]
+    fn theorem2_bound_monotone_in_memory(
+        m in 32usize..512,
+        n in 32usize..512,
+        k in 32usize..512,
+        p in 1usize..128,
+    ) {
+        use pebbles::bounds::theorem2_parallel_bound;
+        let lo = theorem2_parallel_bound(m, n, k, p, 1 << 10);
+        let hi = theorem2_parallel_bound(m, n, k, p, 1 << 20);
+        prop_assert!(hi <= lo + 1e-9, "more memory must not raise the bound");
+    }
+}
