@@ -21,25 +21,13 @@ pub fn summa_latency(prob: &MmmProblem) -> f64 {
 /// The replication factor `c = pS/(mk + nk)` of the 2.5D algorithm,
 /// clamped to `[1, p^(1/3)]` like Solomonik & Demmel.
 pub fn p25d_replication(prob: &MmmProblem) -> f64 {
-    let (m, n, k, p, s) = (
-        prob.m as f64,
-        prob.n as f64,
-        prob.k as f64,
-        prob.p as f64,
-        prob.mem_words as f64,
-    );
+    let (m, n, k, p, s) = (prob.m as f64, prob.n as f64, prob.k as f64, prob.p as f64, prob.mem_words as f64);
     (p * s / (m * k + n * k)).clamp(1.0, p.cbrt())
 }
 
 /// Table 3, 2.5D row: `Q = (k(m+n))^(3/2)/(p√S) + mnS/(k(m+n))`.
 pub fn p25d_io(prob: &MmmProblem) -> f64 {
-    let (m, n, k, p, s) = (
-        prob.m as f64,
-        prob.n as f64,
-        prob.k as f64,
-        prob.p as f64,
-        prob.mem_words as f64,
-    );
+    let (m, n, k, p, s) = (prob.m as f64, prob.n as f64, prob.k as f64, prob.p as f64, prob.mem_words as f64);
     (k * (m + n)).powf(1.5) / (p * s.sqrt()) + m * n * s / (k * (m + n))
 }
 
@@ -53,13 +41,7 @@ pub fn p25d_io(prob: &MmmProblem) -> f64 {
 /// limited-memory special case). With extra memory the published arithmetic
 /// min reproduces Table 3's tall-matrix special case (`≈ 3p/4`).
 pub fn carma_io(prob: &MmmProblem) -> f64 {
-    let (m, n, k, p, s) = (
-        prob.m as f64,
-        prob.n as f64,
-        prob.k as f64,
-        prob.p as f64,
-        prob.mem_words as f64,
-    );
+    let (m, n, k, p, s) = (prob.m as f64, prob.n as f64, prob.k as f64, prob.p as f64, prob.mem_words as f64);
     let d = m * n * k / p;
     let bandwidth = 3f64.sqrt() * d / s.sqrt();
     let cubic = d.powf(2.0 / 3.0);
@@ -72,13 +54,7 @@ pub fn carma_io(prob: &MmmProblem) -> f64 {
 
 /// Table 3, recursive row latency: `3^(3/2)·mnk/(p·S^(3/2)) + 3·log2(p)`.
 pub fn carma_latency(prob: &MmmProblem) -> f64 {
-    let (m, n, k, p, s) = (
-        prob.m as f64,
-        prob.n as f64,
-        prob.k as f64,
-        prob.p as f64,
-        prob.mem_words as f64,
-    );
+    let (m, n, k, p, s) = (prob.m as f64, prob.n as f64, prob.k as f64, prob.p as f64, prob.mem_words as f64);
     27f64.sqrt() * m * n * k / (p * s.powf(1.5)) + 3.0 * p.log2()
 }
 
@@ -110,10 +86,7 @@ mod tests {
         let plan = crate::carma::plan(&prob).unwrap();
         let model = carma_io(&prob);
         let measured = plan.max_comm_words() as f64;
-        assert!(
-            measured <= model * 1.5 && measured >= model * 0.2,
-            "measured {measured} vs model {model}"
-        );
+        assert!(measured <= model * 1.5 && measured >= model * 0.2, "measured {measured} vs model {model}");
     }
 
     #[test]

@@ -8,15 +8,15 @@
 //! (ceil/floor) splits the shifted blocks vary slightly in size; the plan
 //! accounts for the exact sizes of the blocks each rank receives.
 
-use cosma::algorithm::even_range;
+use cosma::algorithm::{even_range, CPart};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankRequirement};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use densemat::gemm::gemm_tiled;
 use densemat::matrix::Matrix;
 use mpsim::comm::Comm;
+use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
-
-use crate::BaselineError;
 
 /// The square grid edge for `p` ranks, if `p` is a perfect square.
 pub fn grid_edge(p: usize) -> Option<usize> {
@@ -26,19 +26,20 @@ pub fn grid_edge(p: usize) -> Option<usize> {
 
 /// Build the Cannon [`DistPlan`].
 ///
-/// Fails with [`BaselineError::NotSquare`] unless `p` is a perfect square,
-/// and with [`BaselineError::NoFeasibleGrid`] if the three blocks plus a
+/// Fails with [`PlanError::UnsupportedRanks`] unless `p` is a perfect
+/// square, and with [`PlanError::NoFeasibleGrid`] if the three blocks plus a
 /// double buffer do not fit in `S`.
-pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
-    let q = grid_edge(prob.p).ok_or(BaselineError::NotSquare)?;
+pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
+    RankRequirement::PerfectSquare.check(AlgoId::Cannon, prob.p)?;
+    let q = grid_edge(prob.p).expect("perfect square checked");
     if q > prob.m.min(prob.n).min(prob.k) {
-        return Err(BaselineError::NoFeasibleGrid);
+        return Err(PlanError::NoFeasibleGrid);
     }
     let lm_max = prob.m.div_ceil(q);
     let ln_max = prob.n.div_ceil(q);
     let lk_max = prob.k.div_ceil(q);
     if lm_max * ln_max + 2 * (lm_max * lk_max + lk_max * ln_max) > prob.mem_words {
-        return Err(BaselineError::NoFeasibleGrid);
+        return Err(PlanError::NoFeasibleGrid);
     }
     let mut ranks = Vec::with_capacity(prob.p);
     for rank in 0..prob.p {
@@ -85,7 +86,7 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
         });
     }
     Ok(DistPlan {
-        algo: "cannon",
+        algo: AlgoId::Cannon,
         problem: *prob,
         grid: [q, q, 1],
         ranks,
@@ -93,7 +94,12 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
 }
 
 /// Execute a Cannon plan on the calling rank; returns its C block.
-pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> (std::ops::Range<usize>, std::ops::Range<usize>, Matrix) {
+pub fn execute(
+    comm: &mut Comm,
+    plan: &DistPlan,
+    a: &Matrix,
+    b: &Matrix,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>, Matrix) {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let prob = &plan.problem;
     let q = plan.grid[0];
@@ -150,6 +156,38 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> (std
     (rows, cols, c_local)
 }
 
+/// Cannon's algorithm as an [`MmmAlgorithm`]: requires `p = q²`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CannonAlgorithm;
+
+impl MmmAlgorithm for CannonAlgorithm {
+    fn id(&self) -> AlgoId {
+        AlgoId::Cannon
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn supports(&self, prob: &MmmProblem) -> Result<(), PlanError> {
+        RankRequirement::PerfectSquare.check(AlgoId::Cannon, prob.p)
+    }
+
+    fn plan(&self, prob: &MmmProblem, _machine: &CostModel) -> Result<DistPlan, PlanError> {
+        plan(prob)
+    }
+
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
+        let (rows, cols, c) = execute(comm, plan, a, b);
+        Some(CPart {
+            rows,
+            cols,
+            offset: 0,
+            data: c.into_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,7 +240,14 @@ mod tests {
     #[test]
     fn non_square_p_rejected() {
         let prob = MmmProblem::new(16, 16, 16, 5, 4096);
-        assert_eq!(plan(&prob), Err(BaselineError::NotSquare));
+        assert!(matches!(
+            plan(&prob),
+            Err(PlanError::UnsupportedRanks {
+                algo: AlgoId::Cannon,
+                p: 5,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -229,6 +274,6 @@ mod tests {
     #[test]
     fn memory_infeasible_rejected() {
         let prob = MmmProblem::new(64, 64, 64, 4, 100);
-        assert_eq!(plan(&prob), Err(BaselineError::NoFeasibleGrid));
+        assert_eq!(plan(&prob), Err(PlanError::NoFeasibleGrid));
     }
 }

@@ -25,14 +25,15 @@
 //! real partial C data, so the final product is verified end to end while
 //! every counted message has the true CARMA size.
 
+use cosma::algorithm::CPart;
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankRequirement};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use densemat::gemm::gemm_tiled;
 use densemat::matrix::Matrix;
 use mpsim::comm::Comm;
+use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
-
-use crate::BaselineError;
 
 /// Which dimension a recursion level splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,14 +166,24 @@ fn c_share_after_unwind(tr: &Trace) -> (usize, usize) {
     (off, len)
 }
 
+/// A `(rows, cols, ks)` sub-volume of the iteration space.
+type SubVolume = (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>);
+
+/// Predicate deciding whether a sub-volume's BFS leaf working set fits `S`.
+type FitsFn<'a> =
+    &'a dyn Fn(&std::ops::Range<usize>, &std::ops::Range<usize>, &std::ops::Range<usize>, usize) -> bool;
+
 /// The sub-volumes the DFS prefix produces: real (memory-aware) CARMA takes
 /// sequential steps — the whole machine processes one half after the other —
 /// until a pure-BFS recursion's leaf working set fits in `S`. Each DFS leaf
 /// then pays the full BFS communication, which is how CARMA's limited-memory
 /// re-fetching cost (the `√3` factor of §6.2) arises.
-fn dfs_leaves(prob: &MmmProblem) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>)> {
+fn dfs_leaves(prob: &MmmProblem) -> Vec<SubVolume> {
     let mut out = Vec::new();
-    let fits = |rows: &std::ops::Range<usize>, cols: &std::ops::Range<usize>, ks: &std::ops::Range<usize>, p: usize| {
+    let fits = |rows: &std::ops::Range<usize>,
+                cols: &std::ops::Range<usize>,
+                ks: &std::ops::Range<usize>,
+                p: usize| {
         // Leaf working set of the BFS recursion below: dims shrink by the
         // BFS halvings; compute the actual rank-0 leaf.
         let tr = trace_on(rows.clone(), cols.clone(), ks.clone(), p, 0);
@@ -186,8 +197,8 @@ fn dfs_leaves(prob: &MmmProblem) -> Vec<(std::ops::Range<usize>, std::ops::Range
         ks: std::ops::Range<usize>,
         p: usize,
         depth: usize,
-        fits: &dyn Fn(&std::ops::Range<usize>, &std::ops::Range<usize>, &std::ops::Range<usize>, usize) -> bool,
-        out: &mut Vec<(std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>)>,
+        fits: FitsFn,
+        out: &mut Vec<SubVolume>,
     ) {
         if depth >= 24 || (rows.len().max(cols.len()).max(ks.len()) <= 1) || fits(&rows, &cols, &ks, p) {
             out.push((rows, cols, ks));
@@ -219,14 +230,12 @@ pub fn dfs_leaf_count(prob: &MmmProblem) -> usize {
 
 /// Build the CARMA [`DistPlan`].
 ///
-/// Fails with [`BaselineError::NotPowerOfTwo`] unless `p = 2^L`. When the
+/// Fails with [`PlanError::UnsupportedRanks`] unless `p = 2^L`. When the
 /// pure-BFS leaf working set exceeds `S`, the plan prepends sequential DFS
 /// steps (see [`dfs_leaf_count`]); the executable path only supports the
 /// all-BFS case, which every execution test uses.
-pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
-    if !prob.p.is_power_of_two() {
-        return Err(BaselineError::NotPowerOfTwo);
-    }
+pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
+    RankRequirement::PowerOfTwo.check(AlgoId::Carma, prob.p)?;
     let leaves = dfs_leaves(prob);
     let mut ranks = Vec::with_capacity(prob.p);
     for rank in 0..prob.p {
@@ -239,8 +248,16 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
             for level in &tr.levels {
                 if level.dim != SplitDim::K {
                     rounds.push(Round {
-                        a_words: if level.dim == SplitDim::N { level.down_words } else { 0 },
-                        b_words: if level.dim == SplitDim::M { level.down_words } else { 0 },
+                        a_words: if level.dim == SplitDim::N {
+                            level.down_words
+                        } else {
+                            0
+                        },
+                        b_words: if level.dim == SplitDim::M {
+                            level.down_words
+                        } else {
+                            0
+                        },
                         c_words: 0,
                         msgs: 1,
                         flops: 0,
@@ -285,7 +302,7 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
         });
     }
     Ok(DistPlan {
-        algo: "carma",
+        algo: AlgoId::Carma,
         problem: *prob,
         grid: [prob.p, 1, 1],
         ranks,
@@ -350,7 +367,10 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Carm
                 // The received share merges into this rank's holdings; leaf
                 // operands are re-materialized below, so contents are only
                 // checked for size here.
-                debug_assert_eq!(got.len(), piece_len(flat.len(), group, if upper { idx - hsize } else { idx + hsize }));
+                debug_assert_eq!(
+                    got.len(),
+                    piece_len(flat.len(), group, if upper { idx - hsize } else { idx + hsize })
+                );
                 let _ = got;
             }
             SplitDim::K => {}
@@ -406,7 +426,11 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Carm
         }
         let (g_lo, g, ix) = path[li];
         let hsize = g / 2;
-        let partner = if level.upper { g_lo + ix - hsize } else { g_lo + ix + hsize };
+        let partner = if level.upper {
+            g_lo + ix - hsize
+        } else {
+            g_lo + ix + hsize
+        };
         let lower_len = data.len().div_ceil(2);
         let (keep_rng, send_rng) = if level.upper {
             (lower_len..data.len(), 0..lower_len)
@@ -445,6 +469,42 @@ fn share_offset(len: usize, parts: usize, idx: usize) -> usize {
 
 fn tag(level: usize) -> u64 {
     1000 + 10 * level as u64
+}
+
+/// CARMA as an [`MmmAlgorithm`]: requires `p = 2^L`.
+///
+/// The executable path supports the all-BFS case (leaf working sets within
+/// `S`); memory-starved plans gain sequential DFS steps and are analysed at
+/// plan level only, like the paper's CARMA comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarmaAlgorithm;
+
+impl MmmAlgorithm for CarmaAlgorithm {
+    fn id(&self) -> AlgoId {
+        AlgoId::Carma
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn supports(&self, prob: &MmmProblem) -> Result<(), PlanError> {
+        RankRequirement::PowerOfTwo.check(AlgoId::Carma, prob.p)
+    }
+
+    fn plan(&self, prob: &MmmProblem, _machine: &CostModel) -> Result<DistPlan, PlanError> {
+        plan(prob)
+    }
+
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
+        let res = execute(comm, plan, a, b);
+        Some(CPart {
+            rows: res.rows,
+            cols: res.cols,
+            offset: res.offset,
+            data: res.data,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -519,7 +579,14 @@ mod tests {
     #[test]
     fn non_power_of_two_rejected() {
         let prob = MmmProblem::new(16, 16, 16, 6, 1 << 12);
-        assert_eq!(plan(&prob), Err(BaselineError::NotPowerOfTwo));
+        assert!(matches!(
+            plan(&prob),
+            Err(PlanError::UnsupportedRanks {
+                algo: AlgoId::Carma,
+                p: 6,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -17,34 +17,64 @@
 //!   largest dimension, `p` a power of two; memory-oblivious and
 //!   asymptotically optimal, but up to `√3` off in constants (§6.2).
 //!
-//! Each module provides `plan()` (exact per-rank traffic) and `execute()`
-//! (real messages on `mpsim`); integration tests assert the two agree.
+//! Every algorithm implements [`cosma::api::MmmAlgorithm`] —
+//! [`SummaAlgorithm`], [`CannonAlgorithm`], [`P25dAlgorithm`],
+//! [`CarmaAlgorithm`] — and [`registry`] returns the full five-algorithm
+//! [`AlgorithmRegistry`] (COSMA included) that the bench harness, the
+//! examples and the conformance tests consume. Planning failures and
+//! rank-count constraints are reported through the unified
+//! [`cosma::api::PlanError`] (the former `BaselineError` is gone).
 
+use cosma::api::AlgorithmRegistry;
+
+pub mod analysis;
 pub mod cannon;
 pub mod carma;
 pub mod p25d;
 pub mod summa;
-pub mod analysis;
 
-/// Errors the baseline planners can report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BaselineError {
-    /// Cannon requires a perfect-square rank count.
-    NotSquare,
-    /// CARMA requires a power-of-two rank count.
-    NotPowerOfTwo,
-    /// No feasible decomposition fits the per-rank memory.
-    NoFeasibleGrid,
+pub use cannon::CannonAlgorithm;
+pub use carma::CarmaAlgorithm;
+pub use p25d::P25dAlgorithm;
+pub use summa::SummaAlgorithm;
+
+/// The full algorithm registry of the paper's evaluation: COSMA plus the
+/// four baselines, each with its default configuration.
+///
+/// ```
+/// use cosma::api::AlgoId;
+/// let reg = baselines::registry();
+/// assert_eq!(reg.ids().len(), 5);
+/// assert!(reg.by_id(AlgoId::Carma).is_ok());
+/// ```
+pub fn registry() -> AlgorithmRegistry {
+    let mut r = AlgorithmRegistry::core();
+    r.register(SummaAlgorithm);
+    r.register(CannonAlgorithm);
+    r.register(P25dAlgorithm::default());
+    r.register(CarmaAlgorithm);
+    r
 }
 
-impl std::fmt::Display for BaselineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BaselineError::NotSquare => write!(f, "algorithm requires a perfect-square rank count"),
-            BaselineError::NotPowerOfTwo => write!(f, "algorithm requires a power-of-two rank count"),
-            BaselineError::NoFeasibleGrid => write!(f, "no feasible decomposition fits per-rank memory"),
+#[cfg(test)]
+mod tests {
+    use cosma::api::AlgoId;
+
+    #[test]
+    fn registry_contains_all_five() {
+        let reg = super::registry();
+        let ids = reg.ids();
+        for id in AlgoId::ALL {
+            assert!(ids.contains(&id), "{id} missing from registry");
+        }
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn registry_ids_match_instances() {
+        for algo in super::registry().all() {
+            let by_id = super::registry().by_id(algo.id()).unwrap();
+            assert_eq!(by_id.id(), algo.id());
         }
     }
 }
-
-impl std::error::Error for BaselineError {}

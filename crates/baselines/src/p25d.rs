@@ -13,7 +13,8 @@
 //! modeled-time optimum — which, as the paper observes (§1, §9), may still
 //! be far from the optimal decomposition for non-square problems.
 
-use cosma::algorithm::even_range;
+use cosma::algorithm::{even_range, CPart};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use cosma::treecount;
@@ -23,8 +24,6 @@ use mpsim::collectives::{bcast, reduce_sum};
 use mpsim::comm::Comm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
-
-use crate::BaselineError;
 
 /// The chosen 2.5D geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +61,7 @@ impl Geometry25 {
 }
 
 /// Search the feasible `(q, c)` pairs for the modeled-time optimum.
-pub fn choose_geometry(prob: &MmmProblem) -> Result<Geometry25, BaselineError> {
+pub fn choose_geometry(prob: &MmmProblem) -> Result<Geometry25, PlanError> {
     // The selection metric uses Piz-Daint-like constants; only the *ratio*
     // of compute to bandwidth matters for the choice.
     let model = CostModel::piz_daint_two_sided();
@@ -98,16 +97,16 @@ pub fn choose_geometry(prob: &MmmProblem) -> Result<Geometry25, BaselineError> {
             let msgs = 2 * geo.steps() as u64 + 3;
             let flops = 2 * (lm * ln) as u64 * (lk * geo.steps()) as u64;
             let score = model.compute_time(flops) + model.comm_time(comm, msgs);
-            if best.map_or(true, |(s, _)| score < s) {
+            if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, geo));
             }
         }
     }
-    best.map(|(_, g)| g).ok_or(BaselineError::NoFeasibleGrid)
+    best.map(|(_, g)| g).ok_or(PlanError::NoFeasibleGrid)
 }
 
 /// Build the 2.5D [`DistPlan`] with the automatically chosen geometry.
-pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
+pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
     plan_with_geometry(prob, choose_geometry(prob)?)
 }
 
@@ -117,9 +116,9 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
 ///
 /// # Panics
 /// Panics if the geometry does not satisfy `q²c ≤ p` and `c | q`.
-pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan, BaselineError> {
+pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan, PlanError> {
     assert!(geo.used() <= prob.p, "geometry exceeds rank count");
-    assert!(geo.c >= 1 && geo.q % geo.c == 0, "c must divide q");
+    assert!(geo.c >= 1 && geo.q.is_multiple_of(geo.c), "c must divide q");
     let (q, c, step) = (geo.q, geo.c, geo.steps());
     let mut ranks = Vec::with_capacity(prob.p);
     for rank in 0..prob.p {
@@ -137,7 +136,11 @@ pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan
         let mut bricks = Vec::with_capacity(step);
         // Replication of layer 0's blocks along the k-fiber.
         if c > 1 {
-            let recv = if l == 0 { 0 } else { (lm * own_lk_j + own_lk_i * ln) as u64 };
+            let recv = if l == 0 {
+                0
+            } else {
+                (lm * own_lk_j + own_lk_i * ln) as u64
+            };
             rounds.push(Round {
                 a_words: if l == 0 { 0 } else { (lm * own_lk_j) as u64 },
                 b_words: if l == 0 { 0 } else { (own_lk_i * ln) as u64 },
@@ -197,7 +200,7 @@ pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan
         });
     }
     Ok(DistPlan {
-        algo: "p25d",
+        algo: AlgoId::P25d,
         problem: *prob,
         grid: [q, q, c],
         ranks,
@@ -206,7 +209,12 @@ pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan
 
 /// Execute a 2.5D plan on the calling rank. Layer-0 ranks return their C
 /// block; others (and idle ranks) return `None`.
-pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>, Matrix)> {
+pub fn execute(
+    comm: &mut Comm,
+    plan: &DistPlan,
+    a: &Matrix,
+    b: &Matrix,
+) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>, Matrix)> {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let prob = &plan.problem;
     let geo = Geometry25 {
@@ -292,6 +300,60 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Opti
     Some((rows, cols, c_local))
 }
 
+/// The 2.5D decomposition as an [`MmmAlgorithm`].
+///
+/// By default the `(q, c)` geometry is auto-tuned like CTF; a forced
+/// geometry (used by the Figure 3 experiment to measure the naive top-down
+/// 3D split `c = q` under identical accounting) can be injected with
+/// [`P25dAlgorithm::with_geometry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct P25dAlgorithm {
+    /// Forced geometry; `None` auto-tunes.
+    pub geometry: Option<Geometry25>,
+}
+
+impl P25dAlgorithm {
+    /// A 2.5D instance with a pinned `(q, c)` geometry.
+    pub fn with_geometry(geo: Geometry25) -> Self {
+        P25dAlgorithm { geometry: Some(geo) }
+    }
+}
+
+impl MmmAlgorithm for P25dAlgorithm {
+    fn id(&self) -> AlgoId {
+        AlgoId::P25d
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn plan(&self, prob: &MmmProblem, _machine: &CostModel) -> Result<DistPlan, PlanError> {
+        match self.geometry {
+            None => plan(prob),
+            Some(geo) => {
+                if geo.q == 0 || geo.c == 0 || geo.used() > prob.p || geo.q % geo.c != 0 {
+                    return Err(PlanError::InvalidConfig {
+                        algo: AlgoId::P25d,
+                        reason: "forced geometry needs q ≥ 1, q²c ≤ p and c | q",
+                    });
+                }
+                plan_with_geometry(prob, geo)
+            }
+        }
+    }
+
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
+        let (rows, cols, c) = execute(comm, plan, a, b)?;
+        Some(CPart {
+            rows,
+            cols,
+            offset: 0,
+            data: c.into_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,7 +427,7 @@ mod tests {
         // For fixed (i, j), the layers' alignment positions partition 0..q.
         let geo = Geometry25 { q: 6, c: 2 };
         let (i, j) = (2, 3);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for l in 0..geo.c {
             for s in 0..geo.steps() {
                 let t = (i + j + l * geo.steps() + s) % geo.q;
@@ -377,8 +439,31 @@ mod tests {
     }
 
     #[test]
+    fn forced_degenerate_geometry_is_an_error_not_a_panic() {
+        use cosma::api::{MmmAlgorithm, PlanError};
+        let prob = MmmProblem::new(16, 16, 16, 8, 1 << 14);
+        let model = mpsim::cost::CostModel::piz_daint_two_sided();
+        for geo in [
+            Geometry25 { q: 0, c: 1 },
+            Geometry25 { q: 4, c: 3 },
+            Geometry25 { q: 4, c: 1 },
+        ] {
+            let algo = P25dAlgorithm::with_geometry(geo);
+            if geo.q == 4 && geo.c == 1 {
+                continue; // q²c = 16 > p = 8 is covered below
+            }
+            assert!(
+                matches!(algo.plan(&prob, &model), Err(PlanError::InvalidConfig { .. })),
+                "{geo:?} must be rejected"
+            );
+        }
+        let too_big = P25dAlgorithm::with_geometry(Geometry25 { q: 4, c: 1 });
+        assert!(matches!(too_big.plan(&prob, &model), Err(PlanError::InvalidConfig { .. })));
+    }
+
+    #[test]
     fn infeasible_memory_reported() {
         let prob = MmmProblem::new(1000, 1000, 1000, 4, 50);
-        assert_eq!(plan(&prob), Err(BaselineError::NoFeasibleGrid));
+        assert_eq!(plan(&prob), Err(PlanError::NoFeasibleGrid));
     }
 }

@@ -14,7 +14,8 @@
 //! among all factor pairs `g_m · g_n = p` we pick the one minimizing modeled
 //! communication, subject to the C tile + panel buffers fitting in `S`.
 
-use cosma::algorithm::even_range;
+use cosma::algorithm::{even_range, CPart};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use cosma::treecount;
@@ -23,9 +24,8 @@ use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
 use mpsim::collectives::bcast;
 use mpsim::comm::Comm;
+use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
-
-use crate::BaselineError;
 
 /// A 2D grid choice for SUMMA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +56,7 @@ impl Grid2 {
 
 /// Pick the best 2D grid: all `p` ranks, minimal modeled traffic, memory
 /// feasible.
-pub fn choose_grid(prob: &MmmProblem) -> Result<Grid2, BaselineError> {
+pub fn choose_grid(prob: &MmmProblem) -> Result<Grid2, PlanError> {
     let mut best: Option<(u128, Grid2)> = None;
     for gm in cosma::grid::divisors(prob.p) {
         let gn = prob.p / gm;
@@ -72,11 +72,11 @@ pub fn choose_grid(prob: &MmmProblem) -> Result<Grid2, BaselineError> {
         // Received words: all of A[rows, .] and B[., cols] except own slices.
         let cost = (lm as u128) * (prob.k as u128) * (gn as u128 - 1) / gn as u128
             + (ln as u128) * (prob.k as u128) * (gm as u128 - 1) / gm as u128;
-        if best.map_or(true, |(c, _)| cost < c) {
+        if best.is_none_or(|(c, _)| cost < c) {
             best = Some((cost, Grid2 { gm, gn }));
         }
     }
-    best.map(|(_, g)| g).ok_or(BaselineError::NoFeasibleGrid)
+    best.map(|(_, g)| g).ok_or(PlanError::NoFeasibleGrid)
 }
 
 /// Panel boundaries along k: ownership cuts (both A's `g_n`-split and B's
@@ -118,7 +118,10 @@ fn k_owner(k: usize, parts: usize, t: usize) -> usize {
 }
 
 /// Build the SUMMA [`DistPlan`].
-pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
+///
+/// Prefer [`SummaAlgorithm`] through the registry; this free function is the
+/// implementation it calls.
+pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
     let grid = choose_grid(prob)?;
     let lm_max = prob.m.div_ceil(grid.gm);
     let ln_max = prob.n.div_ceil(grid.gn);
@@ -132,7 +135,7 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
         let (lm, ln) = (rows.len(), cols.len());
         // Group panels into at most MAX_PLAN_ROUNDS buckets at paper scale
         // (totals exact, pipeline granularity coarsened).
-        let buckets = panel_list.len().min(cosma::algorithm::MAX_PLAN_ROUNDS).max(1);
+        let buckets = panel_list.len().clamp(1, cosma::algorithm::MAX_PLAN_ROUNDS);
         let per_bucket = panel_list.len().div_ceil(buckets);
         let mut rounds = Vec::with_capacity(buckets);
         for chunk in panel_list.chunks(per_bucket) {
@@ -168,7 +171,7 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, BaselineError> {
         });
     }
     Ok(DistPlan {
-        algo: "summa",
+        algo: AlgoId::Summa,
         problem: *prob,
         grid: [grid.gm, grid.gn, 1],
         ranks,
@@ -180,7 +183,12 @@ fn rel(pos: usize, root: usize, g: usize) -> usize {
 }
 
 /// Execute a SUMMA plan on the calling rank; returns its C block.
-pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> (std::ops::Range<usize>, std::ops::Range<usize>, Matrix) {
+pub fn execute(
+    comm: &mut Comm,
+    plan: &DistPlan,
+    a: &Matrix,
+    b: &Matrix,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>, Matrix) {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let prob = &plan.problem;
     let grid = Grid2 {
@@ -220,6 +228,35 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> (std
         comm.record_flops(2 * (lm * ln * w) as u64);
     }
     (rows, cols, c_local)
+}
+
+/// SUMMA as an [`MmmAlgorithm`]: no configuration — the 2D grid is
+/// auto-tuned like the paper's hand-tuned ScaLAPACK.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaAlgorithm;
+
+impl MmmAlgorithm for SummaAlgorithm {
+    fn id(&self) -> AlgoId {
+        AlgoId::Summa
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn plan(&self, prob: &MmmProblem, _machine: &CostModel) -> Result<DistPlan, PlanError> {
+        plan(prob)
+    }
+
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
+        let (rows, cols, c) = execute(comm, plan, a, b);
+        Some(CPart {
+            rows,
+            cols,
+            offset: 0,
+            data: c.into_vec(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -305,15 +342,12 @@ mod tests {
         let dplan = plan(&prob).unwrap();
         let expect = 2.0 * 256.0 * 256.0 / 4.0 * (3.0 / 4.0);
         let got = dplan.max_comm_words() as f64;
-        assert!(
-            (got / expect - 1.0).abs() < 0.1,
-            "volume {got} vs 2D model {expect}"
-        );
+        assert!((got / expect - 1.0).abs() < 0.1, "volume {got} vs 2D model {expect}");
     }
 
     #[test]
     fn infeasible_memory_is_reported() {
         let prob = MmmProblem::new(1000, 1000, 10, 2, 100);
-        assert_eq!(plan(&prob), Err(BaselineError::NoFeasibleGrid));
+        assert_eq!(plan(&prob), Err(PlanError::NoFeasibleGrid));
     }
 }

@@ -1,17 +1,19 @@
-//! End-to-end executed multiplications on the threaded simulator: COSMA
-//! (both backends) against the baselines at a fixed small scale, plus the
-//! plan-predicted-vs-executed ablation (the two paths must cost the same
-//! words; this measures their wall-clock difference).
+//! End-to-end executed multiplications on the threaded simulator: every
+//! registry algorithm at a fixed small scale, COSMA under both §7.4
+//! backends, all driven through the [`MmmAlgorithm`] trait — plus the
+//! plan-predicted-vs-executed ablation (planning alone, and the cost-model
+//! analysis of a plan, against the threaded execution above).
 
-use cosma::algorithm::{execute as cosma_execute, plan as cosma_plan, Backend, CosmaConfig};
+use bench::micro::Group;
+use cosma::algorithm::Backend;
+use cosma::api::{execute_boxed, AlgoId, CosmaAlgorithm, MmmAlgorithm};
 use cosma::problem::MmmProblem;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cosma::CosmaConfig;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
 use mpsim::machine::MachineSpec;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let (m, n, k, p, s) = (128usize, 128usize, 128usize, 16usize, 1usize << 13);
     let prob = MmmProblem::new(m, n, k, p, s);
     let model = CostModel::piz_daint_two_sided();
@@ -19,47 +21,24 @@ fn bench_end_to_end(c: &mut Criterion) {
     let b = Matrix::deterministic(k, n, 2);
     let spec = MachineSpec::piz_daint_with_memory(p, s);
 
-    let mut group = c.benchmark_group("executed-128cube-p16");
-    group.sample_size(10);
+    let group = Group::new("executed-128cube-p16");
     for backend in [Backend::TwoSided, Backend::OneSided] {
-        let cfg = CosmaConfig { delta: 0.03, backend };
-        let plan = cosma_plan(&prob, &cfg, &model).unwrap();
-        let name = format!("cosma-{backend:?}");
-        group.bench_function(&name, |bch| {
-            bch.iter(|| run_spmd(&spec, |comm| cosma_execute(comm, &plan, &cfg, &a, &b)))
-        });
+        let algo = CosmaAlgorithm::with_config(CosmaConfig { delta: 0.03, backend });
+        let plan = algo.plan(&prob, &model).unwrap();
+        group.bench(&format!("cosma-{backend:?}"), || algo.execute(&plan, &spec, &a, &b).unwrap());
     }
-    let plan = baselines::summa::plan(&prob).unwrap();
-    group.bench_function("scalapack", |bch| {
-        bch.iter(|| run_spmd(&spec, |comm| baselines::summa::execute(comm, &plan, &a, &b)))
-    });
-    let plan = baselines::cannon::plan(&prob).unwrap();
-    group.bench_function("cannon", |bch| {
-        bch.iter(|| run_spmd(&spec, |comm| baselines::cannon::execute(comm, &plan, &a, &b)))
-    });
-    let plan = baselines::p25d::plan(&prob).unwrap();
-    group.bench_function("ctf", |bch| {
-        bch.iter(|| run_spmd(&spec, |comm| baselines::p25d::execute(comm, &plan, &a, &b)))
-    });
-    let plan = baselines::carma::plan(&prob).unwrap();
-    group.bench_function("carma", |bch| {
-        bch.iter(|| run_spmd(&spec, |comm| baselines::carma::execute(comm, &plan, &a, &b)))
-    });
-    group.finish();
+    let registry = baselines::registry();
+    for id in [AlgoId::Summa, AlgoId::Cannon, AlgoId::P25d, AlgoId::Carma] {
+        let algo = registry.by_id(id).unwrap();
+        let plan = algo.plan(&prob, &model).unwrap();
+        group.bench(id.as_str(), || execute_boxed(algo.as_ref(), &plan, &spec, &a, &b).unwrap());
+    }
 
-    // Ablation: planning alone vs planning + threaded execution.
-    let mut group = c.benchmark_group("plan-vs-execute");
-    group.sample_size(10);
-    let cfg = CosmaConfig::default();
-    group.bench_function("plan-only", |bch| {
-        bch.iter(|| cosma_plan(&prob, &cfg, &model).unwrap())
-    });
-    group.bench_function("plan-analyze", |bch| {
-        let plan = cosma_plan(&prob, &cfg, &model).unwrap();
-        bch.iter(|| plan.simulate(&model, true))
-    });
-    group.finish();
+    // Ablation: planning alone vs cost-model analysis vs the threaded
+    // execution timed above.
+    let group = Group::new("plan-vs-execute");
+    let algo = registry.by_id(AlgoId::Cosma).unwrap();
+    group.bench("plan-only", || algo.plan(&prob, &model).unwrap());
+    let plan = algo.plan(&prob, &model).unwrap();
+    group.bench("plan-analyze", || plan.simulate(&model, true));
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

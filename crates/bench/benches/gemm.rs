@@ -2,57 +2,42 @@
 //! that replace vendor BLAS, across the block shapes the distributed
 //! algorithms actually multiply (square tiles, thin slabs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled, mmm_flops};
+use bench::micro::Group;
+use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
 use densemat::matrix::Matrix;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm-square");
+fn main() {
+    let group = Group::new("gemm-square");
     for &n in &[64usize, 128, 256] {
         let a = Matrix::deterministic(n, n, 1);
         let b = Matrix::deterministic(n, n, 2);
-        group.throughput(Throughput::Elements(mmm_flops(n, n, n)));
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut cmat = Matrix::zeros(n, n);
-                gemm_naive(&a, &b, &mut cmat);
-                cmat
-            })
+        group.bench(&format!("naive/{n}"), || {
+            let mut cmat = Matrix::zeros(n, n);
+            gemm_naive(&a, &b, &mut cmat);
+            cmat
         });
-        group.bench_with_input(BenchmarkId::new("tiled", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut cmat = Matrix::zeros(n, n);
-                gemm_tiled(&a, &b, &mut cmat);
-                cmat
-            })
+        group.bench(&format!("tiled/{n}"), || {
+            let mut cmat = Matrix::zeros(n, n);
+            gemm_tiled(&a, &b, &mut cmat);
+            cmat
         });
-        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut cmat = Matrix::zeros(n, n);
-                gemm_parallel(&a, &b, &mut cmat, 4);
-                cmat
-            })
+        group.bench(&format!("parallel4/{n}"), || {
+            let mut cmat = Matrix::zeros(n, n);
+            gemm_parallel(&a, &b, &mut cmat, 4);
+            cmat
         });
     }
-    group.finish();
 
     // COSMA's actual local shape: a C tile times a thin k-slab.
-    let mut group = c.benchmark_group("gemm-slab");
+    let group = Group::new("gemm-slab");
     for &s in &[8usize, 32, 128] {
         let (mn, k) = (256, s);
         let a = Matrix::deterministic(mn, k, 3);
         let b = Matrix::deterministic(k, mn, 4);
-        group.throughput(Throughput::Elements(mmm_flops(mn, mn, k)));
-        group.bench_with_input(BenchmarkId::new("tiled", s), &s, |bch, _| {
-            bch.iter(|| {
-                let mut cmat = Matrix::zeros(mn, mn);
-                gemm_tiled(&a, &b, &mut cmat);
-                cmat
-            })
+        group.bench(&format!("tiled/{s}"), || {
+            let mut cmat = Matrix::zeros(mn, mn);
+            gemm_tiled(&a, &b, &mut cmat);
+            cmat
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,45 +1,28 @@
 //! Pebble-game engine benchmarks: schedule generation, move validation, and
 //! the closed-form bound evaluations the planner calls in its inner loops.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::micro::{black_box, Group};
 use pebbles::bounds::{aopt_bopt_enumerated, best_engine_tile, theorem1_lower_bound};
 use pebbles::game::validate_complete;
 use pebbles::greedy::{near_optimal_moves, tiled_capacity, tiled_moves};
 use pebbles::mmm::MmmCdag;
 
-fn bench_pebbles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pebble-game");
+fn main() {
+    let group = Group::new("pebble-game");
     for &(m, n, k) in &[(8usize, 8usize, 8usize), (16, 16, 16), (24, 24, 24)] {
-        group.bench_with_input(BenchmarkId::new("build-cdag", m), &m, |b, _| {
-            b.iter(|| MmmCdag::new(m, n, k))
-        });
+        group.bench(&format!("build-cdag/{m}"), || MmmCdag::new(m, n, k));
         let g = MmmCdag::new(m, n, k);
-        group.bench_with_input(BenchmarkId::new("gen-schedule", m), &m, |b, _| {
-            b.iter(|| tiled_moves(&g, 4, 4))
-        });
+        group.bench(&format!("gen-schedule/{m}"), || tiled_moves(&g, 4, 4));
         let moves = tiled_moves(&g, 4, 4);
-        group.bench_with_input(BenchmarkId::new("validate-schedule", m), &m, |b, _| {
-            b.iter(|| validate_complete(g.graph(), tiled_capacity(4, 4), &moves).unwrap())
+        group.bench(&format!("validate-schedule/{m}"), || {
+            validate_complete(g.graph(), tiled_capacity(4, 4), &moves).unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("bounds");
-    group.bench_function("theorem1", |b| {
-        b.iter(|| theorem1_lower_bound(criterion::black_box(4096), 4096, 4096, 1 << 20))
-    });
-    group.bench_function("aopt-enumerated-S=1M", |b| {
-        b.iter(|| aopt_bopt_enumerated(criterion::black_box(1 << 20)))
-    });
-    group.bench_function("best-engine-tile-S=1M", |b| {
-        b.iter(|| best_engine_tile(criterion::black_box(1 << 20)))
-    });
-    group.bench_function("near-optimal-schedule-16", |b| {
-        let g = MmmCdag::new(16, 16, 16);
-        b.iter(|| near_optimal_moves(&g, 64))
-    });
-    group.finish();
+    let group = Group::new("bounds");
+    group.bench("theorem1", || theorem1_lower_bound(black_box(4096), 4096, 4096, 1 << 20));
+    group.bench("aopt-enumerated-S=1M", || aopt_bopt_enumerated(black_box(1 << 20)));
+    group.bench("best-engine-tile-S=1M", || best_engine_tile(black_box(1 << 20)));
+    let g = MmmCdag::new(16, 16, 16);
+    group.bench("near-optimal-schedule-16", || near_optimal_moves(&g, 64));
 }
-
-criterion_group!(benches, bench_pebbles);
-criterion_main!(benches);

@@ -1,51 +1,38 @@
 //! Planner benchmarks: FitRanks grid search and full plan construction at
 //! paper-scale rank counts (the per-figure sweeps call these hundreds of
-//! times), plus the delta ablation of §7.1.
+//! times), plus the delta ablation of §7.1. All planning goes through the
+//! [`cosma::api::MmmAlgorithm`] registry entries.
 
+use bench::micro::Group;
 use bench::scenarios;
-use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
+use cosma::api::AlgoId;
 use cosma::grid::fit_ranks;
 use cosma::problem::MmmProblem;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpsim::cost::CostModel;
 
-fn bench_planning(c: &mut Criterion) {
+fn main() {
     let model = CostModel::piz_daint_two_sided();
+    let registry = baselines::registry();
 
-    let mut group = c.benchmark_group("fit-ranks");
+    let group = Group::new("fit-ranks");
     // Adversarial rank counts: prime, off-by-one, power of two.
     for &p in &[65usize, 127, 1000, 4096, 18432] {
         let prob = MmmProblem::new(16384, 16384, 16384, p, scenarios::S_WORDS);
-        group.bench_with_input(BenchmarkId::new("delta3%", p), &p, |b, _| {
-            b.iter(|| fit_ranks(&prob, 0.03, &model).unwrap())
-        });
+        group.bench(&format!("delta3%/{p}"), || fit_ranks(&prob, 0.03, &model).unwrap());
     }
     // Ablation: delta = 0 forces exact factorizations (Figure 5's bad grids).
     let prob65 = MmmProblem::new(16384, 16384, 16384, 65, scenarios::S_WORDS);
-    group.bench_function("delta0%-p65", |b| b.iter(|| fit_ranks(&prob65, 0.0, &model).unwrap()));
-    group.finish();
+    group.bench("delta0%-p65", || fit_ranks(&prob65, 0.0, &model).unwrap());
 
-    let mut group = c.benchmark_group("full-plan");
-    group.sample_size(10);
+    let group = Group::new("full-plan");
     for &p in &[1024usize, 4096, 18432] {
         let prob = MmmProblem::new(16384, 16384, 16384, p, scenarios::S_WORDS);
-        group.bench_with_input(BenchmarkId::new("cosma", p), &p, |b, _| {
-            b.iter(|| cosma_plan(&prob, &CosmaConfig::default(), &model).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("scalapack", p), &p, |b, _| {
-            b.iter(|| baselines::summa::plan(&prob).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("ctf", p), &p, |b, _| {
-            b.iter(|| baselines::p25d::plan(&prob).unwrap())
-        });
-        if p.is_power_of_two() {
-            group.bench_with_input(BenchmarkId::new("carma", p), &p, |b, _| {
-                b.iter(|| baselines::carma::plan(&prob).unwrap())
-            });
+        for id in [AlgoId::Cosma, AlgoId::Summa, AlgoId::P25d, AlgoId::Carma] {
+            if id == AlgoId::Carma && !p.is_power_of_two() {
+                continue;
+            }
+            let algo = registry.by_id(id).unwrap();
+            group.bench(&format!("{id}/{p}"), || algo.plan(&prob, &model).unwrap());
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);

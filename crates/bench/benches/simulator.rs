@@ -1,76 +1,66 @@
 //! Simulator substrate benchmarks: point-to-point message rate, collectives,
 //! and the cost-model evaluation used by every figure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::micro::Group;
 use mpsim::collectives::{allgather_bruck, allgather_ring, bcast, reduce_scatter_ring, reduce_sum};
 use mpsim::cost::{simulate_rounds, CostModel, RoundCost};
 use mpsim::exec::run_spmd;
 use mpsim::machine::MachineSpec;
 use mpsim::stats::Phase;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collectives-p16");
-    group.sample_size(20);
+fn main() {
+    let group = Group::new("collectives-p16");
     let spec = MachineSpec::test_machine(16, 1 << 20);
     let words = 4096usize;
-    group.bench_function("bcast", |b| {
-        b.iter(|| {
-            run_spmd(&spec, |comm| {
-                let group: Vec<usize> = (0..comm.size()).collect();
-                let mut data = if comm.rank() == 0 { vec![1.0; words] } else { vec![] };
-                bcast(comm, &group, 0, &mut data, 1, Phase::InputA);
-            })
+    group.bench("bcast", || {
+        run_spmd(&spec, |comm| {
+            let group: Vec<usize> = (0..comm.size()).collect();
+            let mut data = if comm.rank() == 0 {
+                vec![1.0; words]
+            } else {
+                vec![]
+            };
+            bcast(comm, &group, 0, &mut data, 1, Phase::InputA);
         })
     });
-    group.bench_function("reduce", |b| {
-        b.iter(|| {
-            run_spmd(&spec, |comm| {
-                let group: Vec<usize> = (0..comm.size()).collect();
-                let mut data = vec![1.0; words];
-                reduce_sum(comm, &group, 0, &mut data, 1, Phase::OutputC);
-            })
+    group.bench("reduce", || {
+        run_spmd(&spec, |comm| {
+            let group: Vec<usize> = (0..comm.size()).collect();
+            let mut data = vec![1.0; words];
+            reduce_sum(comm, &group, 0, &mut data, 1, Phase::OutputC);
         })
     });
-    group.bench_function("allgather-ring", |b| {
-        b.iter(|| {
-            run_spmd(&spec, |comm| {
-                let group: Vec<usize> = (0..comm.size()).collect();
-                allgather_ring(comm, &group, vec![1.0; words / 16], 1, Phase::InputA)
-            })
+    group.bench("allgather-ring", || {
+        run_spmd(&spec, |comm| {
+            let group: Vec<usize> = (0..comm.size()).collect();
+            allgather_ring(comm, &group, vec![1.0; words / 16], 1, Phase::InputA)
         })
     });
-    group.bench_function("allgather-bruck", |b| {
-        b.iter(|| {
-            run_spmd(&spec, |comm| {
-                let group: Vec<usize> = (0..comm.size()).collect();
-                let sizes = vec![words / 16; 16];
-                allgather_bruck(comm, &group, vec![1.0; words / 16], &sizes, 1, Phase::InputA)
-            })
+    group.bench("allgather-bruck", || {
+        run_spmd(&spec, |comm| {
+            let group: Vec<usize> = (0..comm.size()).collect();
+            let sizes = vec![words / 16; 16];
+            allgather_bruck(comm, &group, vec![1.0; words / 16], &sizes, 1, Phase::InputA)
         })
     });
-    group.bench_function("reduce-scatter", |b| {
-        b.iter(|| {
-            run_spmd(&spec, |comm| {
-                let group: Vec<usize> = (0..comm.size()).collect();
-                let mut data = vec![1.0; words];
-                reduce_scatter_ring(comm, &group, &mut data, 1, Phase::OutputC)
-            })
+    group.bench("reduce-scatter", || {
+        run_spmd(&spec, |comm| {
+            let group: Vec<usize> = (0..comm.size()).collect();
+            let mut data = vec![1.0; words];
+            reduce_scatter_ring(comm, &group, &mut data, 1, Phase::OutputC)
         })
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("cost-model");
+    let group = Group::new("cost-model");
     let model = CostModel::piz_daint_two_sided();
     for &rounds in &[16usize, 256, 4096] {
         let rs: Vec<RoundCost> = (0..rounds)
-            .map(|i| RoundCost { words: 1000 + i as u64, msgs: 4, flops: 1_000_000 })
+            .map(|i| RoundCost {
+                words: 1000 + i as u64,
+                msgs: 4,
+                flops: 1_000_000,
+            })
             .collect();
-        group.bench_with_input(BenchmarkId::new("overlap", rounds), &rounds, |b, _| {
-            b.iter(|| simulate_rounds(&rs, &model, true))
-        });
+        group.bench(&format!("overlap/{rounds}"), || simulate_rounds(&rs, &model, true));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -10,9 +10,12 @@
 //! writes CSVs to `results/`. See `EXPERIMENTS.md` for the paper-vs-measured
 //! record.
 
+use baselines::p25d::Geometry25;
+use baselines::P25dAlgorithm;
 use bench::output::{fmt, Table};
-use bench::runner::{self, cosma_speedup, five_numbers, geomean, run_all, AlgoRow};
+use bench::runner::{self, cosma_speedup, five_numbers, geomean, run_all, AlgoRow, COMPARED};
 use bench::scenarios::{self, Scenario};
+use cosma::api::{AlgoId, RunSession};
 use cosma::problem::MmmProblem;
 use mpsim::cost::CostModel;
 
@@ -20,9 +23,7 @@ fn model() -> CostModel {
     CostModel::piz_daint_two_sided()
 }
 
-const ALGOS: [&str; 4] = ["cosma", "scalapack", "ctf", "carma"];
-
-fn find<'a>(rows: &'a [AlgoRow], algo: &str) -> Option<&'a AlgoRow> {
+fn find(rows: &[AlgoRow], algo: AlgoId) -> Option<&AlgoRow> {
     rows.iter().find(|r| r.algo == algo)
 }
 
@@ -47,20 +48,24 @@ fn comm_volume_figure(fig: &str, shape_prefix: &str) {
         let id = format!("{shape_prefix}-{regime}");
         let Some(sc) = scenarios::by_id(&id) else { continue };
         println!("\n-- {id} --");
-        let mut t = Table::new(&["cores", "cosma MB", "scalapack MB", "ctf MB", "carma MB", "best/cosma"]);
+        let mut t = Table::new(&[
+            "cores",
+            "cosma MB",
+            "summa MB",
+            "p25d MB",
+            "carma MB",
+            "best/cosma",
+        ]);
         for (p, rows) in sweep(&sc, &scenarios::comm_core_counts()) {
-            let get = |a: &str| find(&rows, a).map(|r| r.mean_mb);
-            let cosma = get("cosma").unwrap_or(f64::NAN);
-            let others_best = ALGOS[1..]
-                .iter()
-                .filter_map(|a| get(a))
-                .fold(f64::INFINITY, f64::min);
+            let get = |a: AlgoId| find(&rows, a).map(|r| r.mean_mb);
+            let cosma = get(AlgoId::Cosma).unwrap_or(f64::NAN);
+            let others_best = COMPARED[1..].iter().filter_map(|&a| get(a)).fold(f64::INFINITY, f64::min);
             t.row(vec![
                 p.to_string(),
                 fmt(cosma, 1),
-                get("scalapack").map_or("-".into(), |x| fmt(x, 1)),
-                get("ctf").map_or("-".into(), |x| fmt(x, 1)),
-                get("carma").map_or("-".into(), |x| fmt(x, 1)),
+                get(AlgoId::Summa).map_or("-".into(), |x| fmt(x, 1)),
+                get(AlgoId::P25d).map_or("-".into(), |x| fmt(x, 1)),
+                get(AlgoId::Carma).map_or("-".into(), |x| fmt(x, 1)),
                 fmt(others_best / cosma, 2),
             ]);
         }
@@ -80,9 +85,9 @@ fn perf_figure(fig: &str, shape_prefix: &str, metric: &str) {
         let id = format!("{shape_prefix}-{regime}");
         let Some(sc) = scenarios::by_id(&id) else { continue };
         println!("\n-- {id} --");
-        let mut t = Table::new(&["cores", "cosma", "scalapack", "ctf", "carma"]);
+        let mut t = Table::new(&["cores", "cosma", "summa", "p25d", "carma"]);
         for (p, rows) in sweep(&sc, &scenarios::perf_core_counts()) {
-            let get = |a: &str| -> String {
+            let get = |a: AlgoId| -> String {
                 find(&rows, a).map_or("-".into(), |r| {
                     if metric == "percent-peak" {
                         fmt(r.percent_peak, 1)
@@ -91,7 +96,13 @@ fn perf_figure(fig: &str, shape_prefix: &str, metric: &str) {
                     }
                 })
             };
-            t.row(vec![p.to_string(), get("cosma"), get("scalapack"), get("ctf"), get("carma")]);
+            t.row(vec![
+                p.to_string(),
+                get(AlgoId::Cosma),
+                get(AlgoId::Summa),
+                get(AlgoId::P25d),
+                get(AlgoId::Carma),
+            ]);
         }
         t.print();
         t.write_csv(&format!("{fig}-{id}")).expect("write csv");
@@ -105,7 +116,7 @@ fn perf_figure(fig: &str, shape_prefix: &str, metric: &str) {
 
 fn fig1() {
     println!("== fig1: % of peak flop/s across all experiments (max / geomean) ==\n");
-    let mut samples: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+    let mut samples: std::collections::HashMap<AlgoId, Vec<f64>> = Default::default();
     for sc in scenarios::all() {
         for (_, rows) in sweep(&sc, &scenarios::perf_core_counts()) {
             for r in &rows {
@@ -114,10 +125,15 @@ fn fig1() {
         }
     }
     let mut t = Table::new(&["algorithm", "max %peak", "geomean %peak", "samples"]);
-    for algo in ALGOS {
-        let xs = samples.remove(algo).unwrap_or_default();
+    for algo in COMPARED {
+        let xs = samples.remove(&algo).unwrap_or_default();
         let max = xs.iter().copied().fold(0.0, f64::max);
-        t.row(vec![algo.into(), fmt(max, 1), fmt(geomean(&xs), 1), xs.len().to_string()]);
+        t.row(vec![
+            algo.to_string(),
+            fmt(max, 1),
+            fmt(geomean(&xs), 1),
+            xs.len().to_string(),
+        ]);
     }
     t.print();
     t.write_csv("fig1").expect("write csv");
@@ -136,12 +152,17 @@ fn fig3() {
     // between the 2D and cubic regimes so the optimal domain is not cubic.
     let prob = MmmProblem::new(4096, 4096, 4096, 8, 3_000_000);
     let m = model();
-    let cosma_plan = runner::plan_cosma(&prob, &m).expect("cosma plan");
-    let naive = baselines::p25d::plan_with_geometry(
-        &prob,
-        baselines::p25d::Geometry25 { q: 2, c: 2 },
-    )
-    .expect("3D plan");
+    let cosma_plan = runner::plan_for(AlgoId::Cosma, &prob, &m).expect("cosma plan");
+    // The naive top-down split is 2.5D with a *forced* c = q geometry: a
+    // re-configured registry entry, measured through the same trait API.
+    let mut forced = runner::registry();
+    forced.register(P25dAlgorithm::with_geometry(Geometry25 { q: 2, c: 2 }));
+    let naive = RunSession::new(prob)
+        .machine(m)
+        .registry(forced)
+        .algorithm(AlgoId::P25d)
+        .plan()
+        .expect("3D plan");
     let mut t = Table::new(&["decomposition", "mean MB/rank", "grid"]);
     t.row(vec![
         "3D top-down".into(),
@@ -200,7 +221,13 @@ fn fig12() {
     println!("== fig12: COSMA time breakdown (A+B input, C output, compute) ==\n");
     let m = model();
     let mut t = Table::new(&[
-        "scenario", "cores", "overlap", "input A+B %", "output C %", "compute %", "total ms",
+        "scenario",
+        "cores",
+        "overlap",
+        "input A+B %",
+        "output C %",
+        "compute %",
+        "total ms",
     ]);
     for shape in ["square", "largek", "largem", "flat"] {
         let sc = scenarios::by_id(&format!("{shape}-strong")).expect("scenario");
@@ -209,13 +236,11 @@ fn fig12() {
                 continue;
             }
             let prob = (sc.problem)(p);
-            let Some(plan) = runner::plan_cosma(&prob, &m) else { continue };
+            let Some(plan) = runner::plan_for(AlgoId::Cosma, &prob, &m) else {
+                continue;
+            };
             // Word-level phase split of the busiest rank.
-            let crit = plan
-                .ranks
-                .iter()
-                .max_by_key(|r| r.comm_words())
-                .expect("non-empty plan");
+            let crit = plan.ranks.iter().max_by_key(|r| r.comm_words()).expect("non-empty plan");
             let ab: u64 = crit.rounds.iter().map(|r| r.a_words + r.b_words).sum();
             let c: u64 = crit.rounds.iter().map(|r| r.c_words).sum();
             for overlap in [false, true] {
@@ -255,7 +280,7 @@ fn distribution_figure(fig: &str, shapes: [&str; 2]) {
             let id = format!("{shape}-{regime}");
             let Some(sc) = scenarios::by_id(&id) else { continue };
             let swept = sweep(&sc, &scenarios::perf_core_counts());
-            for algo in ALGOS {
+            for algo in COMPARED {
                 let xs: Vec<f64> = swept
                     .iter()
                     .filter_map(|(_, rows)| find(rows, algo).map(|r| r.percent_peak))
@@ -266,7 +291,7 @@ fn distribution_figure(fig: &str, shapes: [&str; 2]) {
                 let f = five_numbers(&xs);
                 t.row(vec![
                     id.clone(),
-                    algo.into(),
+                    algo.to_string(),
                     fmt(f[0], 1),
                     fmt(f[1], 1),
                     fmt(f[2], 1),
@@ -291,16 +316,27 @@ fn table3() {
 
     println!("-- general case: square 8192^3, p = 512, S = 2^22 --");
     let prob = MmmProblem::new(8192, 8192, 8192, 512, 1 << 22);
-    let mut t = Table::new(&["algorithm", "analytic Q (words)", "measured mean (words)", "measured/analytic"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "analytic Q (words)",
+        "measured mean (words)",
+        "measured/analytic",
+    ]);
+    let measured = |id: AlgoId| runner::plan_for(id, &prob, &m).map(|p| p.mean_comm_words());
     let entries: [(&str, f64, Option<f64>); 4] = [
-        ("2D (SUMMA)", baselines::analysis::summa_io(&prob), runner::plan_scalapack(&prob).map(|p| p.mean_comm_words())),
-        ("2.5D (CTF)", baselines::analysis::p25d_io(&prob), runner::plan_ctf(&prob).map(|p| p.mean_comm_words())),
-        ("recursive (CARMA)", baselines::analysis::carma_io(&prob), runner::plan_carma(&prob).map(|p| p.mean_comm_words())),
-        ("COSMA", cosma::analysis::io_cost(&prob), runner::plan_cosma(&prob, &m).map(|p| p.mean_comm_words())),
+        ("2D (SUMMA)", baselines::analysis::summa_io(&prob), measured(AlgoId::Summa)),
+        ("2.5D (CTF)", baselines::analysis::p25d_io(&prob), measured(AlgoId::P25d)),
+        ("recursive (CARMA)", baselines::analysis::carma_io(&prob), measured(AlgoId::Carma)),
+        ("COSMA", cosma::analysis::io_cost(&prob), measured(AlgoId::Cosma)),
     ];
     for (name, analytic, measured) in entries {
         let meas = measured.unwrap_or(f64::NAN);
-        t.row(vec![name.into(), fmt(analytic, 0), fmt(meas, 0), fmt(meas / analytic, 2)]);
+        t.row(vec![
+            name.into(),
+            fmt(analytic, 0),
+            fmt(meas, 0),
+            fmt(meas / analytic, 2),
+        ]);
     }
     t.print();
     t.write_csv("table3-general").expect("write csv");
@@ -326,7 +362,9 @@ fn table3() {
     );
     t.write_csv("table3-square-limited").expect("write csv");
 
-    println!("\n-- special case: tall matrices, extra memory (m=n=sqrt(p), k=p^1.5/4, S=2nk/p^(2/3)), p = 4096 --");
+    println!(
+        "\n-- special case: tall matrices, extra memory (m=n=sqrt(p), k=p^1.5/4, S=2nk/p^(2/3)), p = 4096 --"
+    );
     let p = 4096usize;
     let sq = 64usize;
     let k = (p as f64).powf(1.5) as usize / 4;
@@ -353,7 +391,14 @@ fn table3() {
 fn table4() {
     println!("== table4: mean comm volume per rank (MB) and COSMA speedup ==\n");
     let mut t = Table::new(&[
-        "scenario", "scalapack MB", "ctf MB", "carma MB", "cosma MB", "speedup min", "speedup geomean", "speedup max",
+        "scenario",
+        "summa MB",
+        "p25d MB",
+        "carma MB",
+        "cosma MB",
+        "speedup min",
+        "speedup geomean",
+        "speedup max",
     ]);
     let mut all_speedups: Vec<f64> = Vec::new();
     for sc in scenarios::all() {
@@ -361,7 +406,7 @@ fn table4() {
         if swept.is_empty() {
             continue;
         }
-        let avg = |algo: &str| -> f64 {
+        let avg = |algo: AlgoId| -> f64 {
             let xs: Vec<f64> = swept
                 .iter()
                 .filter_map(|(_, rows)| find(rows, algo).map(|r| r.mean_mb))
@@ -385,10 +430,10 @@ fn table4() {
         };
         t.row(vec![
             sc.id.into(),
-            fmt(avg("scalapack"), 0),
-            fmt(avg("ctf"), 0),
-            fmt(avg("carma"), 0),
-            fmt(avg("cosma"), 0),
+            fmt(avg(AlgoId::Summa), 0),
+            fmt(avg(AlgoId::P25d), 0),
+            fmt(avg(AlgoId::Carma), 0),
+            fmt(avg(AlgoId::Cosma), 0),
             fmt(mn, 2),
             fmt(gm, 2),
             fmt(mx, 2),
@@ -439,8 +484,8 @@ fn main() {
         std::process::exit(2);
     }
     let all_ids = [
-        "fig3", "fig5", "table3", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4", "fig8",
-        "fig9", "fig10", "fig11", "fig13", "fig14", "fig1",
+        "fig3", "fig5", "table3", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4", "fig8", "fig9",
+        "fig10", "fig11", "fig13", "fig14", "fig1",
     ];
     for arg in &args {
         if arg == "all" {

@@ -10,6 +10,7 @@
 //! table/figure to a subcommand; see `EXPERIMENTS.md` for the index and the
 //! recorded paper-vs-measured comparison.
 
+pub mod micro;
 pub mod output;
 pub mod runner;
 pub mod scenarios;

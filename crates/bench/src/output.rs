@@ -38,11 +38,8 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", parts.join("  "));
         };
         line(&self.headers);

@@ -1,21 +1,30 @@
 //! Evaluate every algorithm's plan on a problem instance and collect the
 //! measured rows of the paper's figures and tables.
 //!
-//! CARMA only supports power-of-two rank counts (a limitation the paper
-//! calls out in §1); like the paper's comparison we run it on the largest
-//! `2^x ≤ p` ranks and idle the rest, charging the idle cores against its
-//! %-of-peak exactly as the machine would.
+//! All planning goes through the [`MmmAlgorithm`] trait and the full
+//! [`baselines::registry`] — the runner knows no per-algorithm entry points.
+//! Algorithms with rank-count constraints (a limitation the paper calls out
+//! in §1 for CARMA) are run on the largest supported subset of the machine
+//! and the rest of the ranks idle, charged against %-of-peak exactly as the
+//! machine would charge them.
 
-use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
-use cosma::plan::{DistPlan, RankPlan};
+use std::sync::Arc;
+
+use cosma::api::{AlgoId, AlgorithmRegistry, MmmAlgorithm, PlanError};
+use cosma::plan::DistPlan;
 use cosma::problem::MmmProblem;
 use mpsim::cost::CostModel;
+
+/// The algorithms of the paper's comparison figures, in presentation order
+/// (Cannon is covered by the correctness suite but, as in the paper, not by
+/// the evaluation figures).
+pub const COMPARED: [AlgoId; 4] = [AlgoId::Cosma, AlgoId::Summa, AlgoId::P25d, AlgoId::Carma];
 
 /// One algorithm's measured outcome on one problem instance.
 #[derive(Debug, Clone)]
 pub struct AlgoRow {
-    /// Algorithm id: `cosma`, `scalapack` (SUMMA), `ctf` (2.5D), `carma`.
-    pub algo: &'static str,
+    /// The measured algorithm.
+    pub algo: AlgoId,
     /// Cores of the machine (including idled ones).
     pub p: usize,
     /// Mean received words per rank (the Table-4/Fig-6 metric), in MB.
@@ -38,16 +47,20 @@ fn words_to_mb(w: f64) -> f64 {
     w * 8.0 / 1e6
 }
 
-fn row_from_plan(algo: &'static str, plan: &DistPlan, model: &CostModel) -> AlgoRow {
+fn row_from_plan(plan: &DistPlan, model: &CostModel) -> AlgoRow {
     let with = plan.simulate(model, true);
     let without = plan.simulate(model, false);
     // Communication–computation overlap (§7.3) is COSMA's implementation
     // edge: the published ScaLAPACK/CTF/CARMA implementations do not overlap
     // (the paper additionally notes CARMA's per-step dynamic buffer
     // allocation, §7.5), so their reported time is the non-overlapped one.
-    let reported = if algo == "cosma" { &with } else { &without };
+    let reported = if plan.algo == AlgoId::Cosma {
+        &with
+    } else {
+        &without
+    };
     AlgoRow {
-        algo,
+        algo: plan.algo,
         p: plan.problem.p,
         mean_mb: words_to_mb(plan.mean_comm_words()),
         max_mb: words_to_mb(plan.max_comm_words() as f64),
@@ -59,63 +72,73 @@ fn row_from_plan(algo: &'static str, plan: &DistPlan, model: &CostModel) -> Algo
     }
 }
 
-/// Plan COSMA for `prob`.
-pub fn plan_cosma(prob: &MmmProblem, model: &CostModel) -> Option<DistPlan> {
-    cosma_plan(prob, &CosmaConfig::default(), model).ok()
+/// The registry the bench harness draws from: all five algorithms with
+/// their default configurations.
+pub fn registry() -> AlgorithmRegistry {
+    baselines::registry()
 }
 
-/// Plan the ScaLAPACK stand-in (SUMMA).
-pub fn plan_scalapack(prob: &MmmProblem) -> Option<DistPlan> {
-    baselines::summa::plan(prob).ok()
-}
-
-/// Plan the CTF stand-in (2.5D).
-pub fn plan_ctf(prob: &MmmProblem) -> Option<DistPlan> {
-    baselines::p25d::plan(prob).ok()
-}
-
-/// Plan CARMA on the largest power-of-two subset of the machine, padding the
-/// plan back to `p` ranks with idles.
-pub fn plan_carma(prob: &MmmProblem) -> Option<DistPlan> {
-    let p2 = if prob.p.is_power_of_two() {
-        prob.p
-    } else {
-        prob.p.next_power_of_two() / 2
-    };
-    let sub = MmmProblem::new(prob.m, prob.n, prob.k, p2, prob.mem_words);
-    let mut plan = baselines::carma::plan(&sub).ok()?;
-    plan.problem = *prob;
-    for rank in p2..prob.p {
-        plan.ranks.push(RankPlan::idle(rank));
+/// Plan `prob` with `algo`, idling ranks the algorithm cannot use.
+///
+/// When `algo.supports(prob)` rejects the rank count, the largest `p' < p`
+/// the algorithm accepts is planned instead and the plan is padded back to
+/// `p` ranks with idles (the paper's treatment of CARMA on non-power-of-two
+/// machines).
+pub fn plan_padded(
+    algo: &dyn MmmAlgorithm,
+    prob: &MmmProblem,
+    model: &CostModel,
+) -> Result<DistPlan, PlanError> {
+    if algo.supports(prob).is_ok() {
+        return algo.plan(prob, model);
     }
-    Some(plan)
+    let sub = |p: usize| MmmProblem::new(prob.m, prob.n, prob.k, p, prob.mem_words);
+    let p2 = (1..prob.p)
+        .rev()
+        .find(|&p| algo.supports(&sub(p)).is_ok())
+        .ok_or_else(|| algo.supports(prob).unwrap_err())?;
+    Ok(algo.plan(&sub(p2), model)?.padded_to(prob.p))
 }
 
-/// Evaluate the four compared algorithms on `prob`. Inapplicable or
-/// infeasible algorithms are skipped (reported by absence).
+/// Plan `prob` with the registry's `id` entry (padding unsupported rank
+/// counts), or `None` if the problem is infeasible for the algorithm.
+pub fn plan_for(id: AlgoId, prob: &MmmProblem, model: &CostModel) -> Option<DistPlan> {
+    let algo = registry().by_id(id).ok()?;
+    plan_padded(algo.as_ref(), prob, model).ok()
+}
+
+/// Evaluate the compared algorithms on `prob`. Inapplicable or infeasible
+/// algorithms are skipped (reported by absence).
 pub fn run_all(prob: &MmmProblem, model: &CostModel) -> Vec<AlgoRow> {
-    let mut rows = Vec::with_capacity(4);
-    if let Some(pl) = plan_cosma(prob, model) {
-        rows.push(row_from_plan("cosma", &pl, model));
-    }
-    if let Some(pl) = plan_scalapack(prob) {
-        rows.push(row_from_plan("scalapack", &pl, model));
-    }
-    if let Some(pl) = plan_ctf(prob) {
-        rows.push(row_from_plan("ctf", &pl, model));
-    }
-    if let Some(pl) = plan_carma(prob) {
-        rows.push(row_from_plan("carma", &pl, model));
-    }
-    rows
+    run_with(&compared_algorithms(), prob, model)
+}
+
+/// The [`COMPARED`] subset of the registry, in presentation order.
+pub fn compared_algorithms() -> Vec<Arc<dyn MmmAlgorithm>> {
+    let reg = registry();
+    COMPARED
+        .iter()
+        .map(|&id| reg.by_id(id).expect("registry is complete"))
+        .collect()
+}
+
+/// Evaluate an explicit algorithm set on `prob`.
+pub fn run_with(algos: &[Arc<dyn MmmAlgorithm>], prob: &MmmProblem, model: &CostModel) -> Vec<AlgoRow> {
+    algos
+        .iter()
+        .filter_map(|algo| {
+            let plan = plan_padded(algo.as_ref(), prob, model).ok()?;
+            Some(row_from_plan(&plan, model))
+        })
+        .collect()
 }
 
 /// Speedup of COSMA over the fastest other algorithm (> 1 means COSMA wins).
 pub fn cosma_speedup(rows: &[AlgoRow]) -> Option<f64> {
-    let cosma = rows.iter().find(|r| r.algo == "cosma")?;
+    let cosma = rows.iter().find(|r| r.algo == AlgoId::Cosma)?;
     let best_other = rows
         .iter()
-        .filter(|r| r.algo != "cosma")
+        .filter(|r| r.algo != AlgoId::Cosma)
         .map(|r| r.time_s)
         .fold(f64::INFINITY, f64::min);
     best_other.is_finite().then(|| best_other / cosma.time_s)
@@ -157,11 +180,8 @@ mod tests {
     fn run_all_produces_all_four_on_friendly_p() {
         let prob = MmmProblem::new(4096, 4096, 4096, 1024, 1 << 22);
         let rows = run_all(&prob, &model());
-        let algos: Vec<&str> = rows.iter().map(|r| r.algo).collect();
-        assert!(algos.contains(&"cosma"));
-        assert!(algos.contains(&"scalapack"));
-        assert!(algos.contains(&"ctf"));
-        assert!(algos.contains(&"carma"));
+        let algos: Vec<AlgoId> = rows.iter().map(|r| r.algo).collect();
+        assert_eq!(algos, COMPARED.to_vec());
         for r in &rows {
             assert!(r.mean_mb > 0.0 && r.time_s > 0.0 && r.percent_peak > 0.0, "{r:?}");
             assert!(r.time_no_overlap_s >= r.time_s);
@@ -171,9 +191,21 @@ mod tests {
     #[test]
     fn carma_padding_on_non_power_of_two() {
         let prob = MmmProblem::new(2048, 2048, 2048, 1500, 1 << 22);
-        let plan = plan_carma(&prob).unwrap();
+        let plan = plan_for(AlgoId::Carma, &prob, &model()).unwrap();
         assert_eq!(plan.ranks.len(), 1500);
         assert_eq!(plan.active_ranks(), 1024);
+        assert!(plan.validate_coverage().is_ok());
+    }
+
+    #[test]
+    fn cannon_padding_on_non_square() {
+        // plan_padded is algorithm-agnostic: Cannon pads to the largest
+        // perfect square the same way CARMA pads to the power of two.
+        let prob = MmmProblem::new(512, 512, 512, 30, 1 << 18);
+        let algo = registry().by_id(AlgoId::Cannon).unwrap();
+        let plan = plan_padded(algo.as_ref(), &prob, &model()).unwrap();
+        assert_eq!(plan.ranks.len(), 30);
+        assert_eq!(plan.active_ranks(), 25);
         assert!(plan.validate_coverage().is_ok());
     }
 

@@ -14,7 +14,9 @@
 //! `k ≈ 1.184·10⁴·p^(2/3)`; the 10⁴ scale is implicit in the paper's text
 //! but follows from the strong-scaling instance at `p = 2048`).
 
+use cosma::api::RunSession;
 use cosma::problem::{MmmProblem, Shape};
+use mpsim::cost::CostModel;
 
 /// Piz-Daint-like per-core memory: 64 GiB per 36-core node in 8-byte words.
 pub const S_WORDS: usize = 64 * 1024 * 1024 * 1024 / 36 / 8;
@@ -52,6 +54,17 @@ pub struct Scenario {
     pub regime: Regime,
     /// Build the problem instance for `p` cores.
     pub problem: fn(usize) -> MmmProblem,
+}
+
+impl Scenario {
+    /// A [`RunSession`] for this scenario at `p` cores: Piz-Daint-like cost
+    /// model, full five-algorithm registry. Chain `.algorithm(..)` and
+    /// `.run()` to evaluate.
+    pub fn session(&self, p: usize) -> RunSession {
+        RunSession::new((self.problem)(p))
+            .machine(CostModel::piz_daint_two_sided())
+            .registry(baselines::registry())
+    }
 }
 
 fn isqrt(x: f64) -> usize {
@@ -131,18 +144,78 @@ fn flat_extra(p: usize) -> MmmProblem {
 pub fn all() -> Vec<Scenario> {
     use Regime::*;
     vec![
-        Scenario { id: "square-strong", shape: Shape::Square, regime: StrongScaling, problem: square_strong },
-        Scenario { id: "square-limited", shape: Shape::Square, regime: LimitedMemory, problem: square_limited },
-        Scenario { id: "square-extra", shape: Shape::Square, regime: ExtraMemory, problem: square_extra },
-        Scenario { id: "largek-strong", shape: Shape::LargeK, regime: StrongScaling, problem: largek_strong },
-        Scenario { id: "largek-limited", shape: Shape::LargeK, regime: LimitedMemory, problem: largek_limited },
-        Scenario { id: "largek-extra", shape: Shape::LargeK, regime: ExtraMemory, problem: largek_extra },
-        Scenario { id: "largem-strong", shape: Shape::LargeM, regime: StrongScaling, problem: largem_strong },
-        Scenario { id: "largem-limited", shape: Shape::LargeM, regime: LimitedMemory, problem: largem_limited },
-        Scenario { id: "largem-extra", shape: Shape::LargeM, regime: ExtraMemory, problem: largem_extra },
-        Scenario { id: "flat-strong", shape: Shape::Flat, regime: StrongScaling, problem: flat_strong },
-        Scenario { id: "flat-limited", shape: Shape::Flat, regime: LimitedMemory, problem: flat_limited },
-        Scenario { id: "flat-extra", shape: Shape::Flat, regime: ExtraMemory, problem: flat_extra },
+        Scenario {
+            id: "square-strong",
+            shape: Shape::Square,
+            regime: StrongScaling,
+            problem: square_strong,
+        },
+        Scenario {
+            id: "square-limited",
+            shape: Shape::Square,
+            regime: LimitedMemory,
+            problem: square_limited,
+        },
+        Scenario {
+            id: "square-extra",
+            shape: Shape::Square,
+            regime: ExtraMemory,
+            problem: square_extra,
+        },
+        Scenario {
+            id: "largek-strong",
+            shape: Shape::LargeK,
+            regime: StrongScaling,
+            problem: largek_strong,
+        },
+        Scenario {
+            id: "largek-limited",
+            shape: Shape::LargeK,
+            regime: LimitedMemory,
+            problem: largek_limited,
+        },
+        Scenario {
+            id: "largek-extra",
+            shape: Shape::LargeK,
+            regime: ExtraMemory,
+            problem: largek_extra,
+        },
+        Scenario {
+            id: "largem-strong",
+            shape: Shape::LargeM,
+            regime: StrongScaling,
+            problem: largem_strong,
+        },
+        Scenario {
+            id: "largem-limited",
+            shape: Shape::LargeM,
+            regime: LimitedMemory,
+            problem: largem_limited,
+        },
+        Scenario {
+            id: "largem-extra",
+            shape: Shape::LargeM,
+            regime: ExtraMemory,
+            problem: largem_extra,
+        },
+        Scenario {
+            id: "flat-strong",
+            shape: Shape::Flat,
+            regime: StrongScaling,
+            problem: flat_strong,
+        },
+        Scenario {
+            id: "flat-limited",
+            shape: Shape::Flat,
+            regime: LimitedMemory,
+            problem: flat_limited,
+        },
+        Scenario {
+            id: "flat-extra",
+            shape: Shape::Flat,
+            regime: ExtraMemory,
+            problem: flat_extra,
+        },
     ]
 }
 
@@ -218,6 +291,15 @@ mod tests {
         assert_eq!((p1.m, p1.n, p1.k), (p2.m, p2.n, p2.k));
         assert_eq!(p1.m, 17_408);
         assert_eq!(p1.k, 3_735_552);
+    }
+
+    #[test]
+    fn sessions_plan_through_the_registry() {
+        use cosma::api::AlgoId;
+        let sc = by_id("square-strong").unwrap();
+        let outcome = sc.session(512).algorithm(AlgoId::Summa).run().unwrap();
+        assert_eq!(outcome.plan.algo, AlgoId::Summa);
+        assert!(outcome.report.time_s > 0.0);
     }
 
     #[test]

@@ -28,7 +28,8 @@ use mpsim::comm::Comm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
-use crate::grid::{fit_ranks, FitError, Grid3};
+use crate::api::{AlgoId, PlanError};
+use crate::grid::{fit_ranks, Grid3};
 use crate::plan::{Brick, DistPlan, RankPlan, Round};
 use crate::problem::MmmProblem;
 use crate::schedule::latency_steps;
@@ -69,7 +70,10 @@ pub fn even_range(total: usize, parts: usize, idx: usize) -> std::ops::Range<usi
 }
 
 /// Build the COSMA [`DistPlan`] for `prob`.
-pub fn plan(prob: &MmmProblem, cfg: &CosmaConfig, model: &CostModel) -> Result<DistPlan, FitError> {
+///
+/// Prefer [`crate::api::RunSession`] or [`crate::api::CosmaAlgorithm`]; this
+/// free function is the implementation they call.
+pub fn plan(prob: &MmmProblem, cfg: &CosmaConfig, model: &CostModel) -> Result<DistPlan, PlanError> {
     let fit = fit_ranks(prob, cfg.delta, model)?;
     let grid = fit.grid;
     let mut ranks = Vec::with_capacity(prob.p);
@@ -89,7 +93,7 @@ pub fn plan(prob: &MmmProblem, cfg: &CosmaConfig, model: &CostModel) -> Result<D
         // the plan groups consecutive steps into at most MAX_PLAN_ROUNDS
         // buckets. All totals (words, messages, flops) stay exact; only the
         // pipeline granularity of the time model is coarsened.
-        let buckets = sp.steps.min(MAX_PLAN_ROUNDS).max(1);
+        let buckets = sp.steps.clamp(1, MAX_PLAN_ROUNDS);
         let per_bucket = sp.steps.div_ceil(buckets);
         let mut rounds = Vec::with_capacity(buckets + 1);
         let mut max_slab = 0usize;
@@ -104,8 +108,8 @@ pub fn plan(prob: &MmmProblem, cfg: &CosmaConfig, model: &CostModel) -> Result<D
                 // B slab (w x ln): rows owned along the i-fiber.
                 let b_own_rows = even_range(w, grid.gm, im).len();
                 acc.b_words += ((w - b_own_rows) * ln) as u64;
-                acc.msgs += treecount::allgather_bruck_msgs(grid.gn)
-                    + treecount::allgather_bruck_msgs(grid.gm);
+                acc.msgs +=
+                    treecount::allgather_bruck_msgs(grid.gn) + treecount::allgather_bruck_msgs(grid.gm);
                 acc.flops += 2 * (lm * ln * w) as u64;
             }
             rounds.push(acc);
@@ -137,7 +141,7 @@ pub fn plan(prob: &MmmProblem, cfg: &CosmaConfig, model: &CostModel) -> Result<D
         });
     }
     Ok(DistPlan {
-        algo: "cosma",
+        algo: AlgoId::Cosma,
         problem: *prob,
         grid: [grid.gm, grid.gn, grid.gk],
         ranks,
@@ -244,7 +248,9 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
                 );
                 assemble_col_chunks(lm, w, grid.gn, &chunks)
             }
-            Backend::OneSided => gather_chunks_rma(comm, plan, &grid, GatherWhat::A, im, jn, ik, round, lm, w),
+            Backend::OneSided => {
+                gather_chunks_rma(comm, plan, &grid, GatherWhat::A, im, jn, ik, round, lm, w)
+            }
         };
         // --- DistrData: assemble the B slab (w x ln) ---
         let b_slab = match cfg.backend {
@@ -262,7 +268,9 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
                 );
                 assemble_row_chunks(w, ln, grid.gm, &chunks)
             }
-            Backend::OneSided => gather_chunks_rma(comm, plan, &grid, GatherWhat::B, im, jn, ik, round, ln, w),
+            Backend::OneSided => {
+                gather_chunks_rma(comm, plan, &grid, GatherWhat::B, im, jn, ik, round, ln, w)
+            }
         };
         // --- Multiply ---
         gemm_tiled(&a_slab, &b_slab, &mut c_local);
@@ -330,7 +338,13 @@ fn build_window(plan: &DistPlan, rp: &RankPlan, a: &Matrix, b: &Matrix) -> Vec<f
 
 /// Byte offset (in words) of a given round's A or B chunk inside a peer's
 /// window, mirroring [`build_window`]'s layout.
-fn window_offset(plan: &DistPlan, peer_coords: [usize; 3], peer_brick: &Brick, what: GatherWhat, round: usize) -> usize {
+fn window_offset(
+    plan: &DistPlan,
+    peer_coords: [usize; 3],
+    peer_brick: &Brick,
+    what: GatherWhat,
+    round: usize,
+) -> usize {
     let grid = Grid3 {
         gm: plan.grid[0],
         gn: plan.grid[1],
@@ -340,11 +354,7 @@ fn window_offset(plan: &DistPlan, peer_coords: [usize; 3], peer_brick: &Brick, w
     let (lm, ln, lk) = (peer_brick.rows.len(), peer_brick.cols.len(), peer_brick.ks.len());
     let sp = latency_steps(lm, ln, lk, plan.problem.mem_words).expect("feasible plan");
     let mut offset = 0usize;
-    let a_total: usize = sp
-        .slabs
-        .iter()
-        .map(|&w| lm * even_range(w, grid.gn, jn).len())
-        .sum();
+    let a_total: usize = sp.slabs.iter().map(|&w| lm * even_range(w, grid.gn, jn).len()).sum();
     match what {
         GatherWhat::A => {
             for &w in sp.slabs.iter().take(round) {

@@ -1,0 +1,878 @@
+//! The unified algorithm API: one trait, one error type, one entry point.
+//!
+//! The paper's whole evaluation method is "every algorithm produces the same
+//! [`DistPlan`] and is measured identically" (§9). This module makes that
+//! contract a first-class type instead of a convention:
+//!
+//! * [`MmmAlgorithm`] — the trait every distributed MMM algorithm implements:
+//!   typed identity ([`AlgoId`]), capability queries
+//!   ([`MmmAlgorithm::supports`]), exact planning
+//!   ([`MmmAlgorithm::plan`]) and real threaded execution
+//!   ([`MmmAlgorithm::execute`]) with mpiP-style measured counters.
+//! * [`PlanError`] — the single error enum for everything that can go wrong
+//!   between "here is a problem" and "here is a validated plan": structural
+//!   plan defects, grid infeasibility, per-algorithm rank-count constraints
+//!   (Cannon's perfect square, CARMA's power of two), registry misses and
+//!   configuration mistakes.
+//! * [`AlgorithmRegistry`] — a set of boxed algorithms with per-algorithm
+//!   default configurations. [`AlgorithmRegistry::core`] holds COSMA alone;
+//!   the `baselines` crate's `registry()` adds the four comparison
+//!   algorithms of §9.
+//! * [`RunSession`] — a builder that takes a problem to a plan, a simulated
+//!   [`SimReport`], or a verified threaded execution in one fluent chain:
+//!
+//! ```
+//! use cosma::api::{AlgoId, RunSession};
+//! use cosma::problem::MmmProblem;
+//! use mpsim::cost::CostModel;
+//!
+//! let prob = MmmProblem::new(96, 80, 128, 16, 4096);
+//! let outcome = RunSession::new(prob)
+//!     .machine(CostModel::piz_daint_two_sided())
+//!     .algorithm(AlgoId::Cosma)
+//!     .run()
+//!     .expect("feasible problem");
+//! assert!(outcome.report.time_s > 0.0);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use densemat::gemm::matmul;
+use densemat::matrix::Matrix;
+use mpsim::comm::Comm;
+use mpsim::cost::CostModel;
+use mpsim::exec::run_spmd;
+use mpsim::machine::MachineSpec;
+use mpsim::stats::RankStats;
+
+use crate::algorithm::{self, assemble_c, Backend, CPart, CosmaConfig};
+use crate::grid::FitError;
+use crate::plan::{DistPlan, SimReport};
+use crate::problem::MmmProblem;
+
+// ---------------------------------------------------------------------------
+// Algorithm identity
+// ---------------------------------------------------------------------------
+
+/// Typed identifier of a distributed MMM algorithm.
+///
+/// Replaces the stringly `&'static str` ids that used to float between the
+/// plans, the bench runner and the CSV files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgoId {
+    /// COSMA (§3–§7): schedule first, grid second.
+    Cosma,
+    /// SUMMA (van de Geijn & Watts '97) — the ScaLAPACK `pdgemm` stand-in.
+    Summa,
+    /// Cannon's algorithm ('69): square grid, skew + ring shifts.
+    Cannon,
+    /// The 2.5D decomposition (Solomonik & Demmel '11) — the CTF stand-in.
+    P25d,
+    /// CARMA (Demmel et al. '13): BFS recursive splitting.
+    Carma,
+}
+
+impl AlgoId {
+    /// Every id, in the paper's presentation order.
+    pub const ALL: [AlgoId; 5] = [
+        AlgoId::Cosma,
+        AlgoId::Summa,
+        AlgoId::Cannon,
+        AlgoId::P25d,
+        AlgoId::Carma,
+    ];
+
+    /// Canonical lower-case name (used in tables, CSV files and CLIs).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgoId::Cosma => "cosma",
+            AlgoId::Summa => "summa",
+            AlgoId::Cannon => "cannon",
+            AlgoId::P25d => "p25d",
+            AlgoId::Carma => "carma",
+        }
+    }
+
+    /// The library the algorithm stands in for in the paper's figures, if
+    /// any ("scalapack" for SUMMA, "ctf" for 2.5D).
+    pub fn paper_stand_in(&self) -> Option<&'static str> {
+        match self {
+            AlgoId::Summa => Some("scalapack"),
+            AlgoId::P25d => Some("ctf"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AlgoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for AlgoId {
+    type Err = PlanError;
+
+    /// Parse a canonical name or a paper alias (`scalapack`, `ctf`, `2.5d`).
+    fn from_str(s: &str) -> Result<Self, PlanError> {
+        match s.to_ascii_lowercase().as_str() {
+            "cosma" => Ok(AlgoId::Cosma),
+            "summa" | "scalapack" => Ok(AlgoId::Summa),
+            "cannon" => Ok(AlgoId::Cannon),
+            "p25d" | "2.5d" | "ctf" => Ok(AlgoId::P25d),
+            "carma" => Ok(AlgoId::Carma),
+            _ => Err(PlanError::UnknownAlgorithm { name: s.to_string() }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified error type
+// ---------------------------------------------------------------------------
+
+/// A rank-count constraint an algorithm imposes on `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankRequirement {
+    /// `p = q²` (Cannon).
+    PerfectSquare,
+    /// `p = 2^L` (CARMA).
+    PowerOfTwo,
+}
+
+impl RankRequirement {
+    /// Does `p` satisfy the requirement?
+    pub fn accepts(&self, p: usize) -> bool {
+        match self {
+            RankRequirement::PerfectSquare => {
+                let q = (p as f64).sqrt().round() as usize;
+                q * q == p
+            }
+            RankRequirement::PowerOfTwo => p.is_power_of_two(),
+        }
+    }
+
+    /// [`accepts`](Self::accepts) as a typed check: the single source of
+    /// the [`PlanError::UnsupportedRanks`] errors that `supports()` and the
+    /// planners report.
+    pub fn check(&self, algo: AlgoId, p: usize) -> Result<(), PlanError> {
+        if self.accepts(p) {
+            Ok(())
+        } else {
+            Err(PlanError::UnsupportedRanks {
+                algo,
+                p,
+                requires: *self,
+            })
+        }
+    }
+}
+
+impl fmt::Display for RankRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankRequirement::PerfectSquare => write!(f, "a perfect-square rank count"),
+            RankRequirement::PowerOfTwo => write!(f, "a power-of-two rank count"),
+        }
+    }
+}
+
+/// Everything that can go wrong between a problem statement and a validated,
+/// executable plan.
+///
+/// Consolidates the former `FitError` (COSMA grid fitting), `BaselineError`
+/// (baseline planners) and the structural plan-validation errors into one
+/// enum, so every layer of the stack speaks the same error language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Some iteration-space point is covered zero or multiple times.
+    BadCoverage {
+        /// Sum of brick volumes over active ranks.
+        covered: u64,
+        /// Required volume `m·n·k`.
+        required: u64,
+    },
+    /// Two active ranks' bricks overlap.
+    Overlap {
+        /// First rank.
+        a: usize,
+        /// Second rank.
+        b: usize,
+    },
+    /// A brick exceeds the iteration-space bounds.
+    OutOfBounds {
+        /// Offending rank.
+        rank: usize,
+    },
+    /// A rank's working set exceeds the per-rank memory `S`.
+    MemoryExceeded {
+        /// Offending rank.
+        rank: usize,
+        /// Its planned working set.
+        need: u64,
+        /// The per-rank memory.
+        have: u64,
+    },
+    /// No decomposition of any admissible size fits the per-rank memory.
+    NoFeasibleGrid,
+    /// The algorithm cannot decompose for this rank count at all.
+    UnsupportedRanks {
+        /// The constrained algorithm.
+        algo: AlgoId,
+        /// The offered rank count.
+        p: usize,
+        /// What the algorithm requires of `p`.
+        requires: RankRequirement,
+    },
+    /// The registry has no implementation for the requested id.
+    NotRegistered {
+        /// The missing algorithm.
+        algo: AlgoId,
+    },
+    /// A plan was executed on a machine of the wrong size.
+    WorldSizeMismatch {
+        /// Ranks the plan was built for.
+        plan_ranks: usize,
+        /// Ranks of the executing machine.
+        world_ranks: usize,
+    },
+    /// A name failed to parse as an [`AlgoId`].
+    UnknownAlgorithm {
+        /// The unparsable name.
+        name: String,
+    },
+    /// A configuration knob was applied to an algorithm it does not fit.
+    InvalidConfig {
+        /// The algorithm the knob was applied to.
+        algo: AlgoId,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadCoverage { covered, required } => {
+                write!(f, "bricks cover {covered} of {required} iteration-space points")
+            }
+            PlanError::Overlap { a, b } => write!(f, "bricks of ranks {a} and {b} overlap"),
+            PlanError::OutOfBounds { rank } => {
+                write!(f, "rank {rank} has a brick outside the iteration space")
+            }
+            PlanError::MemoryExceeded { rank, need, have } => {
+                write!(f, "rank {rank} needs {need} words but has {have}")
+            }
+            PlanError::NoFeasibleGrid => write!(f, "no feasible decomposition fits the per-rank memory"),
+            PlanError::UnsupportedRanks { algo, p, requires } => {
+                write!(f, "{algo} requires {requires}; p = {p} is not")
+            }
+            PlanError::NotRegistered { algo } => {
+                write!(
+                    f,
+                    "algorithm {algo} is not in the registry (the full set lives in baselines::registry())"
+                )
+            }
+            PlanError::WorldSizeMismatch {
+                plan_ranks,
+                world_ranks,
+            } => {
+                write!(f, "plan built for {plan_ranks} ranks executed on a {world_ranks}-rank machine")
+            }
+            PlanError::UnknownAlgorithm { name } => write!(f, "unknown algorithm name: {name:?}"),
+            PlanError::InvalidConfig { algo, reason } => {
+                write!(f, "invalid configuration for {algo}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<FitError> for PlanError {
+    fn from(e: FitError) -> Self {
+        match e {
+            FitError::NoFeasibleGrid => PlanError::NoFeasibleGrid,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// Measured outcome of a real threaded execution.
+///
+/// The distributed output shares are assembled into the full product matrix,
+/// and every rank's mpiP-style counters are returned so callers can hold the
+/// execution against [`DistPlan`]'s word-exact predictions.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// The assembled `m × n` product.
+    pub c: Matrix,
+    /// Per-rank measured statistics, indexed by rank.
+    pub stats: Vec<RankStats>,
+}
+
+impl ExecReport {
+    /// Total words received across all ranks.
+    pub fn total_recv_words(&self) -> u64 {
+        self.stats.iter().map(RankStats::total_recv).sum()
+    }
+
+    /// Maximum words received by any rank.
+    pub fn max_recv_words(&self) -> u64 {
+        self.stats.iter().map(RankStats::total_recv).max().unwrap_or(0)
+    }
+}
+
+/// A distributed matrix-multiplication algorithm that plans exact per-rank
+/// communication and executes the same schedule with real messages.
+///
+/// The contract every implementation upholds (and the trait-level
+/// conformance suite in `tests/trait_conformance.rs` enforces):
+///
+/// 1. [`supports`](MmmAlgorithm::supports) is *honest*: if it accepts a
+///    problem's rank count, [`plan`](MmmAlgorithm::plan) never panics on that
+///    problem (it may still report memory infeasibility); if it rejects,
+///    `plan` returns the same error.
+/// 2. A returned plan passes [`DistPlan::validate_coverage`].
+/// 3. Executing the plan moves, rank by rank, exactly the words the plan
+///    predicts, and produces the same product as the sequential kernel.
+pub trait MmmAlgorithm: Send + Sync + std::any::Any {
+    /// The algorithm's typed identity.
+    fn id(&self) -> AlgoId;
+
+    /// The implementation as [`std::any::Any`], so callers holding a
+    /// `dyn MmmAlgorithm` can recover a concrete configuration (e.g.
+    /// [`RunSession`] merging partial COSMA overrides onto a
+    /// registry-customized base).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Capability query: can this algorithm decompose for `prob.p` ranks?
+    ///
+    /// This checks *structural* constraints (Cannon's perfect square, CARMA's
+    /// power of two), not memory feasibility — that is [`plan`]'s job, since
+    /// it depends on the decomposition search.
+    ///
+    /// [`plan`]: MmmAlgorithm::plan
+    fn supports(&self, _prob: &MmmProblem) -> Result<(), PlanError> {
+        Ok(())
+    }
+
+    /// Build the exact distributed plan for `prob` under `machine`'s cost
+    /// model.
+    fn plan(&self, prob: &MmmProblem, machine: &CostModel) -> Result<DistPlan, PlanError>;
+
+    /// Execute the plan on the calling rank with real messages, returning
+    /// this rank's share of the distributed output (`None` for ranks that
+    /// hold no output — idle ranks, or non-root layers of a reduction).
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart>;
+
+    /// Execute the plan on a simulated `machine` (one OS thread per rank),
+    /// assemble the distributed output and return it with the measured
+    /// per-rank counters.
+    fn execute(
+        &self,
+        plan: &DistPlan,
+        machine: &MachineSpec,
+        a: &Matrix,
+        b: &Matrix,
+    ) -> Result<ExecReport, PlanError>
+    where
+        Self: Sized,
+    {
+        execute_boxed(self, plan, machine, a, b)
+    }
+}
+
+/// Object-safe driver behind [`MmmAlgorithm::execute`] — also callable on a
+/// `&dyn MmmAlgorithm` (e.g. a registry entry).
+pub fn execute_boxed(
+    algo: &(impl MmmAlgorithm + ?Sized),
+    plan: &DistPlan,
+    machine: &MachineSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<ExecReport, PlanError> {
+    if plan.problem.p != machine.p {
+        return Err(PlanError::WorldSizeMismatch {
+            plan_ranks: plan.problem.p,
+            world_ranks: machine.p,
+        });
+    }
+    let out = run_spmd(machine, |comm| algo.execute_rank(comm, plan, a, b));
+    let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
+    Ok(ExecReport { c, stats: out.stats })
+}
+
+// ---------------------------------------------------------------------------
+// COSMA's implementation
+// ---------------------------------------------------------------------------
+
+/// COSMA as an [`MmmAlgorithm`]: wraps [`CosmaConfig`] (grid-fitting δ and
+/// communication [`Backend`]) around the planner and executor of
+/// [`crate::algorithm`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CosmaAlgorithm {
+    /// The tunables (δ = 0.03, two-sided backend by default).
+    pub cfg: CosmaConfig,
+}
+
+impl CosmaAlgorithm {
+    /// COSMA with an explicit configuration.
+    pub fn with_config(cfg: CosmaConfig) -> Self {
+        CosmaAlgorithm { cfg }
+    }
+}
+
+impl MmmAlgorithm for CosmaAlgorithm {
+    fn id(&self) -> AlgoId {
+        AlgoId::Cosma
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn plan(&self, prob: &MmmProblem, machine: &CostModel) -> Result<DistPlan, PlanError> {
+        algorithm::plan(prob, &self.cfg, machine)
+    }
+
+    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
+        algorithm::execute(comm, plan, &self.cfg, a, b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A set of [`MmmAlgorithm`] implementations, each with its default
+/// configuration, addressable by [`AlgoId`].
+///
+/// The core crate only knows COSMA ([`AlgorithmRegistry::core`]); the
+/// `baselines` crate's `registry()` returns the full five-algorithm set used
+/// by the bench harness, the examples and the conformance tests.
+#[derive(Clone, Default)]
+pub struct AlgorithmRegistry {
+    algos: Vec<Arc<dyn MmmAlgorithm>>,
+}
+
+impl AlgorithmRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AlgorithmRegistry { algos: Vec::new() }
+    }
+
+    /// The registry of the core crate: COSMA with its default configuration.
+    pub fn core() -> Self {
+        let mut r = AlgorithmRegistry::new();
+        r.register(CosmaAlgorithm::default());
+        r
+    }
+
+    /// Add (or replace) an algorithm. Later registrations of the same
+    /// [`AlgoId`] win, so callers can override a default configuration.
+    pub fn register(&mut self, algo: impl MmmAlgorithm + 'static) -> &mut Self {
+        self.register_arc(Arc::new(algo))
+    }
+
+    /// [`register`](Self::register) for an already-shared implementation.
+    pub fn register_arc(&mut self, algo: Arc<dyn MmmAlgorithm>) -> &mut Self {
+        self.algos.retain(|a| a.id() != algo.id());
+        self.algos.push(algo);
+        self
+    }
+
+    /// Every registered algorithm, in registration order.
+    pub fn all(&self) -> &[Arc<dyn MmmAlgorithm>] {
+        &self.algos
+    }
+
+    /// The registered ids, in registration order.
+    pub fn ids(&self) -> Vec<AlgoId> {
+        self.algos.iter().map(|a| a.id()).collect()
+    }
+
+    /// Look up an algorithm by id.
+    pub fn by_id(&self, id: AlgoId) -> Result<Arc<dyn MmmAlgorithm>, PlanError> {
+        self.algos
+            .iter()
+            .find(|a| a.id() == id)
+            .cloned()
+            .ok_or(PlanError::NotRegistered { algo: id })
+    }
+}
+
+impl fmt::Debug for AlgorithmRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmRegistry").field("ids", &self.ids()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunSession
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`RunSession::run`]: the plan and its cost-model evaluation.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The validated distributed plan.
+    pub plan: DistPlan,
+    /// The α-β-γ simulation of the plan (Figures 8–14 metrics).
+    pub report: SimReport,
+}
+
+/// The single entry point from a problem statement to a planned, simulated
+/// or executed multiplication.
+///
+/// ```
+/// use cosma::api::{AlgoId, RunSession};
+/// use cosma::problem::MmmProblem;
+///
+/// let plan = RunSession::new(MmmProblem::new(64, 64, 64, 8, 1 << 12))
+///     .algorithm(AlgoId::Cosma)
+///     .plan()
+///     .unwrap();
+/// assert_eq!(plan.algo, AlgoId::Cosma);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSession {
+    prob: MmmProblem,
+    algo: AlgoId,
+    registry: AlgorithmRegistry,
+    model: Option<CostModel>,
+    backend: Option<Backend>,
+    delta: Option<f64>,
+    overlap: bool,
+}
+
+impl RunSession {
+    /// Start a session for `prob`. Defaults: COSMA, the core registry, a
+    /// Piz-Daint-like two-sided cost model, communication overlap on.
+    pub fn new(prob: MmmProblem) -> Self {
+        RunSession {
+            prob,
+            algo: AlgoId::Cosma,
+            registry: AlgorithmRegistry::core(),
+            model: None,
+            backend: None,
+            delta: None,
+            overlap: true,
+        }
+    }
+
+    /// Set the machine cost model (the machine's rank count and memory come
+    /// from the problem itself).
+    pub fn machine(mut self, model: CostModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Select the algorithm (default: COSMA).
+    pub fn algorithm(mut self, id: AlgoId) -> Self {
+        self.algo = id;
+        self
+    }
+
+    /// Use a custom registry (e.g. `baselines::registry()` for the full
+    /// five-algorithm set, or one with re-configured defaults).
+    pub fn registry(mut self, registry: AlgorithmRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Override COSMA's communication backend (§7.4). Fails at resolution
+    /// time when the selected algorithm is not COSMA.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Override COSMA's grid-fitting idle budget δ (§7.1).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Simulate with or without communication–computation overlap (§7.3).
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// The effective cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.model.unwrap_or_else(CostModel::piz_daint_two_sided)
+    }
+
+    /// The simulated machine the session executes on: `prob.p` ranks with
+    /// `prob.mem_words` words each under the session's cost model.
+    pub fn machine_spec(&self) -> MachineSpec {
+        MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model())
+    }
+
+    /// Resolve the configured algorithm instance.
+    pub fn resolve(&self) -> Result<Arc<dyn MmmAlgorithm>, PlanError> {
+        if self.backend.is_some() || self.delta.is_some() {
+            if self.algo != AlgoId::Cosma {
+                return Err(PlanError::InvalidConfig {
+                    algo: self.algo,
+                    reason: "backend/delta are COSMA knobs",
+                });
+            }
+            // Unset knobs fall back to the registry's (possibly
+            // re-configured) COSMA entry, not to hard-coded defaults.
+            let base = self
+                .registry
+                .by_id(AlgoId::Cosma)
+                .ok()
+                .and_then(|a| a.as_any().downcast_ref::<CosmaAlgorithm>().map(|c| c.cfg))
+                .unwrap_or_default();
+            return Ok(Arc::new(CosmaAlgorithm::with_config(CosmaConfig {
+                delta: self.delta.unwrap_or(base.delta),
+                backend: self.backend.unwrap_or(base.backend),
+            })));
+        }
+        self.registry.by_id(self.algo)
+    }
+
+    /// Resolve, capability-check, plan and structurally validate in one
+    /// step — the shared path behind [`plan`](Self::plan),
+    /// [`execute`](Self::execute) and
+    /// [`execute_verified`](Self::execute_verified).
+    fn resolved_plan(&self) -> Result<(Arc<dyn MmmAlgorithm>, DistPlan), PlanError> {
+        let algo = self.resolve()?;
+        algo.supports(&self.prob)?;
+        let plan = algo.plan(&self.prob, &self.cost_model())?;
+        plan.validate_coverage()?;
+        Ok((algo, plan))
+    }
+
+    /// Plan only: capability check, exact plan, structural validation.
+    pub fn plan(&self) -> Result<DistPlan, PlanError> {
+        self.resolved_plan().map(|(_, plan)| plan)
+    }
+
+    /// Plan and evaluate under the cost model.
+    pub fn run(&self) -> Result<RunOutcome, PlanError> {
+        let plan = self.plan()?;
+        let report = plan.simulate(&self.cost_model(), self.overlap);
+        Ok(RunOutcome { plan, report })
+    }
+
+    /// Plan and execute with real messages on the session's simulated
+    /// machine, assembling the distributed product.
+    pub fn execute(&self, a: &Matrix, b: &Matrix) -> Result<ExecReport, PlanError> {
+        let (algo, plan) = self.resolved_plan()?;
+        execute_boxed(algo.as_ref(), &plan, &self.machine_spec(), a, b)
+    }
+
+    /// [`execute`](Self::execute), then verify the product against the
+    /// sequential kernel and the measured traffic against the plan, rank by
+    /// rank — the reproduction's central consistency contract.
+    ///
+    /// # Panics
+    /// Panics if the product or any rank's traffic deviates from the plan.
+    pub fn execute_verified(&self, a: &Matrix, b: &Matrix) -> Result<(DistPlan, ExecReport), PlanError> {
+        let (algo, plan) = self.resolved_plan()?;
+        let report = execute_boxed(algo.as_ref(), &plan, &self.machine_spec(), a, b)?;
+        let want = matmul(a, b);
+        assert!(
+            want.approx_eq(&report.c, 1e-9),
+            "{}: product deviates from the sequential kernel by {}",
+            plan.algo,
+            want.max_abs_diff(&report.c)
+        );
+        for (r, st) in report.stats.iter().enumerate() {
+            assert_eq!(
+                st.total_recv(),
+                plan.ranks[r].comm_words(),
+                "{}: rank {r} measured traffic deviates from the plan",
+                plan.algo
+            );
+        }
+        Ok((plan, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_id_roundtrips_and_aliases() {
+        for id in AlgoId::ALL {
+            assert_eq!(id.as_str().parse::<AlgoId>().unwrap(), id);
+        }
+        assert_eq!("scalapack".parse::<AlgoId>().unwrap(), AlgoId::Summa);
+        assert_eq!("CTF".parse::<AlgoId>().unwrap(), AlgoId::P25d);
+        assert!(matches!("pdgemm".parse::<AlgoId>(), Err(PlanError::UnknownAlgorithm { .. })));
+    }
+
+    #[test]
+    fn rank_requirements() {
+        assert!(RankRequirement::PerfectSquare.accepts(16));
+        assert!(!RankRequirement::PerfectSquare.accepts(8));
+        assert!(RankRequirement::PowerOfTwo.accepts(8));
+        assert!(!RankRequirement::PowerOfTwo.accepts(12));
+    }
+
+    #[test]
+    fn core_registry_has_cosma_only() {
+        let reg = AlgorithmRegistry::core();
+        assert_eq!(reg.ids(), vec![AlgoId::Cosma]);
+        assert!(reg.by_id(AlgoId::Cosma).is_ok());
+        assert_eq!(reg.by_id(AlgoId::Cannon).err(), Some(PlanError::NotRegistered { algo: AlgoId::Cannon }));
+    }
+
+    #[test]
+    fn registry_replacement_wins() {
+        let mut reg = AlgorithmRegistry::core();
+        reg.register(CosmaAlgorithm::with_config(CosmaConfig {
+            delta: 0.5,
+            backend: Backend::OneSided,
+        }));
+        assert_eq!(reg.all().len(), 1, "replaced, not duplicated");
+    }
+
+    #[test]
+    fn session_plans_and_simulates() {
+        let prob = MmmProblem::new(64, 48, 56, 12, 1 << 12);
+        let out = RunSession::new(prob).run().unwrap();
+        assert_eq!(out.plan.algo, AlgoId::Cosma);
+        assert_eq!(out.plan.validate(), Ok(()));
+        assert!(out.report.time_s > 0.0);
+    }
+
+    #[test]
+    fn session_executes_verified() {
+        let prob = MmmProblem::new(24, 20, 28, 6, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 5);
+        let b = Matrix::deterministic(prob.k, prob.n, 6);
+        let (plan, report) = RunSession::new(prob).execute_verified(&a, &b).unwrap();
+        assert_eq!(report.total_recv_words(), plan.total_comm_words());
+    }
+
+    #[test]
+    fn session_backend_override_works_and_is_cosma_only() {
+        let prob = MmmProblem::new(16, 16, 16, 4, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 1);
+        let b = Matrix::deterministic(prob.k, prob.n, 2);
+        RunSession::new(prob)
+            .backend(Backend::OneSided)
+            .execute_verified(&a, &b)
+            .unwrap();
+        let err = RunSession::new(prob)
+            .algorithm(AlgoId::Cannon)
+            .backend(Backend::OneSided)
+            .plan()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::InvalidConfig {
+                algo: AlgoId::Cannon,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn partial_override_keeps_registry_cosma_config() {
+        // A registry-customized COSMA base: one-sided backend. A delta-only
+        // override must keep that backend rather than resetting it to the
+        // hard default.
+        let mut reg = AlgorithmRegistry::core();
+        reg.register(CosmaAlgorithm::with_config(CosmaConfig {
+            delta: 0.1,
+            backend: Backend::OneSided,
+        }));
+        let session = RunSession::new(MmmProblem::new(16, 16, 16, 4, 4096)).registry(reg).delta(0.0);
+        let algo = session.resolve().unwrap();
+        let cosma = algo.as_any().downcast_ref::<CosmaAlgorithm>().unwrap();
+        assert_eq!(cosma.cfg.backend, Backend::OneSided, "registry backend survives");
+        assert_eq!(cosma.cfg.delta, 0.0, "delta override applies");
+    }
+
+    #[test]
+    fn session_execute_rejects_structurally_invalid_plans() {
+        // An algorithm whose plan misses part of the iteration space: the
+        // session must refuse to execute it, same as plan().
+        #[derive(Debug)]
+        struct HolePlanner;
+        impl MmmAlgorithm for HolePlanner {
+            fn id(&self) -> AlgoId {
+                AlgoId::Carma
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn plan(&self, prob: &MmmProblem, machine: &CostModel) -> Result<DistPlan, PlanError> {
+                let mut plan = CosmaAlgorithm::default().plan(prob, machine)?;
+                plan.ranks[0].bricks.clear(); // poke a hole
+                Ok(plan)
+            }
+            fn execute_rank(
+                &self,
+                comm: &mut Comm,
+                plan: &DistPlan,
+                a: &Matrix,
+                b: &Matrix,
+            ) -> Option<CPart> {
+                CosmaAlgorithm::default().execute_rank(comm, plan, a, b)
+            }
+        }
+        let mut reg = AlgorithmRegistry::new();
+        reg.register(HolePlanner);
+        let prob = MmmProblem::new(8, 8, 8, 2, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 1);
+        let b = Matrix::deterministic(prob.k, prob.n, 2);
+        let session = RunSession::new(prob).registry(reg).algorithm(AlgoId::Carma);
+        assert!(matches!(session.plan(), Err(PlanError::BadCoverage { .. })));
+        assert!(matches!(session.execute(&a, &b), Err(PlanError::BadCoverage { .. })));
+    }
+
+    #[test]
+    fn session_unregistered_algorithm_reports() {
+        let prob = MmmProblem::new(16, 16, 16, 4, 4096);
+        let err = RunSession::new(prob).algorithm(AlgoId::Carma).plan().unwrap_err();
+        assert_eq!(err, PlanError::NotRegistered { algo: AlgoId::Carma });
+    }
+
+    #[test]
+    fn world_size_mismatch_is_an_error_not_a_panic() {
+        let prob = MmmProblem::new(16, 16, 16, 4, 4096);
+        let algo = CosmaAlgorithm::default();
+        let plan = algo.plan(&prob, &CostModel::piz_daint_two_sided()).unwrap();
+        let wrong = MachineSpec::piz_daint_with_memory(5, prob.mem_words);
+        let a = Matrix::deterministic(prob.m, prob.k, 1);
+        let b = Matrix::deterministic(prob.k, prob.n, 2);
+        let err = algo.execute(&plan, &wrong, &a, &b).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::WorldSizeMismatch {
+                plan_ranks: 4,
+                world_ranks: 5
+            }
+        );
+    }
+
+    #[test]
+    fn plan_error_displays() {
+        let msgs = [
+            PlanError::NoFeasibleGrid.to_string(),
+            PlanError::UnsupportedRanks {
+                algo: AlgoId::Cannon,
+                p: 5,
+                requires: RankRequirement::PerfectSquare,
+            }
+            .to_string(),
+            PlanError::from(FitError::NoFeasibleGrid).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -147,7 +147,11 @@ fn fit_ranks_in(prob: &MmmProblem, min_used: usize, model: &CostModel) -> Result
             // round plus the reduction tree depth.
             let steps = latency_steps(lm, ln, lk, prob.mem_words).map(|s| s.steps).unwrap_or(1);
             let log2c = |g: usize| -> u64 {
-                if g <= 1 { 0 } else { (usize::BITS - (g - 1).leading_zeros()) as u64 }
+                if g <= 1 {
+                    0
+                } else {
+                    (usize::BITS - (g - 1).leading_zeros()) as u64
+                }
             };
             let msgs = steps as u64 * (log2c(gn) + log2c(gm)) + gk as u64 - 1;
             let score = model.compute_time(flops) + model.comm_time(comm_words, msgs);
@@ -192,7 +196,7 @@ pub fn divisors(n: usize) -> Vec<usize> {
     let mut large = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);
@@ -273,10 +277,7 @@ mod tests {
         assert_eq!(strict.used, 65);
         let relaxed = fit_ranks(&prob, 0.03, &model()).unwrap();
         assert_eq!(relaxed.used, 64, "one rank must be dropped");
-        assert_eq!(
-            (relaxed.grid.gm, relaxed.grid.gn, relaxed.grid.gk),
-            (4, 4, 4)
-        );
+        assert_eq!((relaxed.grid.gm, relaxed.grid.gn, relaxed.grid.gk), (4, 4, 4));
         let saved = 1.0 - relaxed.comm_words as f64 / strict.comm_words as f64;
         assert!(saved > 0.25, "comm saving {saved} too small");
         // Compute penalty of idling one rank of 65 is ~1.5%.
@@ -302,10 +303,7 @@ mod tests {
             let prob = MmmProblem::new(1024, 1024, 1024, p, 1 << 18);
             let strict = fit_ranks(&prob, 0.0, &model()).unwrap();
             let relaxed = fit_ranks(&prob, 0.05, &model()).unwrap();
-            assert!(
-                relaxed.score <= strict.score + 1e-12,
-                "p={p}: relaxing delta made things worse"
-            );
+            assert!(relaxed.score <= strict.score + 1e-12, "p={p}: relaxing delta made things worse");
         }
     }
 

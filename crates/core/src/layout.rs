@@ -69,11 +69,7 @@ pub struct CosmaCLayout {
 /// Build the three layouts induced by a COSMA grid.
 pub fn cosma_layouts(prob: &MmmProblem, grid: Grid3) -> (CosmaALayout, CosmaBLayout, CosmaCLayout) {
     let geo = Geometry { prob: *prob, grid };
-    (
-        CosmaALayout { geo: geo.clone() },
-        CosmaBLayout { geo: geo.clone() },
-        CosmaCLayout { geo },
-    )
+    (CosmaALayout { geo: geo.clone() }, CosmaBLayout { geo: geo.clone() }, CosmaCLayout { geo })
 }
 
 /// Locate `t` within the round-slab structure of the k-range `ks` and return
@@ -86,8 +82,8 @@ fn chunk_owner(
     t: usize,
     parts: usize,
 ) -> usize {
-    let sp = latency_steps(lm, ln, ks.len(), prob.mem_words)
-        .expect("layout queried for an infeasible domain");
+    let sp =
+        latency_steps(lm, ln, ks.len(), prob.mem_words).expect("layout queried for an infeasible domain");
     let local_t = t - ks.start;
     for slab in sp.slab_ranges() {
         if slab.contains(&local_t) {
@@ -161,10 +157,7 @@ mod tests {
     use densemat::layout::{relayout_words, BlockCyclic};
 
     fn setup() -> (MmmProblem, Grid3) {
-        (
-            MmmProblem::new(12, 12, 12, 8, 4096),
-            Grid3 { gm: 2, gn: 2, gk: 2 },
-        )
+        (MmmProblem::new(12, 12, 12, 8, 4096), Grid3 { gm: 2, gn: 2, gk: 2 })
     }
 
     #[test]

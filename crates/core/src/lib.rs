@@ -26,10 +26,17 @@
 //!
 //! Baseline algorithms (`baselines` crate) produce the same [`plan::DistPlan`]
 //! structure, so every comparison in the paper's evaluation is a comparison
-//! between two plans measured identically.
+//! between two plans measured identically. That contract is a first-class
+//! type: every algorithm implements [`api::MmmAlgorithm`] (typed
+//! [`api::AlgoId`] identity, capability queries, planning and execution
+//! behind one unified [`api::PlanError`]), an [`api::AlgorithmRegistry`]
+//! collects the implementations, and [`api::RunSession`] is the single
+//! builder-style entry point used by the bench harness, the examples and
+//! the integration tests.
 
 pub mod algorithm;
 pub mod analysis;
+pub mod api;
 pub mod grid;
 pub mod layout;
 pub mod plan;
@@ -38,6 +45,10 @@ pub mod schedule;
 pub mod treecount;
 
 pub use algorithm::{execute, plan as cosma_plan, Backend, CosmaConfig};
+pub use api::{
+    AlgoId, AlgorithmRegistry, CosmaAlgorithm, ExecReport, MmmAlgorithm, PlanError, RankRequirement,
+    RunOutcome, RunSession,
+};
 pub use grid::{fit_ranks, FitResult, Grid3};
-pub use plan::{Brick, DistPlan, PlanError, RankPlan, Round, SimReport};
+pub use plan::{Brick, DistPlan, RankPlan, Round, SimReport};
 pub use problem::{MmmProblem, Shape};

@@ -15,6 +15,8 @@
 
 use mpsim::cost::{percent_peak, simulate_rounds, CostModel, RoundCost, TimeBreakdown};
 
+use crate::api::AlgoId;
+pub use crate::api::PlanError;
 use crate::problem::MmmProblem;
 
 /// A rectangular sub-volume of the iteration space.
@@ -135,39 +137,6 @@ impl RankPlan {
     }
 }
 
-/// Why a plan is structurally invalid.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PlanError {
-    /// Some iteration-space point is covered zero or multiple times.
-    BadCoverage {
-        /// Sum of brick volumes over active ranks.
-        covered: u64,
-        /// Required volume `m·n·k`.
-        required: u64,
-    },
-    /// Two active ranks' bricks overlap.
-    Overlap {
-        /// First rank.
-        a: usize,
-        /// Second rank.
-        b: usize,
-    },
-    /// A brick exceeds the iteration-space bounds.
-    OutOfBounds {
-        /// Offending rank.
-        rank: usize,
-    },
-    /// A rank's working set exceeds the per-rank memory `S`.
-    MemoryExceeded {
-        /// Offending rank.
-        rank: usize,
-        /// Its planned working set.
-        need: u64,
-        /// The per-rank memory.
-        have: u64,
-    },
-}
-
 /// Simulated outcome of a plan under a cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimReport {
@@ -186,8 +155,8 @@ pub struct SimReport {
 /// A complete distributed plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistPlan {
-    /// Algorithm name ("cosma", "summa", "cannon", "p25d", "carma").
-    pub algo: &'static str,
+    /// The algorithm that produced the plan.
+    pub algo: AlgoId,
     /// The problem instance.
     pub problem: MmmProblem,
     /// The processor grid actually used (algorithm-specific meaning).
@@ -200,6 +169,23 @@ impl DistPlan {
     /// Number of non-idle ranks.
     pub fn active_ranks(&self) -> usize {
         self.ranks.iter().filter(|r| r.active).count()
+    }
+
+    /// Pad the plan out to a `p`-rank machine by appending idle ranks — the
+    /// paper's policy for algorithms whose rank-count constraints exclude
+    /// part of the machine (CARMA on non-powers-of-two, §1): the excluded
+    /// cores idle and are charged against %-of-peak exactly as the machine
+    /// would charge them.
+    ///
+    /// # Panics
+    /// Panics if the plan already has more ranks than `p`.
+    pub fn padded_to(mut self, p: usize) -> DistPlan {
+        assert!(self.problem.p <= p, "cannot pad a plan down");
+        for rank in self.problem.p..p {
+            self.ranks.push(RankPlan::idle(rank));
+        }
+        self.problem.p = p;
+        self
     }
 
     /// Maximum per-rank communication volume (words received).
@@ -323,7 +309,11 @@ mod tests {
     use super::*;
 
     fn brick(r: std::ops::Range<usize>, c: std::ops::Range<usize>, t: std::ops::Range<usize>) -> Brick {
-        Brick { rows: r, cols: c, ks: t }
+        Brick {
+            rows: r,
+            cols: c,
+            ks: t,
+        }
     }
 
     fn simple_plan() -> DistPlan {
@@ -335,13 +325,25 @@ mod tests {
             coords: [rank, 0, 0],
             bricks: vec![brick(rows, 0..4, 0..4)],
             rounds: vec![
-                Round { a_words: 8, b_words: 16, c_words: 0, msgs: 2, flops: 64 },
-                Round { a_words: 8, b_words: 16, c_words: 0, msgs: 2, flops: 64 },
+                Round {
+                    a_words: 8,
+                    b_words: 16,
+                    c_words: 0,
+                    msgs: 2,
+                    flops: 64,
+                },
+                Round {
+                    a_words: 8,
+                    b_words: 16,
+                    c_words: 0,
+                    msgs: 2,
+                    flops: 64,
+                },
             ],
             mem_words: 100,
         };
         DistPlan {
-            algo: "test",
+            algo: AlgoId::Cosma,
             problem: prob,
             grid: [2, 1, 1],
             ranks: vec![mk_rank(0, 0..2), mk_rank(1, 2..4)],
@@ -388,8 +390,8 @@ mod tests {
     fn validate_detects_overlap() {
         let mut plan = simple_plan();
         plan.ranks[1].bricks[0].rows = 1..3; // overlaps row 1, volume 64 again?
-        // Volume is now 2*32 = 64 = required, but rows 1 overlaps and row 3
-        // is uncovered -> the pairwise check fires.
+                                             // Volume is now 2*32 = 64 = required, but rows 1 overlaps and row 3
+                                             // is uncovered -> the pairwise check fires.
         assert!(matches!(
             plan.validate(),
             Err(PlanError::Overlap { .. }) | Err(PlanError::BadCoverage { .. })

@@ -40,7 +40,13 @@ impl MmmProblem {
         assert!(m > 0 && n > 0 && k > 0, "matrix dimensions must be positive");
         assert!(p > 0, "need at least one rank");
         assert!(mem_words > 0, "ranks need memory");
-        MmmProblem { m, n, k, p, mem_words }
+        MmmProblem {
+            m,
+            n,
+            k,
+            p,
+            mem_words,
+        }
     }
 
     /// Total multiply-add flops of the classical algorithm: `2·m·n·k`.

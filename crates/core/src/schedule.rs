@@ -130,10 +130,7 @@ mod tests {
             let d = optimal_domain(&prob);
             let vol = d.a * d.a * d.b;
             let want = prob.volume() as f64 / p as f64;
-            assert!(
-                (vol / want - 1.0).abs() < 1e-9,
-                "a²b = {vol} must equal mnk/p = {want}"
-            );
+            assert!((vol / want - 1.0).abs() < 1e-9, "a²b = {vol} must equal mnk/p = {want}");
         }
     }
 

@@ -96,6 +96,7 @@ pub fn gemm_tiled(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 
 /// Tiled kernel over a row band `[row0, row1)` of C (and A). Shared by the
 /// sequential and parallel drivers.
+#[allow(clippy::too_many_arguments)]
 fn gemm_tiled_raw(
     av: &[f64],
     bv: &[f64],
@@ -162,17 +163,16 @@ pub fn gemm_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix, threads: usize) {
         rest = tail;
         row += rows_here;
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (row0, cband) in bands {
             let rows_here = cband.len() / n;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 // Each band is an independent (rows_here x n x k) gemm.
                 let asub = &av[row0 * k..(row0 + rows_here) * k];
                 gemm_tiled_raw(asub, bv, cband, rows_here, n, k, 0, rows_here);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 /// Convenience wrapper: allocate C and return `a * b`.
@@ -235,11 +235,7 @@ mod tests {
             let mut c2 = Matrix::zeros(m, n);
             gemm_naive(&a, &b, &mut c1);
             gemm_tiled(&a, &b, &mut c2);
-            assert!(
-                c1.approx_eq(&c2, 1e-10),
-                "tiled mismatch at {m}x{n}x{k}: {}",
-                c1.max_abs_diff(&c2)
-            );
+            assert!(c1.approx_eq(&c2, 1e-10), "tiled mismatch at {m}x{n}x{k}: {}", c1.max_abs_diff(&c2));
         }
     }
 
@@ -252,11 +248,7 @@ mod tests {
         for threads in [1, 2, 3, 4, 8, 97, 200] {
             let mut c = Matrix::zeros(97, 83);
             gemm_parallel(&a, &b, &mut c, threads);
-            assert!(
-                want.approx_eq(&c, 1e-10),
-                "parallel({threads}) mismatch: {}",
-                want.max_abs_diff(&c)
-            );
+            assert!(want.approx_eq(&c, 1e-10), "parallel({threads}) mismatch: {}", want.max_abs_diff(&c));
         }
     }
 

@@ -334,8 +334,9 @@ mod tests {
         let bc = BlockCyclic::new(11, 5, 3, 2, 2, 3);
         let m = Matrix::zeros(11, 5);
         let locals = scatter(&bc, &m);
-        for r in 0..bc.num_ranks() {
-            assert_eq!(bc.local_len(r), locals[r].len(), "rank {r}");
+        assert_eq!(locals.len(), bc.num_ranks());
+        for (r, loc) in locals.iter().enumerate() {
+            assert_eq!(bc.local_len(r), loc.len(), "rank {r}");
         }
     }
 

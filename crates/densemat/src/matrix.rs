@@ -47,12 +47,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "buffer length {} does not match {rows}x{cols}",
-            data.len()
-        );
+        assert_eq!(data.len(), rows * cols, "buffer length {} does not match {rows}x{cols}", data.len());
         Matrix { rows, cols, data }
     }
 

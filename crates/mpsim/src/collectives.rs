@@ -56,7 +56,14 @@ pub fn bcast(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut Vec<f
 /// `group[root_pos]`. On the root, `data` holds the element-wise sum on
 /// return; on other ranks its contents are the partial sums that were
 /// forwarded (callers should treat them as garbage).
-pub fn reduce_sum(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut [f64], tag: u64, phase: Phase) {
+pub fn reduce_sum(
+    comm: &mut Comm,
+    group: &[usize],
+    root_pos: usize,
+    data: &mut [f64],
+    tag: u64,
+    phase: Phase,
+) {
     let g = group.len();
     assert!(root_pos < g, "root position out of range");
     if g <= 1 {
@@ -89,7 +96,13 @@ pub fn reduce_sum(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut 
 /// contributions ordered by group position. `g - 1` steps, each forwarding
 /// the chunk received in the previous step — per-rank received volume is the
 /// total payload minus one's own contribution, the textbook ring cost.
-pub fn allgather_ring(comm: &mut Comm, group: &[usize], mine: Vec<f64>, tag: u64, phase: Phase) -> Vec<Vec<f64>> {
+pub fn allgather_ring(
+    comm: &mut Comm,
+    group: &[usize],
+    mine: Vec<f64>,
+    tag: u64,
+    phase: Phase,
+) -> Vec<Vec<f64>> {
     let g = group.len();
     let pos = my_pos(comm, group);
     let mut chunks: Vec<Option<Vec<f64>>> = vec![None; g];
@@ -222,7 +235,14 @@ pub fn shift(comm: &mut Comm, dst: usize, src: usize, data: Vec<f64>, tag: u64, 
 /// Direct gather onto `group[root_pos]`: returns `Some(contributions)` (by
 /// group position) on the root, `None` elsewhere. Linear pattern — used for
 /// collecting verification output, not in measured algorithm phases.
-pub fn gather(comm: &mut Comm, group: &[usize], root_pos: usize, mine: Vec<f64>, tag: u64, phase: Phase) -> Option<Vec<Vec<f64>>> {
+pub fn gather(
+    comm: &mut Comm,
+    group: &[usize],
+    root_pos: usize,
+    mine: Vec<f64>,
+    tag: u64,
+    phase: Phase,
+) -> Option<Vec<Vec<f64>>> {
     let g = group.len();
     let pos = my_pos(comm, group);
     if pos == root_pos {
@@ -253,7 +273,11 @@ mod tests {
                 let spec = MachineSpec::test_machine(p, 1000);
                 let out = run_spmd(&spec, |c| {
                     let group: Vec<usize> = (0..c.size()).collect();
-                    let mut data = if c.rank() == group[root] { vec![42.0, 7.0] } else { vec![] };
+                    let mut data = if c.rank() == group[root] {
+                        vec![42.0, 7.0]
+                    } else {
+                        vec![]
+                    };
                     bcast(c, &group, root, &mut data, 9, Phase::InputA);
                     data
                 });
@@ -417,9 +441,7 @@ mod tests {
                 reduce_scatter_ring(c, &group, &mut data, 50, Phase::OutputC)
             });
             // Reference sum.
-            let want: Vec<f64> = (0..len)
-                .map(|i| (0..p).map(|r| (r * 100 + i) as f64).sum())
-                .collect();
+            let want: Vec<f64> = (0..len).map(|i| (0..p).map(|r| (r * 100 + i) as f64).sum()).collect();
             let ranges = even_chunk_ranges(len, p);
             let mut owned = vec![false; p];
             for (pos, (idx, chunk)) in out.results.iter().enumerate() {

@@ -3,7 +3,7 @@
 //! Two backends mirror §7.4 of the paper:
 //!
 //! * **Two-sided** — [`Comm::send`]/[`Comm::recv`] with `(source, tag)`
-//!   matching over unbounded crossbeam channels (the Message Passing model).
+//!   matching over unbounded std mpsc channels (the Message Passing model).
 //!   Unbounded buffering means a send never blocks, so exchange patterns like
 //!   Cannon shifts cannot deadlock.
 //! * **One-sided** — per-rank shared-memory *windows* with
@@ -14,11 +14,9 @@
 //! Every operation updates the per-rank [`StatsBoard`] counters, which is how
 //! the "communication volume per rank" measurements of Figures 6–7 are taken.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::stats::{Phase, StatsBoard};
 
@@ -41,6 +39,12 @@ struct SharedState {
     windows: Vec<Mutex<Vec<f64>>>,
 }
 
+/// Lock a window mutex; a poisoned lock means another rank already
+/// panicked, so recover the data and let that panic surface first.
+fn lock(w: &Mutex<Vec<f64>>) -> MutexGuard<'_, Vec<f64>> {
+    w.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A rank's handle to the simulated machine.
 pub struct Comm {
     rank: usize,
@@ -59,7 +63,7 @@ impl Comm {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -124,7 +128,11 @@ impl Comm {
         assert!(to < self.p, "send to rank {to} of {}", self.p);
         self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
         self.shared.senders[to]
-            .send(Packet { from: self.rank, tag, data })
+            .send(Packet {
+                from: self.rank,
+                tag,
+                data,
+            })
             .expect("receiver dropped: a rank exited early");
     }
 
@@ -142,10 +150,9 @@ impl Comm {
             return msg.data;
         }
         loop {
-            let msg = self
-                .inbox
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("rank {}: timed out waiting for (from={from}, tag={tag})", self.rank));
+            let msg = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                panic!("rank {}: timed out waiting for (from={from}, tag={tag})", self.rank)
+            });
             if msg.from == from && msg.tag == tag {
                 self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
                 return msg.data;
@@ -175,7 +182,7 @@ impl Comm {
     /// `MPI_Win_allocate`, every rank must call it before the first
     /// [`Comm::fence`] of the epoch that uses the window.
     pub fn win_resize(&self, words: usize) {
-        let mut w = self.shared.windows[self.rank].lock();
+        let mut w = lock(&self.shared.windows[self.rank]);
         w.clear();
         w.resize(words, 0.0);
     }
@@ -187,7 +194,7 @@ impl Comm {
     /// # Panics
     /// Panics if the target window is too small.
     pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        let mut w = self.shared.windows[target].lock();
+        let mut w = lock(&self.shared.windows[target]);
         assert!(
             offset + data.len() <= w.len(),
             "put past window end: {} + {} > {}",
@@ -203,7 +210,7 @@ impl Comm {
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
     /// Counts as words received by this rank and sent by the target.
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
-        let w = self.shared.windows[target].lock();
+        let w = lock(&self.shared.windows[target]);
         assert!(offset + len <= w.len(), "get past window end");
         let out = w[offset..offset + len].to_vec();
         drop(w);
@@ -215,7 +222,7 @@ impl Comm {
     /// Element-wise add `data` into `target`'s window at `offset` (like
     /// `MPI_Accumulate` with `MPI_SUM`).
     pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        let mut w = self.shared.windows[target].lock();
+        let mut w = lock(&self.shared.windows[target]);
         assert!(offset + data.len() <= w.len(), "accumulate past window end");
         for (dst, src) in w[offset..offset + data.len()].iter_mut().zip(data) {
             *dst += *src;
@@ -229,17 +236,17 @@ impl Comm {
     /// one's own window is a local operation, like filling an
     /// `MPI_Win_allocate` buffer).
     pub fn win_fill(&self, data: Vec<f64>) {
-        *self.shared.windows[self.rank].lock() = data;
+        *lock(&self.shared.windows[self.rank]) = data;
     }
 
     /// Read this rank's own window (no traffic counted).
     pub fn win_local(&self) -> Vec<f64> {
-        self.shared.windows[self.rank].lock().clone()
+        lock(&self.shared.windows[self.rank]).clone()
     }
 
     /// Read a slice of this rank's own window (no traffic counted).
     pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
-        let w = self.shared.windows[self.rank].lock();
+        let w = lock(&self.shared.windows[self.rank]);
         assert!(offset + len <= w.len(), "local window read past end");
         w[offset..offset + len].to_vec()
     }
@@ -308,30 +315,29 @@ mod tests {
     #[test]
     fn threaded_exchange() {
         let (comms, stats) = world(4);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for mut c in comms {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let right = (c.rank() + 1) % c.size();
                     let left = (c.rank() + c.size() - 1) % c.size();
                     let got = c.sendrecv(right, left, 0, vec![c.rank() as f64; 10], Phase::InputB);
                     assert_eq!(got, vec![left as f64; 10]);
                 });
             }
-        })
-        .unwrap();
+        });
         let snap = stats.snapshot();
-        for r in 0..4 {
-            assert_eq!(snap[r].total_sent(), 10);
-            assert_eq!(snap[r].total_recv(), 10);
+        for st in snap.iter().take(4) {
+            assert_eq!(st.total_sent(), 10);
+            assert_eq!(st.total_recv(), 10);
         }
     }
 
     #[test]
     fn rma_put_get_accumulate() {
         let (comms, stats) = world(2);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for c in comms {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     c.win_resize(4);
                     c.fence();
                     if c.rank() == 0 {
@@ -347,8 +353,7 @@ mod tests {
                     c.fence();
                 });
             }
-        })
-        .unwrap();
+        });
         let snap = stats.snapshot();
         // rank 0 sent 3 words by put/accumulate and 2 more serving the get;
         // rank 1 received those 3 words plus the 2 it fetched itself.

@@ -153,8 +153,16 @@ mod tests {
     #[test]
     fn no_overlap_is_sum() {
         let rounds = [
-            RoundCost { words: 5, msgs: 0, flops: 10 },
-            RoundCost { words: 3, msgs: 0, flops: 4 },
+            RoundCost {
+                words: 5,
+                msgs: 0,
+                flops: 10,
+            },
+            RoundCost {
+                words: 3,
+                msgs: 0,
+                flops: 4,
+            },
         ];
         let t = simulate_rounds(&rounds, &unit_model(), false);
         assert!((t.compute_s - 14.0).abs() < 1e-12);
@@ -168,8 +176,16 @@ mod tests {
         // comm = [5, 3], comp = [10, 4]: with overlap only the first fetch is
         // exposed (3 < 10 hides fully): total = 5 + 10 + 4.
         let rounds = [
-            RoundCost { words: 5, msgs: 0, flops: 10 },
-            RoundCost { words: 3, msgs: 0, flops: 4 },
+            RoundCost {
+                words: 5,
+                msgs: 0,
+                flops: 10,
+            },
+            RoundCost {
+                words: 3,
+                msgs: 0,
+                flops: 4,
+            },
         ];
         let t = simulate_rounds(&rounds, &unit_model(), true);
         assert!((t.exposed_comm_s - 5.0).abs() < 1e-12);
@@ -183,8 +199,16 @@ mod tests {
         // comm = [2, 20], comp = [4, 1]: second fetch exceeds the compute it
         // hides behind by 16.
         let rounds = [
-            RoundCost { words: 2, msgs: 0, flops: 4 },
-            RoundCost { words: 20, msgs: 0, flops: 1 },
+            RoundCost {
+                words: 2,
+                msgs: 0,
+                flops: 4,
+            },
+            RoundCost {
+                words: 20,
+                msgs: 0,
+                flops: 1,
+            },
         ];
         let t = simulate_rounds(&rounds, &unit_model(), true);
         assert!((t.exposed_comm_s - 18.0).abs() < 1e-12);
@@ -195,7 +219,11 @@ mod tests {
     fn overlap_never_slower_never_faster_than_bounds() {
         let model = CostModel::piz_daint_two_sided();
         let rounds: Vec<RoundCost> = (0..20)
-            .map(|i| RoundCost { words: 1000 * (i + 1), msgs: 2, flops: 500_000 * (20 - i) })
+            .map(|i| RoundCost {
+                words: 1000 * (i + 1),
+                msgs: 2,
+                flops: 500_000 * (20 - i),
+            })
             .collect();
         let no = simulate_rounds(&rounds, &model, false);
         let yes = simulate_rounds(&rounds, &model, true);

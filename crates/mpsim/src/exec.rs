@@ -37,19 +37,18 @@ where
     let stats = Arc::new(StatsBoard::new(spec.p));
     let comms = Comm::create_world(spec.p, stats.clone());
     let mut slots: Vec<Option<R>> = (0..spec.p).map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|mut c| {
                 let f = &f;
-                s.spawn(move |_| f(&mut c))
+                s.spawn(move || f(&mut c))
             })
             .collect();
         for (slot, h) in slots.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("rank panicked"));
         }
-    })
-    .expect("executor scope failed");
+    });
     RunOutput {
         results: slots.into_iter().map(|s| s.expect("missing rank result")).collect(),
         stats: stats.snapshot(),

@@ -41,7 +41,13 @@ impl Phase {
 
     /// All phases in index order.
     pub fn all() -> [Phase; NUM_PHASES] {
-        [Phase::InputA, Phase::InputB, Phase::OutputC, Phase::Layout, Phase::Other]
+        [
+            Phase::InputA,
+            Phase::InputB,
+            Phase::OutputC,
+            Phase::Layout,
+            Phase::Other,
+        ]
     }
 }
 
@@ -244,17 +250,16 @@ mod tests {
     fn counters_are_thread_safe() {
         let board = std::sync::Arc::new(StatsBoard::new(1));
         let threads = 8;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
                 let b = board.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..1000 {
                         b.rank(0).record_send(1, Phase::Other);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let snap = board.snapshot();
         assert_eq!(snap[0].words_sent[Phase::Other.index()], 8000);
         assert_eq!(snap[0].msgs_sent, 8000);

@@ -132,7 +132,7 @@ pub fn aopt_bopt_enumerated(s: usize) -> (usize, usize) {
     let mut best = (1usize, 1usize);
     let mut best_rho = 0.0f64;
     for a in 1..s {
-        if a * 1 + a + 1 > s {
+        if a + a + 1 > s {
             break;
         }
         let b = (s - a - 1) / a;
@@ -298,7 +298,7 @@ mod tests {
     fn aopt_bopt_enumerated_is_feasible_and_optimal() {
         for s in [10usize, 50, 100, 1000, 4096] {
             let (a, b) = aopt_bopt_enumerated(s);
-            assert!(a * b + a + 1 <= s, "infeasible at S={s}");
+            assert!(a * b + a < s, "infeasible at S={s}");
             let rho = (a * b) as f64 / (a + b) as f64;
             // No feasible pair beats it.
             for a2 in 1..s {
@@ -331,7 +331,7 @@ mod tests {
     fn best_engine_tile_feasible() {
         for s in [8usize, 16, 100, 1024] {
             let (a, b) = best_engine_tile(s);
-            assert!(a * b + a + b + 1 <= s, "S={s}: tile ({a},{b}) infeasible");
+            assert!(a * b + a + b < s, "S={s}: tile ({a},{b}) infeasible");
             assert!(a >= 1 && b >= 1);
         }
         // For square-friendly S the tile is near sqrt(S) - 1.

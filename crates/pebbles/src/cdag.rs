@@ -80,9 +80,7 @@ impl Cdag {
     pub fn topo_order(&self) -> Vec<VertexId> {
         let n = self.len();
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {

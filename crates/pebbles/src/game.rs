@@ -154,7 +154,9 @@ impl<'g> GameRun<'g> {
     fn place_red(&mut self, v: usize) -> Result<(), GameError> {
         if !self.red[v] {
             if self.red_count == self.capacity {
-                return Err(GameError::RedCapacityExceeded { capacity: self.capacity });
+                return Err(GameError::RedCapacityExceeded {
+                    capacity: self.capacity,
+                });
             }
             self.red[v] = true;
             self.red_count += 1;
@@ -193,7 +195,10 @@ impl<'g> GameRun<'g> {
                 }
                 for &u in self.graph.preds(id) {
                     if !self.red[u as usize] {
-                        return Err(GameError::MissingRedParent { vertex: id, parent: u });
+                        return Err(GameError::MissingRedParent {
+                            vertex: id,
+                            parent: u,
+                        });
                     }
                 }
                 self.place_red(v)?;
@@ -332,10 +337,7 @@ mod tests {
         let g = diamond();
         let mut run = GameRun::new(&g, 1);
         run.apply(Move::Load(0)).unwrap();
-        assert_eq!(
-            run.apply(Move::Compute(1)),
-            Err(GameError::RedCapacityExceeded { capacity: 1 })
-        );
+        assert_eq!(run.apply(Move::Compute(1)), Err(GameError::RedCapacityExceeded { capacity: 1 }));
         // Freeing the red pebble makes room — but then 1 has no red parent.
         run.apply(Move::RemoveRed(0)).unwrap();
         assert!(matches!(run.apply(Move::Compute(1)), Err(GameError::MissingRedParent { .. })));
@@ -440,9 +442,6 @@ mod tests {
         assert_eq!(io, 5);
         // And S = 3 indeed rejects this strategy at the second compute.
         let mut run = GameRun::new(&g, 3);
-        assert_eq!(
-            run.apply_all(&moves),
-            Err(GameError::RedCapacityExceeded { capacity: 3 })
-        );
+        assert_eq!(run.apply_all(&moves), Err(GameError::RedCapacityExceeded { capacity: 3 }));
     }
 }

@@ -160,10 +160,7 @@ mod tests {
             let (moves, a, b) = near_optimal_moves(&g, s);
             let io = validate_complete(g.graph(), s, &moves).unwrap();
             let lb = theorem1_lower_bound(m, n, k, s);
-            assert!(
-                io as f64 >= lb,
-                "measured {io} below Theorem 1 bound {lb} (tile {a}x{b})"
-            );
+            assert!(io as f64 >= lb, "measured {io} below Theorem 1 bound {lb} (tile {a}x{b})");
         }
     }
 
@@ -181,10 +178,7 @@ mod tests {
             let moves = tiled_moves(&g, a, a);
             let io = validate_complete(g.graph(), s, &moves).unwrap();
             let ratio = io as f64 / theorem1_lower_bound(m, n, k, s);
-            assert!(
-                ratio <= prev_ratio + 1e-9,
-                "ratio not shrinking at tile {a} (S={s})"
-            );
+            assert!(ratio <= prev_ratio + 1e-9, "ratio not shrinking at tile {a} (S={s})");
             prev_ratio = ratio;
         }
         assert!(prev_ratio < 1.6, "final ratio {prev_ratio} too far from bound");

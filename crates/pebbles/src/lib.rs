@@ -32,8 +32,7 @@ pub mod optimal;
 pub mod partition;
 
 pub use bounds::{
-    aopt_bopt, greedy_attainable_io, theorem1_lower_bound, theorem2_parallel_bound,
-    tightness_factor,
+    aopt_bopt, greedy_attainable_io, theorem1_lower_bound, theorem2_parallel_bound, tightness_factor,
 };
 pub use cdag::{Cdag, VertexId};
 pub use game::{GameError, GameRun, Move};

@@ -41,7 +41,12 @@ impl MmmCdag {
         assert!(m > 0 && n > 0 && k > 0, "dimensions must be positive");
         let total = m * k + k * n + m * n * k;
         let mut graph = Cdag::new(total);
-        let tmp = MmmCdag { m, n, k, graph: Cdag::new(0) };
+        let tmp = MmmCdag {
+            m,
+            n,
+            k,
+            graph: Cdag::new(0),
+        };
         for i in 0..m {
             for j in 0..n {
                 for t in 0..k {
@@ -83,15 +88,25 @@ impl MmmCdag {
         let v = v as usize;
         let (mk, kn) = (self.m * self.k, self.k * self.n);
         if v < mk {
-            Vertex::A { i: v / self.k, t: v % self.k }
+            Vertex::A {
+                i: v / self.k,
+                t: v % self.k,
+            }
         } else if v < mk + kn {
             let r = v - mk;
-            Vertex::B { t: r / self.n, j: r % self.n }
+            Vertex::B {
+                t: r / self.n,
+                j: r % self.n,
+            }
         } else {
             let r = v - mk - kn;
             let t = r % self.k;
             let ij = r / self.k;
-            Vertex::C { i: ij / self.n, j: ij % self.n, t }
+            Vertex::C {
+                i: ij / self.n,
+                j: ij % self.n,
+                t,
+            }
         }
     }
 
@@ -208,7 +223,9 @@ mod tests {
         let g = MmmCdag::new(2, 2, 2);
         let inputs = g.graph().inputs();
         assert_eq!(inputs.len(), 2 * 2 + 2 * 2);
-        assert!(inputs.iter().all(|&v| matches!(g.vertex(v), Vertex::A { .. } | Vertex::B { .. })));
+        assert!(inputs
+            .iter()
+            .all(|&v| matches!(g.vertex(v), Vertex::A { .. } | Vertex::B { .. })));
     }
 
     #[test]

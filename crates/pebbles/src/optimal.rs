@@ -74,10 +74,10 @@ pub fn min_io_exhaustive(graph: &Cdag, capacity: usize, state_budget: usize) -> 
 
         let red_count = red.count_ones() as usize;
         let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u64)>>,
-                        dist: &mut HashMap<(u64, u64), u64>,
-                        c: u64,
-                        r: u64,
-                        b: u64| {
+                    dist: &mut HashMap<(u64, u64), u64>,
+                    c: u64,
+                    r: u64,
+                    b: u64| {
             let e = dist.entry((r, b)).or_insert(u64::MAX);
             if c < *e {
                 *e = c;
@@ -242,12 +242,11 @@ mod tests {
             let greedy_io = validate_complete(g.graph(), s, &moves).unwrap();
             match min_io_exhaustive(g.graph(), s, BUDGET) {
                 SearchResult::Optimal(opt) => {
+                    assert!(opt <= greedy_io, "({m},{n},{k}) S={s}: optimal {opt} > greedy {greedy_io}");
                     assert!(
-                        opt <= greedy_io,
-                        "({m},{n},{k}) S={s}: optimal {opt} > greedy {greedy_io}"
+                        opt as f64 >= theorem1_lower_bound(m, n, k, s) - 1e-9 - (m * n) as f64,
+                        "optimal far below bound"
                     );
-                    assert!(opt as f64 >= theorem1_lower_bound(m, n, k, s) - 1e-9 - (m * n) as f64,
-                        "optimal far below bound");
                 }
                 SearchResult::BudgetExhausted => { /* acceptable for the largest case */ }
                 SearchResult::Infeasible => panic!("greedy succeeded but search says infeasible"),
@@ -276,10 +275,7 @@ mod tests {
     fn budget_exhaustion_reported() {
         let g = MmmCdag::new(2, 2, 2);
         // A budget of 10 states cannot finish this 16-vertex CDAG.
-        assert_eq!(
-            min_io_exhaustive(g.graph(), 6, 10),
-            SearchResult::BudgetExhausted
-        );
+        assert_eq!(min_io_exhaustive(g.graph(), 6, 10), SearchResult::BudgetExhausted);
     }
 
     #[test]

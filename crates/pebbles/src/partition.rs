@@ -129,8 +129,8 @@ pub fn min_dominator_size(graph: &Cdag, targets: &[VertexId]) -> usize {
     let sink = 2 * n + 1;
     let mut flow = MaxFlow::new(2 * n + 2);
     const INF: i64 = i64::MAX / 4;
-    for v in 0..n {
-        let cuttable = !in_target[v] || graph.preds(v as VertexId).is_empty();
+    for (v, &targeted) in in_target.iter().enumerate() {
+        let cuttable = !targeted || graph.preds(v as VertexId).is_empty();
         flow.add_edge(2 * v, 2 * v + 1, if cuttable { 1 } else { INF });
         for &w in graph.succs(v as VertexId) {
             flow.add_edge(2 * v + 1, 2 * (w as usize), INF);
@@ -334,10 +334,7 @@ mod tests {
         g.add_edge(1, 4);
         g.add_edge(4, 3);
         let parts = vec![vec![1, 3], vec![2, 4]];
-        assert!(matches!(
-            validate_x_partition(&g, &parts, 5),
-            Err(PartitionError::CyclicDependency(_))
-        ));
+        assert!(matches!(validate_x_partition(&g, &parts, 5), Err(PartitionError::CyclicDependency(_))));
     }
 
     #[test]

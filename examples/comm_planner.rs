@@ -2,10 +2,14 @@
 //! algorithm's decomposition, per-rank traffic and modeled time, and pick a
 //! winner — the "no hand tuning" promise of the paper as a tool.
 //!
+//! Every algorithm is planned through the same [`RunSession`] entry point
+//! over the full [`baselines::registry`]; inapplicable rank counts surface
+//! as typed [`PlanError`]s instead of being silently skipped.
+//!
 //! Run with: `cargo run --release --example comm_planner -- 4096 4096 4096 512 1000000`
 //! (arguments optional; defaults shown).
 
-use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
+use cosma::api::{PlanError, RunSession};
 use cosma::problem::MmmProblem;
 use mpsim::cost::CostModel;
 
@@ -23,7 +27,6 @@ fn main() {
         }
     };
     let prob = MmmProblem::new(m, n, k, p, s);
-    let model = CostModel::piz_daint_two_sided();
     println!(
         "C = A·B with m={m} n={n} k={k} on p={p} ranks, S={s} words/rank (shape: {:?})\n",
         prob.shape()
@@ -33,43 +36,38 @@ fn main() {
         "algorithm", "mean MB/rank", "max MB/rank", "time (ms)", "% peak"
     );
 
-    let mut results: Vec<(String, f64, String)> = Vec::new();
-    let mut show = |name: &str, plan: Option<cosma::plan::DistPlan>, note: &str| {
-        match plan {
-            Some(pl) => {
-                let rep = pl.simulate(&model, true);
+    let registry = baselines::registry();
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for algo in registry.all() {
+        let id = algo.id();
+        let session = RunSession::new(prob)
+            .machine(CostModel::piz_daint_two_sided())
+            .registry(registry.clone())
+            .algorithm(id);
+        match session.run() {
+            Ok(outcome) => {
+                let pl = &outcome.plan;
                 println!(
-                    "{:<10} {:>14.2} {:>14.2} {:>12.2} {:>10.1}  {}x{}x{} {}",
-                    name,
+                    "{:<10} {:>14.2} {:>14.2} {:>12.2} {:>10.1}  {}x{}x{}",
+                    id.to_string(),
                     pl.mean_comm_words() * 8.0 / 1e6,
                     pl.max_comm_words() as f64 * 8.0 / 1e6,
-                    rep.time_s * 1e3,
-                    rep.percent_peak,
+                    outcome.report.time_s * 1e3,
+                    outcome.report.percent_peak,
                     pl.grid[0],
                     pl.grid[1],
                     pl.grid[2],
-                    note,
                 );
-                results.push((name.to_string(), rep.time_s, note.to_string()));
+                results.push((id.to_string(), outcome.report.time_s));
             }
-            None => println!("{name:<10} {:>14} — not applicable {note}", "-"),
+            Err(e @ (PlanError::UnsupportedRanks { .. } | PlanError::NoFeasibleGrid)) => {
+                println!("{:<10} {:>14} — {e}", id.to_string(), "-");
+            }
+            Err(e) => panic!("{id}: unexpected planning failure: {e}"),
         }
-    };
+    }
 
-    show(
-        "cosma",
-        cosma_plan(&prob, &CosmaConfig::default(), &model).ok(),
-        "",
-    );
-    show("summa", baselines::summa::plan(&prob).ok(), "(ScaLAPACK-style 2D)");
-    show("cannon", baselines::cannon::plan(&prob).ok(), "(needs square p)");
-    show("p25d", baselines::p25d::plan(&prob).ok(), "(CTF-style)");
-    show("carma", baselines::carma::plan(&prob).ok(), "(needs p = 2^x)");
-
-    if let Some((best, t, _)) = results
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
-    {
+    if let Some((best, t)) = results.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite")) {
         println!("\nrecommendation: {best} (modeled {:.2} ms)", t * 1e3);
     }
 }

@@ -1,60 +1,47 @@
 //! Quickstart: multiply two matrices with COSMA on a simulated 16-rank
-//! machine, verify against the sequential kernel, and inspect the traffic.
+//! machine through the [`RunSession`] API, verify against the sequential
+//! kernel, and inspect the traffic.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cosma::algorithm::{assemble_c, execute, plan, CosmaConfig};
+use cosma::api::{AlgoId, RunSession};
 use cosma::problem::MmmProblem;
-use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
-use mpsim::machine::MachineSpec;
 
 fn main() {
     // C = A·B with A: 96x128, B: 128x80 on 16 ranks with 4096 words each.
     let prob = MmmProblem::new(96, 80, 128, 16, 4096);
-    let cfg = CosmaConfig::default();
-    let model = CostModel::piz_daint_two_sided();
+    let session = RunSession::new(prob)
+        .machine(CostModel::piz_daint_two_sided())
+        .algorithm(AlgoId::Cosma);
 
-    // 1. Plan: near-I/O-optimal schedule (Algorithm 1 of the paper).
-    let dplan = plan(&prob, &cfg, &model).expect("feasible problem");
-    dplan.validate().expect("structurally valid plan");
-    println!(
-        "COSMA grid: {}x{}x{} ({} of {} ranks active)",
-        dplan.grid[0],
-        dplan.grid[1],
-        dplan.grid[2],
-        dplan.active_ranks(),
-        prob.p
-    );
-
-    // 2. Execute on the simulated machine with real messages.
+    // 1. Plan + execute in one call: the session builds the near-I/O-optimal
+    // schedule (Algorithm 1 of the paper), validates it structurally, runs
+    // it on the simulated machine with real messages, assembles C from the
+    // distributed shares, and verifies both the product (against the
+    // sequential kernel) and the traffic (against the plan).
     let a = Matrix::deterministic(prob.m, prob.k, 1);
     let b = Matrix::deterministic(prob.k, prob.n, 2);
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| execute(comm, &dplan, &cfg, &a, &b));
-
-    // 3. Assemble and verify the product (C stays distributed in COSMA's
-    // blocked layout; assemble_c recombines the shares).
-    let c = assemble_c(out.results.into_iter().flatten(), prob.m, prob.n);
-    let want = matmul(&a, &b);
-    assert!(want.approx_eq(&c, 1e-9), "product mismatch");
+    let (plan, report) = session.execute_verified(&a, &b).expect("feasible problem");
+    println!(
+        "COSMA grid: {}x{}x{} ({} of {} ranks active)",
+        plan.grid[0],
+        plan.grid[1],
+        plan.grid[2],
+        plan.active_ranks(),
+        prob.p
+    );
     println!("product verified against the sequential kernel ✓");
 
-    // 4. The mpiP-style numbers: measured == planned, rank by rank.
+    // 2. The mpiP-style numbers: measured == planned, rank by rank.
     println!("\nrank  recv words (measured)  recv words (planned)");
-    for (r, st) in out.stats.iter().enumerate() {
-        println!(
-            "{r:>4}  {:>21}  {:>20}",
-            st.total_recv(),
-            dplan.ranks[r].comm_words()
-        );
-        assert_eq!(st.total_recv(), dplan.ranks[r].comm_words());
+    for (r, st) in report.stats.iter().enumerate() {
+        println!("{r:>4}  {:>21}  {:>20}", st.total_recv(), plan.ranks[r].comm_words());
     }
 
-    // 5. Cost-model view: simulated time and % of peak.
-    let rep = dplan.simulate(&model, true);
+    // 3. Cost-model view of the same plan: simulated time and % of peak.
+    let rep = plan.simulate(&session.cost_model(), true);
     println!(
         "\nsimulated time {:.3} ms, {:.1}% of machine peak (overlap on)",
         rep.time_s * 1e3,

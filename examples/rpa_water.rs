@@ -5,56 +5,56 @@
 //! Small `w` is executed and verified on the threaded simulator; the paper's
 //! `w = 128` (17,408 × 3,735,552) is planned at full scale and the per-rank
 //! communication of COSMA vs the baselines is reported, reproducing the
-//! strong-scaling setup of Figures 10–11.
+//! strong-scaling setup of Figures 10–11. Everything goes through
+//! [`RunSession`] over the full algorithm registry.
 //!
 //! Run with: `cargo run --release --example rpa_water`
 
-use cosma::algorithm::{assemble_c, execute, plan, CosmaConfig};
+use cosma::api::{AlgoId, RunSession};
 use cosma::problem::MmmProblem;
-use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
 use mpsim::machine::MachineSpec;
 
 fn main() {
-    let cfg = CosmaConfig::default();
+    let registry = baselines::registry();
     let model = CostModel::piz_daint_two_sided();
 
     // --- Executed: w = 2 on 16 simulated ranks ---
     let small = MmmProblem::rpa_water(2, 16, 1 << 17);
-    println!(
-        "w = 2: m = n = {}, k = {} on {} ranks (executed)",
-        small.m, small.n, small.k
-    );
-    let dplan = plan(&small, &cfg, &model).expect("plan");
+    println!("w = 2: m = n = {}, k = {} on {} ranks (executed)", small.m, small.n, small.k);
     let a = Matrix::deterministic(small.m, small.k, 3);
     let b = Matrix::deterministic(small.k, small.n, 4);
-    let spec = MachineSpec::piz_daint_with_memory(small.p, small.mem_words);
-    let out = run_spmd(&spec, |comm| execute(comm, &dplan, &cfg, &a, &b));
-    let c = assemble_c(out.results.into_iter().flatten(), small.m, small.n);
-    assert!(matmul(&a, &b).approx_eq(&c, 1e-9));
+    let (dplan, _) = RunSession::new(small)
+        .machine(model)
+        .execute_verified(&a, &b)
+        .expect("cosma executes");
     println!("  verified ✓  (grid {:?})\n", dplan.grid);
 
     // --- Planned at paper scale: w = 128, strong scaling ---
     println!("w = 128: m = n = 17,408, k = 3,735,552 (planned, Piz-Daint-like S)");
-    println!("{:>7} | {:>12} {:>12} {:>12} | speedup", "cores", "COSMA MB", "ScaLAPACK MB", "CTF MB");
+    println!("{:>7} | {:>12} {:>12} {:>12} | speedup", "cores", "cosma MB", "summa MB", "p25d MB");
     for p in [2048usize, 4096, 8192, 16384] {
         let prob = MmmProblem::rpa_water(128, p, MachineSpec::piz_daint(p).mem_words);
         let mb = |w: f64| w * 8.0 / 1e6;
-        let q_cosma = plan(&prob, &cfg, &model).expect("cosma").clone();
-        let t_cosma = q_cosma.simulate(&model, true).time_s;
-        let q_summa = baselines::summa::plan(&prob).expect("summa");
-        let t_summa = q_summa.simulate(&model, true).time_s;
-        let q_ctf = baselines::p25d::plan(&prob).expect("p25d");
-        let t_ctf = q_ctf.simulate(&model, true).time_s;
-        let best_other = t_summa.min(t_ctf);
+        let run = |id: AlgoId| {
+            RunSession::new(prob)
+                .machine(model)
+                .registry(registry.clone())
+                .algorithm(id)
+                .run()
+                .unwrap_or_else(|e| panic!("{id} at p={p}: {e}"))
+        };
+        let cosma = run(AlgoId::Cosma);
+        let summa = run(AlgoId::Summa);
+        let ctf = run(AlgoId::P25d);
+        let best_other = summa.report.time_s.min(ctf.report.time_s);
         println!(
             "{p:>7} | {:>12.1} {:>12.1} {:>12.1} | {:.2}x",
-            mb(q_cosma.mean_comm_words()),
-            mb(q_summa.mean_comm_words()),
-            mb(q_ctf.mean_comm_words()),
-            best_other / t_cosma
+            mb(cosma.plan.mean_comm_words()),
+            mb(summa.plan.mean_comm_words()),
+            mb(ctf.plan.mean_comm_words()),
+            best_other / cosma.report.time_s
         );
     }
     println!("\n(COSMA's advantage on tall-and-skinny matrices is the paper's headline result.)");

@@ -11,7 +11,24 @@
 //! * [`cosma`] — the paper's contribution: near-communication-optimal
 //!   distributed matrix multiplication (§3, §6, §7).
 //! * [`baselines`] — ScaLAPACK-style SUMMA, Cannon, 2.5D/3D (CTF-style) and
-//!   CARMA comparison algorithms (§2.4).
+//!   CARMA comparison algorithms (§2.4), plus [`baselines::registry`], the
+//!   full five-algorithm [`cosma::api::AlgorithmRegistry`].
+//!
+//! The front door is [`cosma::api::RunSession`]: pick a problem, a cost
+//! model and an [`cosma::api::AlgoId`], then `.plan()`, `.run()` (cost-model
+//! simulation) or `.execute()` (real threaded execution):
+//!
+//! ```
+//! use cosma_repro::cosma::api::{AlgoId, RunSession};
+//! use cosma_repro::cosma::problem::MmmProblem;
+//!
+//! let outcome = RunSession::new(MmmProblem::new(64, 64, 64, 16, 1 << 12))
+//!     .registry(cosma_repro::baselines::registry())
+//!     .algorithm(AlgoId::Cannon)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.plan.grid, [4, 4, 1]);
+//! ```
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 

@@ -5,13 +5,23 @@
 //! * the overlap of §7.3 (time with vs without);
 //! * the one-sided backend of §7.4 (lower α ⇒ lower simulated time).
 
-use cosma::algorithm::{plan as cosma_plan, CosmaConfig};
 use cosma::analysis::io_latency_tradeoff;
+use cosma::api::RunSession;
+use cosma::plan::DistPlan;
 use cosma::problem::MmmProblem;
 use mpsim::cost::CostModel;
 
 fn model() -> CostModel {
     CostModel::piz_daint_two_sided()
+}
+
+/// Plan COSMA with an explicit grid-fitting δ through the session API.
+fn cosma_plan_delta(prob: &MmmProblem, delta: f64) -> DistPlan {
+    RunSession::new(*prob)
+        .machine(model())
+        .delta(delta)
+        .plan()
+        .expect("feasible problem")
 }
 
 #[test]
@@ -54,9 +64,8 @@ fn delta_ablation_over_awkward_rank_counts() {
             "p={p}: superset search must not worsen the objective"
         );
         if p == 65 {
-            let strict_plan =
-                cosma_plan(&prob, &CosmaConfig { delta: 0.0, ..Default::default() }, &model()).unwrap();
-            let relaxed_plan = cosma_plan(&prob, &CosmaConfig::default(), &model()).unwrap();
+            let strict_plan = cosma_plan_delta(&prob, 0.0);
+            let relaxed_plan = cosma_plan_delta(&prob, 0.03);
             let (qs, qr) = (strict_plan.mean_comm_words(), relaxed_plan.mean_comm_words());
             assert!(qr < qs * 0.8, "p=65: expected a big volume cut, got {qr} vs {qs}");
         }
@@ -68,7 +77,7 @@ fn overlap_ablation_hides_communication() {
     // In a bandwidth-heavy scenario, overlap must cut the simulated time;
     // the hidden fraction equals the comm that fits under compute.
     let prob = MmmProblem::new(4096, 4096, 4096, 256, 1 << 17);
-    let plan = cosma_plan(&prob, &CosmaConfig::default(), &model()).unwrap();
+    let plan = cosma_plan_delta(&prob, 0.03);
     let without = plan.simulate(&model(), false);
     let with = plan.simulate(&model(), true);
     assert!(with.time_s < without.time_s, "overlap must help");
@@ -85,7 +94,7 @@ fn one_sided_alpha_reduces_latency_bound_cost() {
     let prob = MmmProblem::new(512, 512, 512, 64, 1 << 13);
     let two = CostModel::piz_daint_two_sided();
     let one = CostModel::piz_daint_one_sided();
-    let plan = cosma_plan(&prob, &CosmaConfig::default(), &two).unwrap();
+    let plan = RunSession::new(prob).machine(two).plan().unwrap();
     let t2 = plan.simulate(&two, false);
     let t1 = plan.simulate(&one, false);
     assert!(t1.time_s < t2.time_s, "lower alpha must lower time");
@@ -100,18 +109,14 @@ fn round_grouping_preserves_totals() {
     // the sum the ungrouped step structure implies.
     use cosma::schedule::latency_steps;
     let prob = MmmProblem::new(64, 64, 1 << 14, 4, 64 * 64 + 2 * 128 + 64);
-    let plan = cosma_plan(&prob, &CosmaConfig::default(), &model()).unwrap();
+    let plan = cosma_plan_delta(&prob, 0.03);
     for rp in plan.ranks.iter().filter(|r| r.active) {
         let b = &rp.bricks[0];
         let sp = latency_steps(b.rows.len(), b.cols.len(), b.ks.len(), prob.mem_words).unwrap();
         assert!(rp.rounds.len() <= cosma::algorithm::MAX_PLAN_ROUNDS + 1);
         // Flops across rounds == 2 * brick volume + reduction adds.
-        let mult_flops: u64 = rp
-            .rounds
-            .iter()
-            .map(|r| r.flops)
-            .sum::<u64>()
-            - rp.rounds.iter().map(|r| r.c_words).sum::<u64>();
+        let mult_flops: u64 =
+            rp.rounds.iter().map(|r| r.flops).sum::<u64>() - rp.rounds.iter().map(|r| r.c_words).sum::<u64>();
         assert_eq!(mult_flops, 2 * b.volume(), "rank {}", rp.rank);
         // Slab structure covers the brick's k extent.
         assert_eq!(sp.slabs.iter().sum::<usize>(), b.ks.len());

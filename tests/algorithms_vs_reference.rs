@@ -3,14 +3,17 @@
 //! sequential reference kernel — across shapes, rank counts and memory
 //! budgets, including adversarial (prime) dimensions like the paper's §8
 //! "chosen adversarially, e.g. n³ + 1".
+//!
+//! All algorithms run through [`RunSession`] over the shared registry; the
+//! session assembles each algorithm's distributed output shares into the
+//! full product with the same code path.
 
-use cosma::algorithm::{assemble_c, execute as cosma_execute, plan as cosma_plan, Backend, CosmaConfig};
+use cosma::api::{AlgoId, RunSession};
 use cosma::problem::MmmProblem;
+use cosma::Backend;
 use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
-use mpsim::machine::MachineSpec;
 
 fn reference(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
     let a = Matrix::deterministic(m, k, 7);
@@ -19,126 +22,61 @@ fn reference(m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
     (a, b, c)
 }
 
-fn run_cosma(prob: &MmmProblem, backend: Backend) -> Matrix {
-    let (a, b, _) = reference(prob.m, prob.n, prob.k);
-    let cfg = CosmaConfig { delta: 0.03, backend };
-    let model = CostModel::piz_daint_two_sided();
-    let plan = cosma_plan(prob, &cfg, &model).expect("cosma plan");
-    plan.validate().expect("cosma plan valid");
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| cosma_execute(comm, &plan, &cfg, &a, &b));
-    assemble_c(out.results.into_iter().flatten(), prob.m, prob.n)
+fn session(prob: &MmmProblem, id: AlgoId) -> RunSession {
+    RunSession::new(*prob)
+        .machine(CostModel::piz_daint_two_sided())
+        .registry(baselines::registry())
+        .algorithm(id)
 }
 
-fn run_summa(prob: &MmmProblem) -> Matrix {
+fn run(prob: &MmmProblem, id: AlgoId) -> Matrix {
     let (a, b, _) = reference(prob.m, prob.n, prob.k);
-    let plan = baselines::summa::plan(prob).expect("summa plan");
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| baselines::summa::execute(comm, &plan, &a, &b));
-    let mut c = Matrix::zeros(prob.m, prob.n);
-    for (rows, cols, blk) in out.results {
-        c.set_block(rows.start, cols.start, &blk);
-    }
-    c
+    session(prob, id).execute(&a, &b).unwrap_or_else(|e| panic!("{id}: {e}")).c
 }
 
-fn run_p25d(prob: &MmmProblem) -> Matrix {
+fn run_cosma_backend(prob: &MmmProblem, backend: Backend) -> Matrix {
     let (a, b, _) = reference(prob.m, prob.n, prob.k);
-    let plan = baselines::p25d::plan(prob).expect("p25d plan");
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| baselines::p25d::execute(comm, &plan, &a, &b));
-    let mut c = Matrix::zeros(prob.m, prob.n);
-    for (rows, cols, blk) in out.results.into_iter().flatten() {
-        c.set_block(rows.start, cols.start, &blk);
-    }
-    c
+    session(prob, AlgoId::Cosma)
+        .backend(backend)
+        .execute(&a, &b)
+        .expect("cosma executes")
+        .c
 }
 
-fn run_cannon(prob: &MmmProblem) -> Matrix {
-    let (a, b, _) = reference(prob.m, prob.n, prob.k);
-    let plan = baselines::cannon::plan(prob).expect("cannon plan");
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| baselines::cannon::execute(comm, &plan, &a, &b));
-    let mut c = Matrix::zeros(prob.m, prob.n);
-    for (rows, cols, blk) in out.results {
-        c.set_block(rows.start, cols.start, &blk);
+fn assert_all_agree(prob: &MmmProblem, ids: &[AlgoId]) {
+    let (_, _, want) = reference(prob.m, prob.n, prob.k);
+    for &id in ids {
+        let c = run(prob, id);
+        assert!(want.approx_eq(&c, 1e-9), "{id}: max diff {}", want.max_abs_diff(&c));
     }
-    c
-}
-
-fn run_carma(prob: &MmmProblem) -> Matrix {
-    let (a, b, _) = reference(prob.m, prob.n, prob.k);
-    let plan = baselines::carma::plan(prob).expect("carma plan");
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| baselines::carma::execute(comm, &plan, &a, &b));
-    let mut c = Matrix::zeros(prob.m, prob.n);
-    for res in &out.results {
-        let flat_cols = res.cols.len();
-        for (w, &v) in res.data.iter().enumerate() {
-            let flat = res.offset + w;
-            c.set(res.rows.start + flat / flat_cols, res.cols.start + flat % flat_cols, v);
-        }
-    }
-    c
 }
 
 #[test]
 fn all_algorithms_agree_square() {
     let prob = MmmProblem::new(32, 32, 32, 16, 1 << 13);
+    assert_all_agree(&prob, &AlgoId::ALL);
     let (_, _, want) = reference(32, 32, 32);
-    for (name, c) in [
-        ("cosma/2s", run_cosma(&prob, Backend::TwoSided)),
-        ("cosma/1s", run_cosma(&prob, Backend::OneSided)),
-        ("summa", run_summa(&prob)),
-        ("cannon", run_cannon(&prob)),
-        ("p25d", run_p25d(&prob)),
-        ("carma", run_carma(&prob)),
-    ] {
-        assert!(want.approx_eq(&c, 1e-9), "{name}: max diff {}", want.max_abs_diff(&c));
-    }
+    let c = run_cosma_backend(&prob, Backend::OneSided);
+    assert!(want.approx_eq(&c, 1e-9), "cosma/1s: max diff {}", want.max_abs_diff(&c));
 }
 
 #[test]
 fn all_algorithms_agree_adversarial_primes() {
     // Dimensions that divide nothing, on a square+power-of-two p.
     let prob = MmmProblem::new(29, 31, 37, 16, 1 << 13);
-    let (_, _, want) = reference(29, 31, 37);
-    for (name, c) in [
-        ("cosma", run_cosma(&prob, Backend::TwoSided)),
-        ("summa", run_summa(&prob)),
-        ("cannon", run_cannon(&prob)),
-        ("p25d", run_p25d(&prob)),
-        ("carma", run_carma(&prob)),
-    ] {
-        assert!(want.approx_eq(&c, 1e-9), "{name}: max diff {}", want.max_abs_diff(&c));
-    }
+    assert_all_agree(&prob, &AlgoId::ALL);
 }
 
 #[test]
 fn all_algorithms_agree_largek() {
     let prob = MmmProblem::new(12, 12, 192, 8, 1 << 12);
-    let (_, _, want) = reference(12, 12, 192);
-    for (name, c) in [
-        ("cosma", run_cosma(&prob, Backend::TwoSided)),
-        ("summa", run_summa(&prob)),
-        ("p25d", run_p25d(&prob)),
-        ("carma", run_carma(&prob)),
-    ] {
-        assert!(want.approx_eq(&c, 1e-9), "{name}: max diff {}", want.max_abs_diff(&c));
-    }
+    assert_all_agree(&prob, &[AlgoId::Cosma, AlgoId::Summa, AlgoId::P25d, AlgoId::Carma]);
 }
 
 #[test]
 fn all_algorithms_agree_flat() {
     let prob = MmmProblem::new(48, 48, 6, 16, 1 << 12);
-    let (_, _, want) = reference(48, 48, 6);
-    for (name, c) in [
-        ("cosma", run_cosma(&prob, Backend::TwoSided)),
-        ("summa", run_summa(&prob)),
-        ("carma", run_carma(&prob)),
-    ] {
-        assert!(want.approx_eq(&c, 1e-9), "{name}: max diff {}", want.max_abs_diff(&c));
-    }
+    assert_all_agree(&prob, &[AlgoId::Cosma, AlgoId::Summa, AlgoId::Carma]);
 }
 
 #[test]
@@ -146,8 +84,8 @@ fn cosma_agrees_at_larger_scale() {
     // 64 ranks, non-power-of-two dims, both backends.
     let prob = MmmProblem::new(60, 52, 44, 64, 1 << 12);
     let (_, _, want) = reference(60, 52, 44);
-    let c2 = run_cosma(&prob, Backend::TwoSided);
-    let c1 = run_cosma(&prob, Backend::OneSided);
+    let c2 = run_cosma_backend(&prob, Backend::TwoSided);
+    let c1 = run_cosma_backend(&prob, Backend::OneSided);
     assert!(want.approx_eq(&c2, 1e-9));
     assert!(want.approx_eq(&c1, 1e-9));
 }
@@ -158,7 +96,7 @@ fn non_grid_friendly_rank_counts() {
     for p in [11usize, 12, 24] {
         let prob = MmmProblem::new(30, 30, 30, p, 1 << 12);
         let (_, _, want) = reference(30, 30, 30);
-        let c = run_cosma(&prob, Backend::TwoSided);
+        let c = run(&prob, AlgoId::Cosma);
         assert!(want.approx_eq(&c, 1e-9), "p={p}");
     }
 }

@@ -60,9 +60,7 @@ fn cosma_never_moves_more_than_baselines() {
     ] {
         let prob = MmmProblem::new(m, n, k, p, s);
         // Mean received words per rank — the paper's Table 4 metric.
-        let q_cosma = cosma_plan(&prob, &CosmaConfig::default(), &model())
-            .unwrap()
-            .mean_comm_words();
+        let q_cosma = cosma_plan(&prob, &CosmaConfig::default(), &model()).unwrap().mean_comm_words();
         let q_summa = baselines::summa::plan(&prob).unwrap().mean_comm_words();
         let q_cannon = baselines::cannon::plan(&prob).unwrap().mean_comm_words();
         let q_p25d = baselines::p25d::plan(&prob).unwrap().mean_comm_words();
@@ -73,10 +71,7 @@ fn cosma_never_moves_more_than_baselines() {
             ("p25d", q_p25d),
             ("carma", q_carma),
         ] {
-            assert!(
-                q_cosma <= q * 1.05,
-                "({m},{n},{k},p={p},S={s}): COSMA {q_cosma} above {name} {q}"
-            );
+            assert!(q_cosma <= q * 1.05, "({m},{n},{k},p={p},S={s}): COSMA {q_cosma} above {name} {q}");
         }
     }
 }
@@ -93,10 +88,7 @@ fn greedy_pebbling_never_beats_theorem1() {
         let (moves, a, b) = near_optimal_moves(&g, s);
         let io = validate_complete(g.graph(), s, &moves).unwrap();
         let bound = theorem1_lower_bound(m, n, k, s);
-        assert!(
-            io as f64 >= bound,
-            "({m},{n},{k},S={s}) tile ({a},{b}): measured {io} < bound {bound}"
-        );
+        assert!(io as f64 >= bound, "({m},{n},{k},S={s}) tile ({a},{b}): measured {io} < bound {bound}");
     }
 }
 

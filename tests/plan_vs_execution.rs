@@ -2,13 +2,16 @@
 //! plans (which produce the paper-scale numbers in Figures 6–14 and
 //! Table 4) must predict, word for word and rank for rank, the traffic of
 //! the *executed* algorithms as measured by the mpiP-style counters.
+//!
+//! Every algorithm is planned and executed through its [`MmmAlgorithm`]
+//! registry entry — no per-algorithm entry points.
 
-use cosma::algorithm::{execute as cosma_execute, plan as cosma_plan, Backend, CosmaConfig};
+use cosma::api::{execute_boxed, AlgoId, CosmaAlgorithm, MmmAlgorithm, PlanError, RunSession};
 use cosma::plan::DistPlan;
 use cosma::problem::MmmProblem;
+use cosma::{Backend, CosmaConfig};
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
 use mpsim::machine::MachineSpec;
 use mpsim::stats::RankStats;
 
@@ -22,20 +25,24 @@ fn assert_traffic_matches(plan: &DistPlan, stats: &[RankStats]) {
             st.total_recv(),
             plan.ranks[r].comm_words()
         );
-        assert_eq!(
-            st.msgs_recv,
-            plan.ranks[r].comm_msgs(),
-            "{}: rank {r} message count",
-            plan.algo
-        );
+        assert_eq!(st.msgs_recv, plan.ranks[r].comm_msgs(), "{}: rank {r} message count", plan.algo);
     }
 }
 
 fn inputs(prob: &MmmProblem) -> (Matrix, Matrix) {
-    (
-        Matrix::deterministic(prob.m, prob.k, 17),
-        Matrix::deterministic(prob.k, prob.n, 18),
-    )
+    (Matrix::deterministic(prob.m, prob.k, 17), Matrix::deterministic(prob.k, prob.n, 18))
+}
+
+/// Plan + execute `id` on `prob` through the registry and check the traffic.
+fn check(id: AlgoId, prob: &MmmProblem) {
+    let session = RunSession::new(*prob)
+        .machine(CostModel::piz_daint_two_sided())
+        .registry(baselines::registry())
+        .algorithm(id);
+    let plan = session.plan().unwrap_or_else(|e| panic!("{id}: {e}"));
+    let (a, b) = inputs(prob);
+    let report = session.execute(&a, &b).unwrap_or_else(|e| panic!("{id}: {e}"));
+    assert_traffic_matches(&plan, &report.stats);
 }
 
 #[test]
@@ -47,15 +54,7 @@ fn cosma_plan_predicts_execution_exactly() {
         (96, 64, 16, 9, 1 << 12),
         (23, 29, 31, 5, 1 << 11),
     ] {
-        let prob = MmmProblem::new(m, n, k, p, s);
-        let cfg = CosmaConfig::default();
-        let plan = cosma_plan(&prob, &cfg, &CostModel::piz_daint_two_sided()).unwrap();
-        let (a, b) = inputs(&prob);
-        let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| {
-            cosma_execute(comm, &plan, &cfg, &a, &b);
-        });
-        assert_traffic_matches(&plan, &out.stats);
+        check(AlgoId::Cosma, &MmmProblem::new(m, n, k, p, s));
     }
 }
 
@@ -63,14 +62,13 @@ fn cosma_plan_predicts_execution_exactly() {
 fn cosma_one_sided_backend_matches_same_plan() {
     // §7.4: both backends move exactly the planned words.
     let prob = MmmProblem::new(24, 24, 48, 8, 1 << 11);
-    let cfg1 = CosmaConfig { delta: 0.03, backend: Backend::OneSided };
-    let plan = cosma_plan(&prob, &cfg1, &CostModel::piz_daint_one_sided()).unwrap();
+    let session = RunSession::new(prob)
+        .machine(CostModel::piz_daint_one_sided())
+        .backend(Backend::OneSided);
+    let plan = session.plan().unwrap();
     let (a, b) = inputs(&prob);
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| {
-        cosma_execute(comm, &plan, &cfg1, &a, &b);
-    });
-    for (r, st) in out.stats.iter().enumerate() {
+    let report = session.execute(&a, &b).unwrap();
+    for (r, st) in report.stats.iter().enumerate() {
         assert_eq!(st.total_recv(), plan.ranks[r].comm_words(), "rank {r} words (RMA)");
     }
 }
@@ -82,28 +80,18 @@ fn summa_plan_predicts_execution_exactly() {
         (40, 24, 56, 6, 1 << 12),
         (16, 16, 96, 8, 500),
     ] {
-        let prob = MmmProblem::new(m, n, k, p, s);
-        let plan = baselines::summa::plan(&prob).unwrap();
-        let (a, b) = inputs(&prob);
-        let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| {
-            baselines::summa::execute(comm, &plan, &a, &b);
-        });
-        assert_traffic_matches(&plan, &out.stats);
+        check(AlgoId::Summa, &MmmProblem::new(m, n, k, p, s));
     }
 }
 
 #[test]
 fn cannon_plan_predicts_execution_exactly() {
-    for &(m, n, k, p) in &[(32usize, 32usize, 32usize, 9usize), (25, 30, 35, 25), (18, 20, 22, 4)] {
-        let prob = MmmProblem::new(m, n, k, p, 1 << 13);
-        let plan = baselines::cannon::plan(&prob).unwrap();
-        let (a, b) = inputs(&prob);
-        let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
-        let out = run_spmd(&spec, |comm| {
-            baselines::cannon::execute(comm, &plan, &a, &b);
-        });
-        assert_traffic_matches(&plan, &out.stats);
+    for &(m, n, k, p) in &[
+        (32usize, 32usize, 32usize, 9usize),
+        (25, 30, 35, 25),
+        (18, 20, 22, 4),
+    ] {
+        check(AlgoId::Cannon, &MmmProblem::new(m, n, k, p, 1 << 13));
     }
 }
 
@@ -114,14 +102,7 @@ fn p25d_plan_predicts_execution_exactly() {
         (24, 24, 96, 27, 1 << 12),
         (36, 28, 44, 16, 1 << 13),
     ] {
-        let prob = MmmProblem::new(m, n, k, p, s);
-        let plan = baselines::p25d::plan(&prob).unwrap();
-        let (a, b) = inputs(&prob);
-        let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| {
-            baselines::p25d::execute(comm, &plan, &a, &b);
-        });
-        assert_traffic_matches(&plan, &out.stats);
+        check(AlgoId::P25d, &MmmProblem::new(m, n, k, p, s));
     }
 }
 
@@ -133,14 +114,7 @@ fn carma_plan_predicts_execution_exactly() {
         (128, 16, 16, 8),
         (19, 27, 41, 32),
     ] {
-        let prob = MmmProblem::new(m, n, k, p, 1 << 13);
-        let plan = baselines::carma::plan(&prob).unwrap();
-        let (a, b) = inputs(&prob);
-        let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
-        let out = run_spmd(&spec, |comm| {
-            baselines::carma::execute(comm, &plan, &a, &b);
-        });
-        assert_traffic_matches(&plan, &out.stats);
+        check(AlgoId::Carma, &MmmProblem::new(m, n, k, p, 1 << 13));
     }
 }
 
@@ -149,15 +123,13 @@ fn planned_memory_is_respected_by_execution() {
     // The executor's tracked peak allocation stays within the plan's
     // memory figure plus the input-shard footprint convention.
     let prob = MmmProblem::new(32, 32, 64, 8, 1 << 11);
-    let cfg = CosmaConfig::default();
-    let plan = cosma_plan(&prob, &cfg, &CostModel::piz_daint_two_sided()).unwrap();
+    let algo = CosmaAlgorithm::with_config(CosmaConfig::default());
+    let plan = algo.plan(&prob, &CostModel::piz_daint_two_sided()).unwrap();
     plan.validate().unwrap();
     let (a, b) = inputs(&prob);
     let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| {
-        cosma_execute(comm, &plan, &cfg, &a, &b);
-    });
-    for (r, st) in out.stats.iter().enumerate() {
+    let report = execute_boxed(&algo, &plan, &spec, &a, &b).unwrap();
+    for (r, st) in report.stats.iter().enumerate() {
         assert!(
             st.peak_mem_words <= plan.ranks[r].mem_words.max(1) + prob.mem_words as u64,
             "rank {r} tracked {} vs plan {}",
@@ -165,4 +137,40 @@ fn planned_memory_is_respected_by_execution() {
             plan.ranks[r].mem_words
         );
     }
+}
+
+#[test]
+fn session_surfaces_constraint_errors_as_values() {
+    // Rank-count constraints arrive as typed errors, not panics, from the
+    // same entry point that plans everything else.
+    let reg = baselines::registry();
+    let model = CostModel::piz_daint_two_sided();
+    let err = RunSession::new(MmmProblem::new(16, 16, 16, 5, 1 << 12))
+        .machine(model)
+        .registry(reg.clone())
+        .algorithm(AlgoId::Cannon)
+        .plan()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        PlanError::UnsupportedRanks {
+            algo: AlgoId::Cannon,
+            p: 5,
+            ..
+        }
+    ));
+    let err = RunSession::new(MmmProblem::new(16, 16, 16, 6, 1 << 12))
+        .machine(model)
+        .registry(reg)
+        .algorithm(AlgoId::Carma)
+        .plan()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        PlanError::UnsupportedRanks {
+            algo: AlgoId::Carma,
+            p: 6,
+            ..
+        }
+    ));
 }

@@ -1,9 +1,14 @@
-//! Property-based tests (proptest) over the core invariants:
-//! random problems always yield valid plans; random tile shapes always yield
-//! legal pebble schedules whose measured I/O matches the closed form; random
-//! layouts always round-trip.
+//! Property-based tests over the core invariants: random problems always
+//! yield valid plans; random tile shapes always yield legal pebble schedules
+//! whose measured I/O matches the closed form; random layouts always
+//! round-trip.
+//!
+//! The container has no registry access, so instead of an external
+//! property-testing crate the cases are drawn from a deterministic
+//! splitmix64 generator — every run exercises the same reproducible sample.
 
-use cosma::algorithm::{even_range, plan as cosma_plan, CosmaConfig};
+use cosma::algorithm::even_range;
+use cosma::api::{AlgoId, PlanError, RunSession};
 use cosma::problem::MmmProblem;
 use densemat::layout::{gather, scatter, BlockCyclic, BlockedLayout};
 use densemat::matrix::Matrix;
@@ -12,141 +17,188 @@ use pebbles::bounds::{theorem1_lower_bound, tiled_io};
 use pebbles::game::validate_complete;
 use pebbles::greedy::{tiled_capacity, tiled_moves};
 use pebbles::mmm::MmmCdag;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Cases per property (mirrors the old proptest configuration).
+const CASES: u64 = 48;
 
-    #[test]
-    fn even_range_partitions_exactly(total in 1usize..5000, parts in 1usize..64) {
+/// Deterministic splitmix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+#[test]
+fn even_range_partitions_exactly() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let total = rng.range(1, 5000);
+        let parts = rng.range(1, 64);
         let mut covered = 0usize;
         let mut prev_end = 0usize;
         for idx in 0..parts {
             let r = even_range(total, parts, idx);
-            prop_assert_eq!(r.start, prev_end);
+            assert_eq!(r.start, prev_end);
             prev_end = r.end;
             covered += r.len();
             // Balanced: sizes differ by at most one.
-            prop_assert!(r.len() >= total / parts);
-            prop_assert!(r.len() <= total.div_ceil(parts));
+            assert!(r.len() >= total / parts);
+            assert!(r.len() <= total.div_ceil(parts));
         }
-        prop_assert_eq!(covered, total);
-        prop_assert_eq!(prev_end, total);
+        assert_eq!(covered, total);
+        assert_eq!(prev_end, total);
     }
+}
 
-    #[test]
-    fn cosma_plans_always_valid(
-        m in 1usize..80,
-        n in 1usize..80,
-        k in 1usize..80,
-        p in 1usize..24,
-        s_extra in 0usize..4000,
-    ) {
-        // Guarantee feasibility: enough memory for a 1x1 tile plus buffers,
-        // scaled up randomly.
-        let s = m * n + 2 * (m + n) + 16 + s_extra;
+#[test]
+fn cosma_plans_always_valid() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let m = rng.range(1, 80);
+        let n = rng.range(1, 80);
+        let k = rng.range(1, 80);
+        let p = rng.range(1, 24);
+        // Guarantee feasibility: enough memory for the full C tile plus
+        // buffers, scaled up randomly.
+        let s = m * n + 2 * (m + n) + 16 + rng.range(0, 4000);
         let prob = MmmProblem::new(m, n, k, p, s);
-        let plan = cosma_plan(&prob, &CosmaConfig::default(), &CostModel::piz_daint_two_sided())
+        let plan = RunSession::new(prob)
+            .machine(CostModel::piz_daint_two_sided())
+            .plan()
             .expect("feasible problem must plan");
-        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
-        // Load balance: no active rank does more than ceil-share work by
-        // more than the ceil rounding in each dimension.
+        assert!(plan.validate().is_ok(), "{:?}", plan.validate());
         let total: u64 = plan.ranks.iter().map(|r| r.volume()).sum();
-        prop_assert_eq!(total, prob.volume());
+        assert_eq!(total, prob.volume());
     }
+}
 
-    #[test]
-    fn carma_plans_cover_space(
-        m in 1usize..64,
-        n in 1usize..64,
-        k in 1usize..64,
-        logp in 0u32..6,
-    ) {
-        let prob = MmmProblem::new(m, n, k, 1 << logp, 1 << 20);
-        let plan = baselines::carma::plan(&prob).unwrap();
-        prop_assert!(plan.validate_coverage().is_ok());
-    }
-
-    #[test]
-    fn summa_plans_cover_space(
-        m in 2usize..64,
-        n in 2usize..64,
-        k in 2usize..64,
-        p in 1usize..17,
-    ) {
-        // SUMMA needs a gm x gn = p grid no finer than the C matrix.
-        prop_assume!(m * n >= p);
+#[test]
+fn carma_plans_cover_space() {
+    let reg = baselines::registry();
+    let model = CostModel::piz_daint_two_sided();
+    let carma = reg.by_id(AlgoId::Carma).unwrap();
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let m = rng.range(1, 64);
+        let n = rng.range(1, 64);
+        let k = rng.range(1, 64);
+        let p = 1usize << rng.range(0, 6);
         let prob = MmmProblem::new(m, n, k, p, 1 << 20);
-        match baselines::summa::plan(&prob) {
-            Ok(plan) => prop_assert!(plan.validate().is_ok()),
+        let plan = carma.plan(&prob, &model).unwrap();
+        assert!(plan.validate_coverage().is_ok());
+    }
+}
+
+#[test]
+fn summa_plans_cover_space() {
+    let reg = baselines::registry();
+    let model = CostModel::piz_daint_two_sided();
+    let summa = reg.by_id(AlgoId::Summa).unwrap();
+    let mut rng = Rng::new(4);
+    let mut cases = 0;
+    while cases < CASES {
+        let m = rng.range(2, 64);
+        let n = rng.range(2, 64);
+        let k = rng.range(2, 64);
+        let p = rng.range(1, 17);
+        // SUMMA needs a gm x gn = p grid no finer than the C matrix.
+        if m * n < p {
+            continue;
+        }
+        cases += 1;
+        let prob = MmmProblem::new(m, n, k, p, 1 << 20);
+        match summa.plan(&prob, &model) {
+            Ok(plan) => assert!(plan.validate().is_ok()),
             // p may still not factor into gm <= m, gn <= n (e.g. p = 13,
             // m = 2): a reported infeasibility is acceptable, silence not.
-            Err(e) => prop_assert_eq!(e, baselines::BaselineError::NoFeasibleGrid),
+            Err(e) => assert_eq!(e, PlanError::NoFeasibleGrid),
         }
     }
+}
 
-    #[test]
-    fn tiled_pebbling_valid_and_io_exact(
-        m in 1usize..10,
-        n in 1usize..10,
-        k in 1usize..8,
-        a in 1usize..5,
-        b in 1usize..5,
-    ) {
+#[test]
+fn tiled_pebbling_valid_and_io_exact() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let m = rng.range(1, 10);
+        let n = rng.range(1, 10);
+        let k = rng.range(1, 8);
+        let a = rng.range(1, 5);
+        let b = rng.range(1, 5);
         let g = MmmCdag::new(m, n, k);
         let moves = tiled_moves(&g, a, b);
         let io = validate_complete(g.graph(), tiled_capacity(a, b), &moves)
             .expect("generated schedule must be legal");
-        prop_assert_eq!(io, tiled_io(m, n, k, a, b));
-        prop_assert!(io as f64 >= theorem1_lower_bound(m, n, k, tiled_capacity(a, b)) - (m * n) as f64 - 1.0);
+        assert_eq!(io, tiled_io(m, n, k, a, b));
+        assert!(io as f64 >= theorem1_lower_bound(m, n, k, tiled_capacity(a, b)) - (m * n) as f64 - 1.0);
     }
+}
 
-    #[test]
-    fn block_cyclic_roundtrip(
-        rows in 1usize..40,
-        cols in 1usize..40,
-        rb in 1usize..8,
-        cb in 1usize..8,
-        pr in 1usize..5,
-        pc in 1usize..5,
-    ) {
+#[test]
+fn block_cyclic_roundtrip() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let rows = rng.range(1, 40);
+        let cols = rng.range(1, 40);
+        let rb = rng.range(1, 8);
+        let cb = rng.range(1, 8);
+        let pr = rng.range(1, 5);
+        let pc = rng.range(1, 5);
         let m = Matrix::deterministic(rows, cols, 99);
         let bc = BlockCyclic::new(rows, cols, rb, cb, pr, pc);
         let locals = scatter(&bc, &m);
-        prop_assert_eq!(locals.iter().map(Vec::len).sum::<usize>(), rows * cols);
+        assert_eq!(locals.iter().map(Vec::len).sum::<usize>(), rows * cols);
         let back = gather(&bc, &locals);
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m);
     }
+}
 
-    #[test]
-    fn blocked_layout_roundtrip(
-        rows in 1usize..40,
-        cols in 1usize..40,
-        gr in 1usize..6,
-        gc in 1usize..6,
-    ) {
+#[test]
+fn blocked_layout_roundtrip() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let rows = rng.range(1, 40);
+        let cols = rng.range(1, 40);
+        let gr = rng.range(1, 6).min(rows);
+        let gc = rng.range(1, 6).min(cols);
         let m = Matrix::deterministic(rows, cols, 7);
-        let gr = gr.min(rows);
-        let gc = gc.min(cols);
         let bl = BlockedLayout::even_grid(rows, cols, gr, gc);
         let back = gather(&bl, &scatter(&bl, &m));
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m);
         // Every rank owns a contiguous block whose size is balanced.
         for r in 0..gr * gc {
             let (rs, cs) = bl.block_of(r).expect("one block per rank");
-            prop_assert!(rs.len() >= rows / gr && rs.len() <= rows.div_ceil(gr));
-            prop_assert!(cs.len() >= cols / gc && cs.len() <= cols.div_ceil(gc));
+            assert!(rs.len() >= rows / gr && rs.len() <= rows.div_ceil(gr));
+            assert!(cs.len() >= cols / gc && cs.len() <= cols.div_ceil(gc));
         }
     }
+}
 
-    #[test]
-    fn gemm_kernels_agree(
-        m in 1usize..48,
-        n in 1usize..48,
-        k in 1usize..48,
-        threads in 1usize..5,
-    ) {
-        use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
+#[test]
+fn gemm_kernels_agree() {
+    use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let m = rng.range(1, 48);
+        let n = rng.range(1, 48);
+        let k = rng.range(1, 48);
+        let threads = rng.range(1, 5);
         let a = Matrix::deterministic(m, k, 1);
         let b = Matrix::deterministic(k, n, 2);
         let mut c0 = Matrix::zeros(m, n);
@@ -155,20 +207,22 @@ proptest! {
         gemm_naive(&a, &b, &mut c0);
         gemm_tiled(&a, &b, &mut c1);
         gemm_parallel(&a, &b, &mut c2, threads);
-        prop_assert!(c0.approx_eq(&c1, 1e-10));
-        prop_assert!(c0.approx_eq(&c2, 1e-10));
+        assert!(c0.approx_eq(&c1, 1e-10));
+        assert!(c0.approx_eq(&c2, 1e-10));
     }
+}
 
-    #[test]
-    fn theorem2_bound_monotone_in_memory(
-        m in 32usize..512,
-        n in 32usize..512,
-        k in 32usize..512,
-        p in 1usize..128,
-    ) {
-        use pebbles::bounds::theorem2_parallel_bound;
+#[test]
+fn theorem2_bound_monotone_in_memory() {
+    use pebbles::bounds::theorem2_parallel_bound;
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let m = rng.range(32, 512);
+        let n = rng.range(32, 512);
+        let k = rng.range(32, 512);
+        let p = rng.range(1, 128);
         let lo = theorem2_parallel_bound(m, n, k, p, 1 << 10);
         let hi = theorem2_parallel_bound(m, n, k, p, 1 << 20);
-        prop_assert!(hi <= lo + 1e-9, "more memory must not raise the bound");
+        assert!(hi <= lo + 1e-9, "more memory must not raise the bound");
     }
 }

@@ -3,7 +3,7 @@
 //! blocked layout (with the relayout traffic measured), multiplied by
 //! COSMA, and the result is exported back to a block-cyclic layout.
 
-use cosma::algorithm::{assemble_c, execute, plan, CosmaConfig};
+use cosma::api::RunSession;
 use cosma::grid::Grid3;
 use cosma::layout::cosma_layouts;
 use cosma::problem::MmmProblem;
@@ -11,15 +11,12 @@ use densemat::gemm::matmul;
 use densemat::layout::{gather, relayout_words, scatter, BlockCyclic, Distribution};
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
-use mpsim::machine::MachineSpec;
 
 #[test]
 fn block_cyclic_to_cosma_roundtrip_with_multiply() {
     let prob = MmmProblem::new(24, 20, 28, 8, 4096);
-    let model = CostModel::piz_daint_two_sided();
-    let cfg = CosmaConfig::default();
-    let dplan = plan(&prob, &cfg, &model).expect("plan");
+    let session = RunSession::new(prob).machine(CostModel::piz_daint_two_sided());
+    let dplan = session.plan().expect("plan");
     let grid = Grid3 {
         gm: dplan.grid[0],
         gn: dplan.grid[1],
@@ -51,10 +48,8 @@ fn block_cyclic_to_cosma_roundtrip_with_multiply() {
     let a_cosma_locals = scatter(&la, &a_global);
     assert_eq!(a_cosma_locals.iter().map(Vec::len).sum::<usize>(), prob.m * prob.k);
 
-    // 4. Multiply with COSMA.
-    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
-    let out = run_spmd(&spec, |comm| execute(comm, &dplan, &cfg, &a_global, &b_global));
-    let c = assemble_c(out.results.into_iter().flatten(), prob.m, prob.n);
+    // 4. Multiply with COSMA through the session.
+    let c = session.execute(&a_global, &b_global).expect("execution").c;
     assert!(matmul(&a, &b).approx_eq(&c, 1e-9));
 
     // 5. Export C back to a block-cyclic layout and verify the round trip.
@@ -72,8 +67,7 @@ fn relayout_cost_scales_with_layout_mismatch() {
     // An already-blocked layout should cost much less to adapt than a
     // finely cyclic one.
     let prob = MmmProblem::new(32, 32, 32, 4, 8192);
-    let model = CostModel::piz_daint_two_sided();
-    let dplan = plan(&prob, &CosmaConfig::default(), &model).unwrap();
+    let dplan = RunSession::new(prob).machine(CostModel::piz_daint_two_sided()).plan().unwrap();
     let grid = Grid3 {
         gm: dplan.grid[0],
         gn: dplan.grid[1],
@@ -85,17 +79,13 @@ fn relayout_cost_scales_with_layout_mismatch() {
     let coarse = BlockCyclic::new(prob.m, prob.k, 16, 16, 2, 2);
     let moved_fine = relayout_words(&fine, &la);
     let moved_coarse = relayout_words(&coarse, &la);
-    assert!(
-        moved_coarse < moved_fine,
-        "coarse {moved_coarse} should beat fine {moved_fine}"
-    );
+    assert!(moved_coarse < moved_fine, "coarse {moved_coarse} should beat fine {moved_fine}");
 }
 
 #[test]
 fn cosma_layouts_cover_each_matrix_exactly() {
     let prob = MmmProblem::new(18, 22, 26, 6, 4096);
-    let model = CostModel::piz_daint_two_sided();
-    let dplan = plan(&prob, &CosmaConfig::default(), &model).unwrap();
+    let dplan = RunSession::new(prob).machine(CostModel::piz_daint_two_sided()).plan().unwrap();
     let grid = Grid3 {
         gm: dplan.grid[0],
         gn: dplan.grid[1],

@@ -1,0 +1,146 @@
+//! Trait-level conformance suite: every algorithm in the full
+//! [`baselines::registry`] honours the [`MmmAlgorithm`] contract on a shared
+//! problem matrix —
+//!
+//! 1. `supports(p)` is honest: a rejected rank count makes `plan` return the
+//!    same typed error (never a panic), and an accepted one never panics;
+//! 2. a returned plan tiles the iteration space exactly;
+//! 3. planned per-rank traffic equals executed traffic, word for word, and
+//!    the executed product matches the sequential kernel.
+
+use cosma::api::{execute_boxed, PlanError};
+use cosma::problem::MmmProblem;
+use densemat::gemm::matmul;
+use densemat::matrix::Matrix;
+use mpsim::cost::CostModel;
+use mpsim::machine::MachineSpec;
+
+/// The shared problem matrix: every shape class of §8 plus adversarial
+/// primes, on rank counts that exercise every algorithm's constraints
+/// (squares, powers of two, primes, and a count only COSMA fully uses).
+fn shared_problems() -> Vec<MmmProblem> {
+    vec![
+        MmmProblem::new(24, 24, 24, 4, 1 << 12),  // square, p square+pow2
+        MmmProblem::new(32, 32, 32, 16, 1 << 13), // square, larger
+        MmmProblem::new(29, 31, 37, 16, 1 << 13), // adversarial primes
+        MmmProblem::new(12, 12, 160, 8, 1 << 12), // largeK
+        MmmProblem::new(96, 12, 12, 8, 1 << 12),  // largeM
+        MmmProblem::new(40, 40, 6, 16, 1 << 12),  // flat
+        MmmProblem::new(30, 30, 30, 12, 1 << 12), // p = 12: not square, not 2^x
+        MmmProblem::new(22, 26, 34, 7, 1 << 12),  // p = 7: prime
+    ]
+}
+
+fn model() -> CostModel {
+    CostModel::piz_daint_two_sided()
+}
+
+#[test]
+fn supports_is_honest_and_plan_never_panics() {
+    let reg = baselines::registry();
+    for prob in shared_problems() {
+        for algo in reg.all() {
+            let id = algo.id();
+            match algo.supports(&prob) {
+                Ok(()) => {
+                    // An accepted problem must plan or report a typed
+                    // feasibility error — never panic.
+                    if let Err(e) = algo.plan(&prob, &model()) {
+                        assert_eq!(e, PlanError::NoFeasibleGrid, "{id} on p={}: {e}", prob.p);
+                    }
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, PlanError::UnsupportedRanks { algo, p, .. } if algo == id && p == prob.p),
+                        "{id}: supports() must name itself and p, got {e}"
+                    );
+                    assert_eq!(
+                        algo.plan(&prob, &model()).unwrap_err(),
+                        e,
+                        "{id} on p={}: plan must report the same constraint supports() reports",
+                        prob.p
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plans_tile_the_iteration_space() {
+    let reg = baselines::registry();
+    for prob in shared_problems() {
+        for algo in reg.all() {
+            if algo.supports(&prob).is_err() {
+                continue;
+            }
+            let Ok(plan) = algo.plan(&prob, &model()) else {
+                continue;
+            };
+            assert_eq!(plan.algo, algo.id(), "plan must carry its maker's id");
+            plan.validate_coverage()
+                .unwrap_or_else(|e| panic!("{} on p={}: {e}", algo.id(), prob.p));
+        }
+    }
+}
+
+#[test]
+fn planned_traffic_equals_executed_traffic() {
+    let reg = baselines::registry();
+    for prob in shared_problems() {
+        let a = Matrix::deterministic(prob.m, prob.k, 91);
+        let b = Matrix::deterministic(prob.k, prob.n, 92);
+        let want = matmul(&a, &b);
+        let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+        for algo in reg.all() {
+            let id = algo.id();
+            if algo.supports(&prob).is_err() {
+                continue;
+            }
+            let Ok(plan) = algo.plan(&prob, &model()) else {
+                continue;
+            };
+            let report = execute_boxed(algo.as_ref(), &plan, &spec, &a, &b)
+                .unwrap_or_else(|e| panic!("{id} on p={}: {e}", prob.p));
+            assert!(
+                want.approx_eq(&report.c, 1e-9),
+                "{id} on p={}: product off by {}",
+                prob.p,
+                want.max_abs_diff(&report.c)
+            );
+            for (r, st) in report.stats.iter().enumerate() {
+                assert_eq!(
+                    st.total_recv(),
+                    plan.ranks[r].comm_words(),
+                    "{id} on p={}: rank {r} executed traffic deviates from the plan",
+                    prob.p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn execute_on_wrong_world_is_an_error_for_every_algorithm() {
+    let reg = baselines::registry();
+    let prob = MmmProblem::new(16, 16, 16, 4, 1 << 12);
+    let a = Matrix::deterministic(prob.m, prob.k, 1);
+    let b = Matrix::deterministic(prob.k, prob.n, 2);
+    let wrong = MachineSpec::piz_daint_with_memory(9, prob.mem_words);
+    for algo in reg.all() {
+        if algo.supports(&prob).is_err() {
+            continue;
+        }
+        let plan = algo.plan(&prob, &model()).unwrap();
+        let err = execute_boxed(algo.as_ref(), &plan, &wrong, &a, &b).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::WorldSizeMismatch {
+                plan_ranks: 4,
+                world_ranks: 9
+            },
+            "{}",
+            algo.id()
+        );
+    }
+}
