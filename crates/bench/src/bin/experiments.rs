@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Ids: `fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 table3 table4`. Each experiment prints its table(s) and
+//! fig13 fig14 table3 table4 exec`. Each experiment prints its table(s) and
 //! writes CSVs to `results/`. See `EXPERIMENTS.md` for the paper-vs-measured
 //! record.
 
@@ -16,8 +16,9 @@ use bench::output::{fmt, Table};
 use bench::runner::{self, cosma_speedup, five_numbers, geomean, run_all, AlgoRow, COMPARED};
 use bench::scenarios::{self, Scenario};
 use cosma::api::{AlgoId, RunSession};
-use cosma::problem::MmmProblem;
+use cosma::problem::{MmmProblem, Shape};
 use mpsim::cost::CostModel;
+use mpsim::exec::ExecBackend;
 
 fn model() -> CostModel {
     CostModel::piz_daint_two_sided()
@@ -449,6 +450,55 @@ fn table4() {
     t.write_csv("table4").expect("write csv");
 }
 
+// ---------------------------------------------------------------------------
+// exec: end-to-end executed runs (real messages) certifying the plans
+// ---------------------------------------------------------------------------
+
+fn exec_experiment() {
+    println!("== exec: end-to-end execution, plan vs measured traffic ==\n");
+    println!(
+        "(threaded backend up to 512 ranks, sharded worker-pool beyond — the \
+         sharded executor is what makes the >= 1024-rank rows runnable)\n"
+    );
+    let m = model();
+    let mut t = Table::new(&[
+        "shape",
+        "cores",
+        "backend",
+        "algorithm",
+        "planned MB",
+        "measured MB",
+        "exact",
+        "wall s",
+    ]);
+    for (shape, name) in [(Shape::Square, "square"), (Shape::LargeK, "largek")] {
+        for &p in &scenarios::exec_core_counts() {
+            // Keep the sweep bounded: the largeK shape only at the largest
+            // sharded world, the square shape across all regimes.
+            if shape == Shape::LargeK && p != 4096 {
+                continue;
+            }
+            let prob = scenarios::exec_problem(shape, p);
+            let backend = ExecBackend::auto(p);
+            for row in runner::execute_all(&prob, &m, backend) {
+                t.row(vec![
+                    name.into(),
+                    p.to_string(),
+                    row.backend.to_string(),
+                    row.algo.to_string(),
+                    fmt(row.planned_mb, 2),
+                    fmt(row.measured_mb, 2),
+                    if row.exact { "yes" } else { "NO" }.into(),
+                    fmt(row.wall_s, 2),
+                ]);
+            }
+        }
+    }
+    t.print();
+    t.write_csv("exec").expect("write csv");
+    println!("\nexpectation: every row exact — executed traffic equals the plan word for word.\n");
+}
+
 fn run(id: &str) {
     match id {
         "fig1" => fig1(),
@@ -467,6 +517,7 @@ fn run(id: &str) {
         "fig14" => distribution_figure("fig14", ["largek", "largem"]),
         "table3" => table3(),
         "table4" => table4(),
+        "exec" => exec_experiment(),
         other => {
             eprintln!("unknown experiment id: {other}");
             std::process::exit(2);
@@ -479,13 +530,13 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments <id>...  (ids: fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 \
-             fig10 fig11 fig12 fig13 fig14 table3 table4 | all)"
+             fig10 fig11 fig12 fig13 fig14 table3 table4 exec | all)"
         );
         std::process::exit(2);
     }
     let all_ids = [
-        "fig3", "fig5", "table3", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4", "fig8", "fig9",
-        "fig10", "fig11", "fig13", "fig14", "fig1",
+        "fig3", "fig5", "table3", "exec", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4", "fig8",
+        "fig9", "fig10", "fig11", "fig13", "fig14", "fig1",
     ];
     for arg in &args {
         if arg == "all" {

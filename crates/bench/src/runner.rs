@@ -9,11 +9,17 @@
 //! machine would charge them.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use cosma::api::{AlgoId, AlgorithmRegistry, MmmAlgorithm, PlanError};
+use cosma::api::{execute_boxed_with, AlgoId, AlgorithmRegistry, MmmAlgorithm, PlanError};
 use cosma::plan::DistPlan;
 use cosma::problem::MmmProblem;
+use densemat::gemm::matmul;
+use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
+use mpsim::exec::ExecBackend;
+use mpsim::machine::MachineSpec;
+use mpsim::stats::aggregate;
 
 /// The algorithms of the paper's comparison figures, in presentation order
 /// (Cannon is covered by the correctness suite but, as in the paper, not by
@@ -133,6 +139,76 @@ pub fn run_with(algos: &[Arc<dyn MmmAlgorithm>], prob: &MmmProblem, model: &Cost
         .collect()
 }
 
+/// One algorithm's end-to-end *executed* outcome on one problem instance:
+/// the plan's word-exact prediction next to what the executor actually
+/// measured with real messages — the row form of the conformance contract.
+#[derive(Debug, Clone)]
+pub struct ExecutedRow {
+    /// The executed algorithm.
+    pub algo: AlgoId,
+    /// World size.
+    pub p: usize,
+    /// Executor that ran the world.
+    pub backend: ExecBackend,
+    /// Total communication the plan predicts, in MB.
+    pub planned_mb: f64,
+    /// Total words actually received across ranks, in MB.
+    pub measured_mb: f64,
+    /// Whether every single rank's measured traffic equals its plan.
+    pub exact: bool,
+    /// Host wall-clock seconds of the executed run.
+    pub wall_s: f64,
+}
+
+/// Execute every registry algorithm on `prob` with real data under
+/// `backend`, comparing measured traffic against each plan. Algorithms whose
+/// rank-count constraints reject `prob.p`, or whose planning reports
+/// infeasibility, are skipped (reported by absence, like [`run_all`]).
+///
+/// # Panics
+/// Panics if an accepted execution fails or produces a wrong product —
+/// executed rows exist to certify the plans, so a mismatch is a bug, not a
+/// data point.
+pub fn execute_all(prob: &MmmProblem, model: &CostModel, backend: ExecBackend) -> Vec<ExecutedRow> {
+    let a = Matrix::deterministic(prob.m, prob.k, 61);
+    let b = Matrix::deterministic(prob.k, prob.n, 62);
+    let want = matmul(&a, &b);
+    let spec = MachineSpec::new(prob.p, prob.mem_words, *model);
+    registry()
+        .all()
+        .iter()
+        .filter_map(|algo| {
+            algo.supports(prob).ok()?;
+            let plan = algo.plan(prob, model).ok()?;
+            let start = Instant::now();
+            let report = execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b)
+                .unwrap_or_else(|e| panic!("{} on p={}: {e}", algo.id(), prob.p));
+            let wall_s = start.elapsed().as_secs_f64();
+            assert!(
+                want.approx_eq(&report.c, 1e-9),
+                "{} on p={}: product off by {}",
+                algo.id(),
+                prob.p,
+                want.max_abs_diff(&report.c)
+            );
+            let exact = report
+                .stats
+                .iter()
+                .enumerate()
+                .all(|(r, st)| st.total_recv() == plan.ranks[r].comm_words());
+            Some(ExecutedRow {
+                algo: algo.id(),
+                p: prob.p,
+                backend,
+                planned_mb: words_to_mb(plan.total_comm_words() as f64),
+                measured_mb: words_to_mb(aggregate::total_volume(&report.stats) as f64),
+                exact,
+                wall_s,
+            })
+        })
+        .collect()
+}
+
 /// Speedup of COSMA over the fastest other algorithm (> 1 means COSMA wins).
 pub fn cosma_speedup(rows: &[AlgoRow]) -> Option<f64> {
     let cosma = rows.iter().find(|r| r.algo == AlgoId::Cosma)?;
@@ -207,6 +283,19 @@ mod tests {
         assert_eq!(plan.ranks.len(), 30);
         assert_eq!(plan.active_ranks(), 25);
         assert!(plan.validate_coverage().is_ok());
+    }
+
+    #[test]
+    fn executed_rows_certify_plans_on_both_backends() {
+        let prob = MmmProblem::new(48, 48, 48, 16, 1 << 14);
+        for backend in [ExecBackend::Threaded, ExecBackend::Sharded { workers: 3 }] {
+            let rows = execute_all(&prob, &model(), backend);
+            assert!(!rows.is_empty(), "{backend}: no algorithm executed");
+            for r in &rows {
+                assert!(r.exact, "{backend}: {} measured traffic deviates from plan", r.algo);
+                assert!((r.planned_mb - r.measured_mb).abs() < 1e-12, "{backend}: {}", r.algo);
+            }
+        }
     }
 
     #[test]

@@ -229,6 +229,30 @@ pub fn comm_core_counts() -> Vec<usize> {
     vec![128, 256, 512, 1024, 2048]
 }
 
+/// End-to-end executable instances of the four shape classes: the same
+/// shapes as the paper scenarios, scaled so the full matrices fit in one
+/// test process while `p` still reaches paper-like rank counts. Used by the
+/// `exec` experiment, which runs them with real messages (threaded backend
+/// up to 512 ranks, sharded beyond) and holds the measured counters against
+/// the plan.
+pub fn exec_problem(shape: Shape, p: usize) -> MmmProblem {
+    match shape {
+        Shape::Square => MmmProblem::new(256, 256, 256, p, 1 << 20),
+        Shape::LargeK => MmmProblem::new(64, 64, 4096, p, 1 << 20),
+        Shape::LargeM => MmmProblem::new(4096, 64, 64, p, 1 << 20),
+        Shape::Flat => MmmProblem::new(512, 512, 32, p, 1 << 20),
+        // No pairwise-close dimension pair: classifies as Irregular.
+        Shape::Irregular => MmmProblem::new(320, 80, 1024, p, 1 << 20),
+    }
+}
+
+/// The core counts of the executed (`exec`) experiment: one per executor
+/// regime — small threaded, at-the-cap threaded, and sharded beyond the cap
+/// up to the paper's 4096 ranks.
+pub fn exec_core_counts() -> Vec<usize> {
+    vec![64, 512, 1024, 4096]
+}
+
 /// The core counts of the performance figures (Figures 8–11), including
 /// non-powers-of-two to expose decomposition instability.
 pub fn perf_core_counts() -> Vec<usize> {
@@ -300,6 +324,23 @@ mod tests {
         let outcome = sc.session(512).algorithm(AlgoId::Summa).run().unwrap();
         assert_eq!(outcome.plan.algo, AlgoId::Summa);
         assert!(outcome.report.time_s > 0.0);
+    }
+
+    #[test]
+    fn exec_problems_classify_and_fit() {
+        for shape in [
+            Shape::Square,
+            Shape::LargeK,
+            Shape::LargeM,
+            Shape::Flat,
+            Shape::Irregular,
+        ] {
+            for &p in &exec_core_counts() {
+                let prob = exec_problem(shape, p);
+                assert_eq!(prob.shape(), shape, "{shape:?} at p={p}");
+                assert!(prob.fits_collective_memory(), "{shape:?} at p={p}");
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! * [`MmmAlgorithm`] — the trait every distributed MMM algorithm implements:
 //!   typed identity ([`AlgoId`]), capability queries
 //!   ([`MmmAlgorithm::supports`]), exact planning
-//!   ([`MmmAlgorithm::plan`]) and real threaded execution
-//!   ([`MmmAlgorithm::execute`]) with mpiP-style measured counters.
+//!   ([`MmmAlgorithm::plan`]) and real execution
+//!   ([`MmmAlgorithm::execute`]) with mpiP-style measured counters, on a
+//!   threaded (≤ 512 ranks) or sharded worker-pool (any world size)
+//!   [`ExecBackend`].
 //! * [`PlanError`] — the single error enum for everything that can go wrong
 //!   between "here is a problem" and "here is a validated plan": structural
 //!   plan defects, grid infeasibility, per-algorithm rank-count constraints
@@ -43,7 +45,7 @@ use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::comm::Comm;
 use mpsim::cost::CostModel;
-use mpsim::exec::run_spmd;
+use mpsim::exec::{run_spmd_with, ExecBackend, ExecError};
 use mpsim::machine::MachineSpec;
 use mpsim::stats::RankStats;
 
@@ -249,6 +251,13 @@ pub enum PlanError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// The selected execution backend refused the world (e.g. the threaded
+    /// executor's rank cap — pick [`ExecBackend::Sharded`] or
+    /// [`ExecBackend::auto`] for larger worlds).
+    Execution {
+        /// The executor's typed refusal.
+        source: ExecError,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -284,6 +293,7 @@ impl fmt::Display for PlanError {
             PlanError::InvalidConfig { algo, reason } => {
                 write!(f, "invalid configuration for {algo}: {reason}")
             }
+            PlanError::Execution { source } => write!(f, "execution backend refused: {source}"),
         }
     }
 }
@@ -295,6 +305,12 @@ impl From<FitError> for PlanError {
         match e {
             FitError::NoFeasibleGrid => PlanError::NoFeasibleGrid,
         }
+    }
+}
+
+impl From<ExecError> for PlanError {
+    fn from(source: ExecError) -> Self {
+        PlanError::Execution { source }
     }
 }
 
@@ -370,9 +386,10 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
     /// hold no output — idle ranks, or non-root layers of a reduction).
     fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart>;
 
-    /// Execute the plan on a simulated `machine` (one OS thread per rank),
-    /// assemble the distributed output and return it with the measured
-    /// per-rank counters.
+    /// Execute the plan on a simulated `machine`, assemble the distributed
+    /// output and return it with the measured per-rank counters. The
+    /// executor is picked by [`ExecBackend::auto`]: one OS thread per rank
+    /// up to the threaded cap, the sharded worker-pool executor beyond.
     fn execute(
         &self,
         plan: &DistPlan,
@@ -388,11 +405,25 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
 }
 
 /// Object-safe driver behind [`MmmAlgorithm::execute`] — also callable on a
-/// `&dyn MmmAlgorithm` (e.g. a registry entry).
+/// `&dyn MmmAlgorithm` (e.g. a registry entry). Picks the execution backend
+/// with [`ExecBackend::auto`], so worlds beyond the threaded rank cap fall
+/// back to the sharded executor instead of failing.
 pub fn execute_boxed(
     algo: &(impl MmmAlgorithm + ?Sized),
     plan: &DistPlan,
     machine: &MachineSpec,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<ExecReport, PlanError> {
+    execute_boxed_with(algo, plan, machine, ExecBackend::auto(machine.p), a, b)
+}
+
+/// [`execute_boxed`] on an explicit [`ExecBackend`].
+pub fn execute_boxed_with(
+    algo: &(impl MmmAlgorithm + ?Sized),
+    plan: &DistPlan,
+    machine: &MachineSpec,
+    backend: ExecBackend,
     a: &Matrix,
     b: &Matrix,
 ) -> Result<ExecReport, PlanError> {
@@ -402,7 +433,7 @@ pub fn execute_boxed(
             world_ranks: machine.p,
         });
     }
-    let out = run_spmd(machine, |comm| algo.execute_rank(comm, plan, a, b));
+    let out = run_spmd_with(machine, backend, |comm| algo.execute_rank(comm, plan, a, b))?;
     let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
     Ok(ExecReport { c, stats: out.stats })
 }
@@ -547,6 +578,7 @@ pub struct RunSession {
     backend: Option<Backend>,
     delta: Option<f64>,
     overlap: bool,
+    exec: Option<ExecBackend>,
 }
 
 impl RunSession {
@@ -561,6 +593,7 @@ impl RunSession {
             backend: None,
             delta: None,
             overlap: true,
+            exec: None,
         }
     }
 
@@ -601,6 +634,21 @@ impl RunSession {
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
         self
+    }
+
+    /// Select the execution backend for [`execute`](Self::execute) /
+    /// [`execute_verified`](Self::execute_verified). Default:
+    /// [`ExecBackend::auto`] — threaded up to the rank cap, sharded beyond.
+    pub fn exec_backend(mut self, backend: ExecBackend) -> Self {
+        self.exec = Some(backend);
+        self
+    }
+
+    /// The execution backend the session will use: the explicit
+    /// [`exec_backend`](Self::exec_backend) choice, or [`ExecBackend::auto`]
+    /// for the problem's world size.
+    pub fn effective_exec_backend(&self) -> ExecBackend {
+        self.exec.unwrap_or_else(|| ExecBackend::auto(self.prob.p))
     }
 
     /// The effective cost model.
@@ -664,10 +712,12 @@ impl RunSession {
     }
 
     /// Plan and execute with real messages on the session's simulated
-    /// machine, assembling the distributed product.
+    /// machine, assembling the distributed product. The session's
+    /// [`effective_exec_backend`](Self::effective_exec_backend) picks the
+    /// executor, so worlds of thousands of ranks run end-to-end.
     pub fn execute(&self, a: &Matrix, b: &Matrix) -> Result<ExecReport, PlanError> {
         let (algo, plan) = self.resolved_plan()?;
-        execute_boxed(algo.as_ref(), &plan, &self.machine_spec(), a, b)
+        execute_boxed_with(algo.as_ref(), &plan, &self.machine_spec(), self.effective_exec_backend(), a, b)
     }
 
     /// [`execute`](Self::execute), then verify the product against the
@@ -678,7 +728,14 @@ impl RunSession {
     /// Panics if the product or any rank's traffic deviates from the plan.
     pub fn execute_verified(&self, a: &Matrix, b: &Matrix) -> Result<(DistPlan, ExecReport), PlanError> {
         let (algo, plan) = self.resolved_plan()?;
-        let report = execute_boxed(algo.as_ref(), &plan, &self.machine_spec(), a, b)?;
+        let report = execute_boxed_with(
+            algo.as_ref(),
+            &plan,
+            &self.machine_spec(),
+            self.effective_exec_backend(),
+            a,
+            b,
+        )?;
         let want = matmul(a, b);
         assert!(
             want.approx_eq(&report.c, 1e-9),
@@ -857,6 +914,49 @@ mod tests {
                 world_ranks: 5
             }
         );
+    }
+
+    #[test]
+    fn session_sharded_backend_executes_verified() {
+        let prob = MmmProblem::new(24, 20, 28, 6, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 5);
+        let b = Matrix::deterministic(prob.k, prob.n, 6);
+        let (plan, report) = RunSession::new(prob)
+            .exec_backend(ExecBackend::Sharded { workers: 2 })
+            .execute_verified(&a, &b)
+            .unwrap();
+        assert_eq!(report.total_recv_words(), plan.total_comm_words());
+    }
+
+    #[test]
+    fn session_threaded_cap_is_a_typed_error() {
+        // Forcing the threaded backend past its cap surfaces the executor's
+        // refusal through PlanError instead of panicking. The executor
+        // refuses before any rank runs, so the input matrices are never read.
+        let prob = MmmProblem::new(2048, 2048, 2048, 600, 1 << 22);
+        let a = Matrix::deterministic(4, 4, 1);
+        let b = Matrix::deterministic(4, 4, 2);
+        let session = RunSession::new(prob).exec_backend(ExecBackend::Threaded);
+        let err = session.execute(&a, &b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::Execution {
+                    source: ExecError::WorldTooLarge { p: 600, .. }
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("supports at most"));
+    }
+
+    #[test]
+    fn auto_backend_falls_back_to_sharded_beyond_the_cap() {
+        let prob = MmmProblem::new(2048, 2048, 2048, 600, 1 << 22);
+        let session = RunSession::new(prob);
+        assert!(matches!(session.effective_exec_backend(), ExecBackend::Sharded { .. }));
+        let small = RunSession::new(MmmProblem::new(16, 16, 16, 4, 4096));
+        assert_eq!(small.effective_exec_backend(), ExecBackend::Threaded);
     }
 
     #[test]

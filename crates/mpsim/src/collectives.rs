@@ -492,6 +492,32 @@ mod tests {
     }
 
     #[test]
+    fn collectives_complete_on_the_sharded_executor() {
+        use crate::exec::{run_spmd_with, ExecBackend};
+        // A world far bigger than the worker pool: tree parents and ring
+        // neighbours park awaiting peers, so the gate must rotate its two
+        // slots through all 24 ranks for any collective to terminate.
+        let p = 24;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, |c| {
+            let group: Vec<usize> = (0..c.size()).collect();
+            let mut data = if c.rank() == 0 { vec![7.0; 5] } else { vec![] };
+            bcast(c, &group, 0, &mut data, 1, Phase::InputA);
+            let mut sum = vec![c.rank() as f64];
+            reduce_sum(c, &group, 0, &mut sum, 2, Phase::OutputC);
+            let gathered = allgather_ring(c, &group, vec![c.rank() as f64], 3, Phase::InputB);
+            (data, sum, gathered.len())
+        })
+        .expect("sharded run accepted");
+        for (r, (data, _, gathered)) in out.results.iter().enumerate() {
+            assert_eq!(data, &vec![7.0; 5], "rank {r} missed the broadcast");
+            assert_eq!(*gathered, p, "rank {r} missed allgather chunks");
+        }
+        let expect: f64 = (0..p).map(|r| r as f64).sum();
+        assert_eq!(out.results[0].1, vec![expect]);
+    }
+
+    #[test]
     fn consecutive_collectives_do_not_cross_talk() {
         let spec = MachineSpec::test_machine(4, 1000);
         let out = run_spmd(&spec, |c| {

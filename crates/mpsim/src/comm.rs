@@ -14,10 +14,12 @@
 //! Every operation updates the per-rank [`StatsBoard`] counters, which is how
 //! the "communication volume per rank" measurements of Figures 6–7 are taken.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::cell::Cell;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::exec::WorkerGate;
 use crate::stats::{Phase, StatsBoard};
 
 /// How long a blocking receive waits before declaring the run deadlocked.
@@ -45,6 +47,38 @@ fn lock(w: &Mutex<Vec<f64>>) -> MutexGuard<'_, Vec<f64>> {
     w.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// A rank's handle on the sharded executor's [`WorkerGate`]: tracks whether
+/// this rank currently holds a runnable slot, so rendezvous points can
+/// suspend (return the slot) and resume (re-acquire it) without
+/// double-releasing on panic unwinds.
+struct RankGate {
+    gate: Arc<WorkerGate>,
+    held: Cell<bool>,
+}
+
+impl RankGate {
+    /// Yield the worker slot before blocking.
+    fn suspend(&self) {
+        if self.held.replace(false) {
+            self.gate.release();
+        }
+    }
+
+    /// Re-acquire a worker slot after the rendezvous completed.
+    fn resume(&self) {
+        if !self.held.replace(true) {
+            self.gate.acquire();
+        }
+    }
+}
+
+impl Drop for RankGate {
+    fn drop(&mut self) {
+        // The rank finished (or panicked while runnable): return its slot.
+        self.suspend();
+    }
+}
+
 /// A rank's handle to the simulated machine.
 pub struct Comm {
     rank: usize,
@@ -53,11 +87,19 @@ pub struct Comm {
     inbox: Receiver<Packet>,
     /// Out-of-order messages awaiting a matching receive.
     pending: Vec<Packet>,
+    /// Sharded-executor admission handle (`None` on the threaded backend).
+    gate: Option<RankGate>,
 }
 
 impl Comm {
     /// Build communicators for a world of `p` ranks sharing `stats`.
     pub fn create_world(p: usize, stats: Arc<StatsBoard>) -> Vec<Comm> {
+        Comm::create_world_gated(p, stats, None)
+    }
+
+    /// [`create_world`](Self::create_world) for the sharded executor: every
+    /// rank's blocking rendezvous will yield its runnable slot to `gate`.
+    pub fn create_world_gated(p: usize, stats: Arc<StatsBoard>, gate: Option<Arc<WorkerGate>>) -> Vec<Comm> {
         assert!(p > 0, "world needs at least one rank");
         assert_eq!(stats.len(), p, "stats board size mismatch");
         let mut senders = Vec::with_capacity(p);
@@ -82,8 +124,21 @@ impl Comm {
                 shared: shared.clone(),
                 inbox,
                 pending: Vec::new(),
+                gate: gate.as_ref().map(|g| RankGate {
+                    gate: g.clone(),
+                    held: Cell::new(false),
+                }),
             })
             .collect()
+    }
+
+    /// Acquire this rank's initial runnable slot. The sharded executor calls
+    /// this on the rank's own carrier thread before any user code; a no-op
+    /// on ungated (threaded) communicators.
+    pub fn gate_enter(&self) {
+        if let Some(g) = &self.gate {
+            g.resume();
+        }
     }
 
     /// This rank's id, `0..p`.
@@ -140,6 +195,10 @@ impl Comm {
     /// arrives. Messages from the same sender with the same tag are delivered
     /// in send order.
     ///
+    /// On the sharded backend a receive with no matching message buffered is
+    /// a resumable wait-state: the rank yields its worker slot while it
+    /// waits and re-acquires one once the message arrived.
+    ///
     /// # Panics
     /// Panics after two minutes without a matching message (deadlock guard).
     pub fn recv(&mut self, from: usize, tag: u64, phase: Phase) -> Vec<f64> {
@@ -149,16 +208,39 @@ impl Comm {
             self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
             return msg.data;
         }
+        // Drain already-delivered messages without giving up the worker slot.
         loop {
+            match self.inbox.try_recv() {
+                Ok(msg) if msg.from == from && msg.tag == tag => {
+                    self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
+                    return msg.data;
+                }
+                Ok(msg) => self.pending.push(msg),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    panic!("rank {}: world torn down while receiving", self.rank)
+                }
+            }
+        }
+        // Nothing buffered: park until the match arrives, yielding this
+        // rank's worker slot for the duration of the wait.
+        if let Some(g) = &self.gate {
+            g.suspend();
+        }
+        let data = loop {
             let msg = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
                 panic!("rank {}: timed out waiting for (from={from}, tag={tag})", self.rank)
             });
             if msg.from == from && msg.tag == tag {
-                self.shared.stats.rank(self.rank).record_recv(msg.data.len() as u64, phase);
-                return msg.data;
+                break msg.data;
             }
             self.pending.push(msg);
+        };
+        if let Some(g) = &self.gate {
+            g.resume();
         }
+        self.shared.stats.rank(self.rank).record_recv(data.len() as u64, phase);
+        data
     }
 
     /// Combined exchange: send `data` to `to` and receive from `from` under
@@ -169,9 +251,18 @@ impl Comm {
         self.recv(from, tag, phase)
     }
 
-    /// Block until all ranks reach the barrier.
+    /// Block until all ranks reach the barrier. On the sharded backend the
+    /// wait is a resumable wait-state: the rank yields its worker slot while
+    /// standing at the barrier (all `p` ranks must arrive, and fewer than
+    /// `p` workers exist).
     pub fn barrier(&self) {
+        if let Some(g) = &self.gate {
+            g.suspend();
+        }
         self.shared.barrier.wait();
+        if let Some(g) = &self.gate {
+            g.resume();
+        }
     }
 
     // ------------------------------------------------------------------

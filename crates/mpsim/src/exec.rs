@@ -1,15 +1,112 @@
-//! The SPMD executor: run one closure per rank, each on its own OS thread.
+//! The SPMD executors: run one closure per rank and collect results.
+//!
+//! Two backends implement the same SPMD contract ([`ExecBackend`]):
+//!
+//! * **Threaded** — one full OS thread per rank, the original executor.
+//!   Simple and fast for small worlds, but capped at
+//!   [`MAX_THREADED_RANKS`] ranks.
+//! * **Sharded** — `p` simulated ranks multiplexed over a fixed pool of
+//!   `workers` runnable slots. Each rank gets a lightweight small-stack
+//!   carrier, but at most `workers` of them are ever runnable: the
+//!   communicator's rendezvous points ([`Comm::recv`] waiting for a message,
+//!   [`Comm::barrier`]/`fence`) are resumable wait-states that hand the
+//!   rank's worker slot to the next runnable rank instead of blocking it
+//!   (see [`WorkerGate`]). Admission is FIFO, so runnable ranks are stepped
+//!   round-robin. This is what lets plan-vs-executed conformance run at the
+//!   paper's rank counts (thousands of ranks) instead of stopping at the
+//!   threaded cap.
+//!
+//! Blocked ranks cost only their (small) stack, so worlds of 4096+ ranks
+//! execute with real messages on a laptop-sized worker pool.
 
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::comm::Comm;
 use crate::machine::MachineSpec;
 use crate::stats::{RankStats, StatsBoard};
 
 /// Maximum number of simulated ranks the threaded executor accepts. Beyond
-/// this, use plan-level analysis (the per-rank word counts are exact either
-/// way; the threaded path exists to validate them with real data).
+/// this, use [`ExecBackend::Sharded`] (or [`ExecBackend::auto`], which
+/// switches automatically) — the per-rank word counts are exact either way;
+/// the executors exist to validate them with real data.
 pub const MAX_THREADED_RANKS: usize = 512;
+
+/// Stack size of one sharded rank carrier. Rank bodies keep their working
+/// sets on the heap (matrix tiles, message buffers) and recurse at most
+/// `log2 p` deep (CARMA's splitting), so a modest fixed stack suffices and
+/// keeps 4096-rank worlds cheap.
+pub const SHARDED_STACK_BYTES: usize = 1 << 20;
+
+/// How an SPMD world is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// One OS thread per rank; at most [`MAX_THREADED_RANKS`] ranks.
+    Threaded,
+    /// `p` ranks multiplexed over `workers` runnable slots; any world size.
+    Sharded {
+        /// Maximum number of concurrently runnable ranks (≥ 1).
+        workers: usize,
+    },
+}
+
+impl ExecBackend {
+    /// The backend for a `p`-rank world: threaded up to
+    /// [`MAX_THREADED_RANKS`], sharded over [`Self::default_workers`] beyond.
+    pub fn auto(p: usize) -> ExecBackend {
+        if p <= MAX_THREADED_RANKS {
+            ExecBackend::Threaded
+        } else {
+            ExecBackend::Sharded {
+                workers: Self::default_workers(),
+            }
+        }
+    }
+
+    /// Default sharded worker-pool size: the machine's available parallelism.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8)
+    }
+}
+
+impl fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecBackend::Threaded => write!(f, "threaded"),
+            ExecBackend::Sharded { workers } => write!(f, "sharded({workers})"),
+        }
+    }
+}
+
+/// Why an executor refused to run a world (before any rank started).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The threaded backend's rank cap was exceeded.
+    WorldTooLarge {
+        /// Requested world size.
+        p: usize,
+        /// The threaded cap ([`MAX_THREADED_RANKS`]).
+        max: usize,
+    },
+    /// A sharded pool of zero workers can never step any rank.
+    NoWorkers,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorldTooLarge { p, max } => write!(
+                f,
+                "threaded execution supports at most {max} ranks (got {p}); \
+                 use ExecBackend::Sharded for larger worlds"
+            ),
+            ExecError::NoWorkers => write!(f, "sharded execution needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Results and measured statistics of an SPMD run.
 #[derive(Debug)]
@@ -20,29 +117,189 @@ pub struct RunOutput<R> {
     pub stats: Vec<RankStats>,
 }
 
-/// Run `f` on every rank of `spec` concurrently and collect results.
+// ---------------------------------------------------------------------------
+// The worker gate: the sharded scheduler's admission control
+// ---------------------------------------------------------------------------
+
+/// FIFO admission gate of the sharded executor: at most `workers` ranks hold
+/// a runnable slot at any moment.
+///
+/// A rank acquires a slot before running user code and *suspends* (returns
+/// its slot) at every rendezvous that would block — waiting for a message,
+/// standing at a barrier. Release hands the freed slot directly to the
+/// longest-waiting rank (one targeted `unpark`, no thundering herd), so
+/// runnable ranks are admitted round-robin and a parked rank never pins a
+/// worker.
+pub struct WorkerGate {
+    state: Mutex<GateQueue>,
+}
+
+struct GateQueue {
+    /// Unassigned slots.
+    free: usize,
+    /// Ranks waiting for a slot, FIFO.
+    queue: VecDeque<(u64, std::thread::Thread)>,
+    /// Tickets whose slot was handed over but whose thread has not resumed.
+    granted: HashSet<u64>,
+    next_ticket: u64,
+}
+
+impl WorkerGate {
+    /// A gate admitting `workers` concurrently runnable ranks.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "the worker pool needs at least one slot");
+        WorkerGate {
+            state: Mutex::new(GateQueue {
+                free: workers,
+                queue: VecDeque::new(),
+                granted: HashSet::new(),
+                next_ticket: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateQueue> {
+        // A poisoned gate means a rank panicked; let that panic surface.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until a runnable slot is free (FIFO order).
+    pub fn acquire(&self) {
+        let ticket = {
+            let mut st = self.lock();
+            if st.free > 0 && st.queue.is_empty() {
+                st.free -= 1;
+                return;
+            }
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.queue.push_back((ticket, std::thread::current()));
+            ticket
+        };
+        loop {
+            std::thread::park();
+            if self.lock().granted.remove(&ticket) {
+                return;
+            }
+        }
+    }
+
+    /// Return a slot, handing it to the longest-waiting rank if any.
+    pub fn release(&self) {
+        let mut st = self.lock();
+        if let Some((ticket, thread)) = st.queue.pop_front() {
+            // The slot transfers directly: `free` stays unchanged.
+            st.granted.insert(ticket);
+            thread.unpark();
+        } else {
+            st.free += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+/// Run `f` on every rank of `spec` under `backend` and collect results.
+///
+/// # Errors
+/// [`ExecError::WorldTooLarge`] when the threaded backend is asked for more
+/// than [`MAX_THREADED_RANKS`] ranks; [`ExecError::NoWorkers`] for an empty
+/// sharded pool.
+///
+/// # Panics
+/// Panics if any rank panics (the panic is propagated).
+pub fn run_spmd_with<R, F>(spec: &MachineSpec, backend: ExecBackend, f: F) -> Result<RunOutput<R>, ExecError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    match backend {
+        ExecBackend::Threaded => {
+            if spec.p > MAX_THREADED_RANKS {
+                return Err(ExecError::WorldTooLarge {
+                    p: spec.p,
+                    max: MAX_THREADED_RANKS,
+                });
+            }
+            Ok(run_threaded(spec, f))
+        }
+        ExecBackend::Sharded { workers } => {
+            if workers == 0 {
+                return Err(ExecError::NoWorkers);
+            }
+            Ok(run_sharded(spec, workers, f))
+        }
+    }
+}
+
+/// Run `f` on every rank of `spec` concurrently (threaded backend) and
+/// collect results.
 ///
 /// # Panics
 /// Panics if any rank panics (the panic is propagated), or if
-/// `spec.p > MAX_THREADED_RANKS`.
+/// `spec.p > MAX_THREADED_RANKS` — use [`run_spmd_with`] with
+/// [`ExecBackend::Sharded`] (or [`ExecBackend::auto`]) for larger worlds.
 pub fn run_spmd<R, F>(spec: &MachineSpec, f: F) -> RunOutput<R>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
-    assert!(
-        spec.p <= MAX_THREADED_RANKS,
-        "threaded execution supports at most {MAX_THREADED_RANKS} ranks; use plan analysis beyond that"
-    );
+    match run_spmd_with(spec, ExecBackend::Threaded, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn run_threaded<R, F>(spec: &MachineSpec, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_world(spec, None, f)
+}
+
+fn run_sharded<R, F>(spec: &MachineSpec, workers: usize, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)
+}
+
+/// The shared SPMD skeleton: spawn one carrier per rank, join in rank order.
+/// Gated worlds get small-stack carriers and acquire their admission slot on
+/// their own thread before user code; the slot is returned when the closure
+/// finishes or panics (the communicator's gate handle releases on drop).
+/// `Comm::gate_enter` is a no-op on ungated (threaded) worlds.
+fn run_world<R, F>(spec: &MachineSpec, gate: Option<Arc<WorkerGate>>, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
     let stats = Arc::new(StatsBoard::new(spec.p));
-    let comms = Comm::create_world(spec.p, stats.clone());
+    let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone());
     let mut slots: Vec<Option<R>> = (0..spec.p).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|mut c| {
                 let f = &f;
-                s.spawn(move || f(&mut c))
+                let body = move || {
+                    c.gate_enter();
+                    f(&mut c)
+                };
+                match &gate {
+                    Some(_) => std::thread::Builder::new()
+                        .stack_size(SHARDED_STACK_BYTES)
+                        .spawn_scoped(s, body)
+                        .expect("spawn rank carrier"),
+                    None => s.spawn(body),
+                }
             })
             .collect();
         for (slot, h) in slots.iter_mut().zip(handles) {
@@ -104,5 +361,134 @@ mod tests {
     fn rank_limit_enforced() {
         let spec = MachineSpec::test_machine(MAX_THREADED_RANKS + 1, 10);
         let _ = run_spmd(&spec, |_| ());
+    }
+
+    #[test]
+    fn threaded_backend_rejects_large_worlds_typed() {
+        let spec = MachineSpec::test_machine(MAX_THREADED_RANKS + 1, 10);
+        let err = run_spmd_with(&spec, ExecBackend::Threaded, |_| ()).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::WorldTooLarge {
+                p: MAX_THREADED_RANKS + 1,
+                max: MAX_THREADED_RANKS
+            }
+        );
+        assert!(err.to_string().contains("Sharded"));
+    }
+
+    #[test]
+    fn sharded_rejects_empty_pool() {
+        let spec = MachineSpec::test_machine(4, 10);
+        let err = run_spmd_with(&spec, ExecBackend::Sharded { workers: 0 }, |_| ()).unwrap_err();
+        assert_eq!(err, ExecError::NoWorkers);
+    }
+
+    #[test]
+    fn auto_switches_at_the_threaded_cap() {
+        assert_eq!(ExecBackend::auto(1), ExecBackend::Threaded);
+        assert_eq!(ExecBackend::auto(MAX_THREADED_RANKS), ExecBackend::Threaded);
+        assert!(matches!(
+            ExecBackend::auto(MAX_THREADED_RANKS + 1),
+            ExecBackend::Sharded { workers } if workers >= 1
+        ));
+    }
+
+    #[test]
+    fn sharded_results_are_rank_ordered() {
+        let spec = MachineSpec::test_machine(24, 1000);
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 3 }, |c| c.rank() * 10).unwrap();
+        assert_eq!(out.results, (0..24).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_runs_worlds_beyond_the_threaded_cap() {
+        // More ranks than the threaded cap, far more ranks than workers;
+        // every rank exchanges with a neighbour, so the gate must hand slots
+        // between parked and runnable ranks without deadlocking.
+        let p = MAX_THREADED_RANKS + 160;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 4 }, |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other);
+            got[0] as usize
+        })
+        .unwrap();
+        for (r, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, (r + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn sharded_single_worker_makes_progress_through_rendezvous() {
+        // workers = 1 is the harshest schedule: every recv/barrier must yield
+        // the lone slot or the world deadlocks.
+        let spec = MachineSpec::test_machine(8, 1000);
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 1 }, |c| {
+            c.barrier();
+            let got = if c.rank() == 0 {
+                for to in 1..c.size() {
+                    c.send(to, 1, vec![to as f64], Phase::Other);
+                }
+                0.0
+            } else {
+                c.recv(0, 1, Phase::Other)[0]
+            };
+            c.barrier();
+            got
+        });
+        let out = match out {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        };
+        for r in 1..8 {
+            assert_eq!(out.results[r], r as f64);
+        }
+    }
+
+    #[test]
+    fn sharded_and_threaded_measure_identically() {
+        let spec = MachineSpec::test_machine(16, 1000);
+        let pattern = |c: &mut Comm| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.sendrecv(right, left, 3, vec![1.0; c.rank() + 1], Phase::InputA);
+            c.barrier();
+            c.rank()
+        };
+        let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
+        let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, pattern).unwrap();
+        assert_eq!(threaded.results, sharded.results);
+        assert_eq!(threaded.stats, sharded.stats);
+    }
+
+    #[test]
+    fn worker_gate_is_fifo_and_conserves_slots() {
+        let gate = Arc::new(WorkerGate::new(2));
+        gate.acquire();
+        gate.acquire();
+        // Both slots held: a queued acquire must wait until a release.
+        let g = gate.clone();
+        let waiter = std::thread::spawn(move || {
+            g.acquire();
+            g.release();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "no free slot yet");
+        gate.release();
+        waiter.join().unwrap();
+        gate.release();
+        // Both slots free again.
+        gate.acquire();
+        gate.acquire();
+        gate.release();
+        gate.release();
+    }
+
+    #[test]
+    fn backend_display_names() {
+        assert_eq!(ExecBackend::Threaded.to_string(), "threaded");
+        assert_eq!(ExecBackend::Sharded { workers: 6 }.to_string(), "sharded(6)");
     }
 }

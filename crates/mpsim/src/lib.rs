@@ -16,7 +16,10 @@
 //! * [`collectives`] — binomial-tree broadcast and reduce, ring all-gather
 //!   and ring shift, built on the point-to-point layer exactly like the
 //!   paper's hand-rolled broadcast trees (§7.2).
-//! * [`exec`] — the SPMD executor: one OS thread per simulated rank.
+//! * [`exec`] — the SPMD executors: one OS thread per simulated rank
+//!   (threaded, ≤ 512 ranks) or `p` ranks multiplexed over a fixed worker
+//!   pool with resumable send/recv/barrier wait-states (sharded, any world
+//!   size — this is how paper-scale rank counts execute with real data).
 //! * [`cost`] — the α-β-γ time model: per-round communication/computation
 //!   costs, with and without communication–computation overlap (§7.3), and
 //!   %-of-peak reporting used by Figures 8–14.
@@ -35,6 +38,6 @@ pub mod stats;
 
 pub use comm::Comm;
 pub use cost::{CostModel, RoundCost, TimeBreakdown};
-pub use exec::{run_spmd, RunOutput};
+pub use exec::{run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, MAX_THREADED_RANKS};
 pub use machine::MachineSpec;
 pub use stats::{Phase, RankStats, StatsBoard};

@@ -188,6 +188,12 @@ pub mod aggregate {
         stats.iter().map(RankStats::volume).max().unwrap_or(0)
     }
 
+    /// Total received volume over all ranks (each transferred word counted
+    /// once — the measured analogue of a plan's total comm words).
+    pub fn total_volume(stats: &[RankStats]) -> u64 {
+        stats.iter().map(RankStats::volume).sum()
+    }
+
     /// Mean received volume over ranks.
     pub fn mean_volume(stats: &[RankStats]) -> f64 {
         if stats.is_empty() {
@@ -280,6 +286,7 @@ mod tests {
             },
         ];
         assert_eq!(aggregate::max_volume(&stats), 30);
+        assert_eq!(aggregate::total_volume(&stats), 40);
         assert!((aggregate::mean_volume(&stats) - 20.0).abs() < 1e-12);
         assert_eq!(aggregate::total_flops(&stats), 12);
         assert_eq!(aggregate::max_volume(&[]), 0);

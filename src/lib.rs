@@ -6,8 +6,9 @@
 //! * [`pebbles`] — red-blue pebble game, CDAGs, X-partitions, MMM I/O lower
 //!   bounds (paper §2.2, §4, §5).
 //! * [`densemat`] — dense-matrix substrate: storage, GEMM kernels, layouts.
-//! * [`mpsim`] — simulated distributed machine: SPMD executor, collectives,
-//!   traffic counters, α-β-γ cost model (replaces Piz Daint + MPI + mpiP).
+//! * [`mpsim`] — simulated distributed machine: threaded and sharded SPMD
+//!   executors, collectives, traffic counters, α-β-γ cost model (replaces
+//!   Piz Daint + MPI + mpiP).
 //! * [`cosma`] — the paper's contribution: near-communication-optimal
 //!   distributed matrix multiplication (§3, §6, §7).
 //! * [`baselines`] — ScaLAPACK-style SUMMA, Cannon, 2.5D/3D (CTF-style) and
@@ -16,7 +17,8 @@
 //!
 //! The front door is [`cosma::api::RunSession`]: pick a problem, a cost
 //! model and an [`cosma::api::AlgoId`], then `.plan()`, `.run()` (cost-model
-//! simulation) or `.execute()` (real threaded execution):
+//! simulation) or `.execute()` (real execution — threaded up to 512 ranks,
+//! sharded worker-pool beyond):
 //!
 //! ```
 //! use cosma_repro::cosma::api::{AlgoId, RunSession};

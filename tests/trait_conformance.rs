@@ -8,11 +8,12 @@
 //! 3. planned per-rank traffic equals executed traffic, word for word, and
 //!    the executed product matches the sequential kernel.
 
-use cosma::api::{execute_boxed, PlanError};
+use cosma::api::{execute_boxed, execute_boxed_with, PlanError, RunSession};
 use cosma::problem::MmmProblem;
 use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
+use mpsim::exec::{run_spmd_with, ExecBackend};
 use mpsim::machine::MachineSpec;
 
 /// The shared problem matrix: every shape class of §8 plus adversarial
@@ -118,6 +119,134 @@ fn planned_traffic_equals_executed_traffic() {
             }
         }
     }
+}
+
+/// The large-world problem matrix: paper-scale rank counts that only the
+/// sharded executor can run end-to-end (the threaded backend caps at 512).
+/// p = 2048 is not a perfect square, so Cannon's `supports` veto is also
+/// exercised at scale; matrices are sized so every rank still owns work.
+fn large_world_problems() -> Vec<MmmProblem> {
+    vec![
+        MmmProblem::new(256, 256, 256, 1024, 1 << 20),
+        MmmProblem::new(192, 224, 512, 2048, 1 << 20),
+        MmmProblem::new(256, 256, 256, 4096, 1 << 20),
+    ]
+}
+
+/// Plan-vs-executed traffic equality at p ∈ {1024, 2048, 4096} on the
+/// sharded backend — the conformance contract at the paper's rank counts.
+/// Slow (thousands of carrier threads per algorithm): run via
+/// `cargo test -- --ignored` (the CI `large-world` job).
+#[test]
+#[ignore = "large world (>= 1024 ranks); run with --ignored"]
+fn sharded_large_world_traffic_matches_plan() {
+    let reg = baselines::registry();
+    for prob in large_world_problems() {
+        let a = Matrix::deterministic(prob.m, prob.k, 31);
+        let b = Matrix::deterministic(prob.k, prob.n, 32);
+        let want = matmul(&a, &b);
+        let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+        let backend = ExecBackend::Sharded {
+            workers: ExecBackend::default_workers(),
+        };
+        for algo in reg.all() {
+            let id = algo.id();
+            if algo.supports(&prob).is_err() {
+                continue;
+            }
+            let Ok(plan) = algo.plan(&prob, &model()) else {
+                continue;
+            };
+            let report = execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b)
+                .unwrap_or_else(|e| panic!("{id} on p={}: {e}", prob.p));
+            assert!(
+                want.approx_eq(&report.c, 1e-9),
+                "{id} on p={}: product off by {}",
+                prob.p,
+                want.max_abs_diff(&report.c)
+            );
+            for (r, st) in report.stats.iter().enumerate() {
+                assert_eq!(
+                    st.total_recv(),
+                    plan.ranks[r].comm_words(),
+                    "{id} on p={}: rank {r} executed traffic deviates from the plan",
+                    prob.p
+                );
+            }
+        }
+    }
+}
+
+/// `RunSession::execute` past the threaded cap: the auto backend falls back
+/// to the sharded executor, and the verified contract still holds.
+#[test]
+fn session_auto_backend_executes_beyond_threaded_cap() {
+    let prob = MmmProblem::new(128, 128, 128, 600, 1 << 18);
+    let a = Matrix::deterministic(prob.m, prob.k, 41);
+    let b = Matrix::deterministic(prob.k, prob.n, 42);
+    let (plan, report) = RunSession::new(prob)
+        .registry(baselines::registry())
+        .execute_verified(&a, &b)
+        .expect("auto backend must shard beyond the threaded cap");
+    assert_eq!(plan.problem.p, 600);
+    assert_eq!(report.total_recv_words(), plan.total_comm_words());
+}
+
+/// Backend equivalence: for every registry algorithm on the shared (≤ 512
+/// rank) problem matrix, the threaded and sharded executors produce bitwise
+/// identical per-rank `CPart` results and identical per-rank counters —
+/// scheduling must never change what is computed or measured.
+#[test]
+fn threaded_and_sharded_backends_agree_exactly() {
+    let reg = baselines::registry();
+    let mut probs = shared_problems();
+    probs.push(MmmProblem::new(64, 64, 64, 256, 1 << 16));
+    for prob in probs {
+        let a = Matrix::deterministic(prob.m, prob.k, 21);
+        let b = Matrix::deterministic(prob.k, prob.n, 22);
+        let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+        for algo in reg.all() {
+            let id = algo.id();
+            if algo.supports(&prob).is_err() {
+                continue;
+            }
+            let Ok(plan) = algo.plan(&prob, &model()) else {
+                continue;
+            };
+            let run = |backend: ExecBackend| {
+                run_spmd_with(&spec, backend, |c| algo.execute_rank(c, &plan, &a, &b))
+                    .unwrap_or_else(|e| panic!("{id} on p={}: {e}", prob.p))
+            };
+            let threaded = run(ExecBackend::Threaded);
+            let sharded = run(ExecBackend::Sharded { workers: 3 });
+            assert_eq!(
+                threaded.results, sharded.results,
+                "{id} on p={}: backends disagree on CPart results",
+                prob.p
+            );
+            assert_eq!(
+                threaded.stats, sharded.stats,
+                "{id} on p={}: backends disagree on measured counters",
+                prob.p
+            );
+        }
+    }
+}
+
+/// COSMA's one-sided (RMA) backend on the sharded executor: `fence` is a
+/// barrier rendezvous, so the epoch protocol must survive slot hand-offs.
+#[test]
+fn one_sided_cosma_executes_on_the_sharded_backend() {
+    use cosma::algorithm::Backend;
+    let prob = MmmProblem::new(48, 40, 56, 12, 1 << 13);
+    let a = Matrix::deterministic(prob.m, prob.k, 5);
+    let b = Matrix::deterministic(prob.k, prob.n, 6);
+    let (plan, report) = RunSession::new(prob)
+        .backend(Backend::OneSided)
+        .exec_backend(ExecBackend::Sharded { workers: 2 })
+        .execute_verified(&a, &b)
+        .unwrap();
+    assert_eq!(report.total_recv_words(), plan.total_comm_words());
 }
 
 #[test]
