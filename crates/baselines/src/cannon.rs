@@ -9,12 +9,12 @@
 //! accounts for the exact sizes of the blocks each rank receives.
 
 use cosma::algorithm::{even_range, CPart};
-use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankRequirement};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture, RankRequirement};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use densemat::gemm::gemm_tiled;
 use densemat::matrix::Matrix;
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
@@ -93,9 +93,10 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
     })
 }
 
-/// Execute a Cannon plan on the calling rank; returns its C block.
-pub fn execute(
-    comm: &mut Comm,
+/// Execute a Cannon plan on the calling rank; returns its C block. A
+/// resumable rank body: the skew and every ring shift are `await` points.
+pub async fn execute(
+    comm: &mut RankComm,
     plan: &DistPlan,
     a: &Matrix,
     b: &Matrix,
@@ -121,7 +122,7 @@ pub fn execute(
             // A(i, j) is needed by (i, j') with (i + j') % q == j.
             let dst = i * q + (j + q - i % q) % q;
             let src = i * q + t0;
-            comm.sendrecv(dst, src, 0, mine, Phase::InputA)
+            comm.sendrecv(dst, src, 0, mine, Phase::InputA).await
         }
     };
     let mut b_cur = {
@@ -132,7 +133,7 @@ pub fn execute(
             // B(i, j) is needed by (i', j) with (i' + j) % q == i.
             let dst = ((i + q - j % q) % q) * q + j;
             let src = t0 * q + j;
-            comm.sendrecv(dst, src, 1, mine, Phase::InputB)
+            comm.sendrecv(dst, src, 1, mine, Phase::InputB).await
         }
     };
 
@@ -147,10 +148,10 @@ pub fn execute(
             // Shift A left along the row ring, B up along the column ring.
             let a_dst = i * q + (j + q - 1) % q;
             let a_src = i * q + (j + 1) % q;
-            a_cur = comm.sendrecv(a_dst, a_src, 2 + 2 * r as u64, a_cur, Phase::InputA);
+            a_cur = comm.sendrecv(a_dst, a_src, 2 + 2 * r as u64, a_cur, Phase::InputA).await;
             let b_dst = ((i + q - 1) % q) * q + j;
             let b_src = ((i + 1) % q) * q + j;
-            b_cur = comm.sendrecv(b_dst, b_src, 3 + 2 * r as u64, b_cur, Phase::InputB);
+            b_cur = comm.sendrecv(b_dst, b_src, 3 + 2 * r as u64, b_cur, Phase::InputB).await;
         }
     }
     (rows, cols, c_local)
@@ -177,13 +178,21 @@ impl MmmAlgorithm for CannonAlgorithm {
         plan(prob)
     }
 
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
-        let (rows, cols, c) = execute(comm, plan, a, b);
-        Some(CPart {
-            rows,
-            cols,
-            offset: 0,
-            data: c.into_vec(),
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>> {
+        Box::pin(async move {
+            let (rows, cols, c) = execute(comm, plan, a, b).await;
+            Some(CPart {
+                rows,
+                cols,
+                offset: 0,
+                data: c.into_vec(),
+            })
         })
     }
 }
@@ -203,7 +212,8 @@ mod tests {
         let b = Matrix::deterministic(k, n, 42);
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &a, &b));
+        let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
+        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
         let mut c = Matrix::zeros(m, n);
         for (rows, cols, blk) in out.results {
             c.set_block(rows.start, cols.start, &blk);

@@ -26,12 +26,12 @@
 //! every counted message has the true CARMA size.
 
 use cosma::algorithm::CPart;
-use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankRequirement};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture, RankRequirement};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use densemat::gemm::gemm_tiled;
 use densemat::matrix::Matrix;
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
@@ -324,8 +324,10 @@ pub struct CarmaResult {
     pub data: Vec<f64>,
 }
 
-/// Execute a CARMA plan on the calling rank.
-pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> CarmaResult {
+/// Execute a CARMA plan on the calling rank. A resumable rank body: every
+/// sibling exchange of the BFS descent and the k-split reduce unwinding is
+/// an `await` point.
+pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> CarmaResult {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let prob = &plan.problem;
     assert_eq!(
@@ -363,7 +365,7 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Carm
                 let my_off = share_offset(flat.len(), group, idx);
                 let my_len = piece_len(flat.len(), group, idx);
                 let payload = flat[my_off..my_off + my_len].to_vec();
-                let got = comm.sendrecv(partner, partner, tag(li), payload, phase);
+                let got = comm.sendrecv(partner, partner, tag(li), payload, phase).await;
                 // The received share merges into this rank's holdings; leaf
                 // operands are re-materialized below, so contents are only
                 // checked for size here.
@@ -438,7 +440,7 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Carm
             (0..lower_len, lower_len..data.len())
         };
         let payload = data[send_rng].to_vec();
-        let got = comm.sendrecv(partner, partner, tag(li) + 1, payload, Phase::OutputC);
+        let got = comm.sendrecv(partner, partner, tag(li) + 1, payload, Phase::OutputC).await;
         assert_eq!(got.len(), keep_rng.len(), "k-split reduce share mismatch");
         let mut kept: Vec<f64> = data[keep_rng.clone()].to_vec();
         for (d, s) in kept.iter_mut().zip(&got) {
@@ -496,13 +498,21 @@ impl MmmAlgorithm for CarmaAlgorithm {
         plan(prob)
     }
 
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
-        let res = execute(comm, plan, a, b);
-        Some(CPart {
-            rows: res.rows,
-            cols: res.cols,
-            offset: res.offset,
-            data: res.data,
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>> {
+        Box::pin(async move {
+            let res = execute(comm, plan, a, b).await;
+            Some(CPart {
+                rows: res.rows,
+                cols: res.cols,
+                offset: res.offset,
+                data: res.data,
+            })
         })
     }
 }
@@ -522,7 +532,8 @@ mod tests {
         let b = Matrix::deterministic(k, n, 62);
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &a, &b));
+        let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
+        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
         // Reassemble C from the scattered shares.
         let mut c = Matrix::zeros(m, n);
         for res in &out.results {

@@ -14,14 +14,14 @@
 //! be far from the optimal decomposition for non-square problems.
 
 use cosma::algorithm::{even_range, CPart};
-use cosma::api::{AlgoId, MmmAlgorithm, PlanError};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use cosma::treecount;
 use densemat::gemm::gemm_tiled;
 use densemat::matrix::Matrix;
 use mpsim::collectives::{bcast, reduce_sum};
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
@@ -209,8 +209,8 @@ pub fn plan_with_geometry(prob: &MmmProblem, geo: Geometry25) -> Result<DistPlan
 
 /// Execute a 2.5D plan on the calling rank. Layer-0 ranks return their C
 /// block; others (and idle ranks) return `None`.
-pub fn execute(
-    comm: &mut Comm,
+pub async fn execute(
+    comm: &mut RankComm,
     plan: &DistPlan,
     a: &Matrix,
     b: &Matrix,
@@ -245,8 +245,8 @@ pub fn execute(
     };
     if c > 1 {
         let fiber = geo.k_fiber(i, j);
-        bcast(comm, &fiber, 0, &mut a_cur, 0, Phase::InputA);
-        bcast(comm, &fiber, 0, &mut b_cur, 1, Phase::InputB);
+        bcast(comm, &fiber, 0, &mut a_cur, 0, Phase::InputA).await;
+        bcast(comm, &fiber, 0, &mut b_cur, 1, Phase::InputB).await;
     }
 
     // Alignment permutation within the layer.
@@ -257,13 +257,13 @@ pub fn execute(
         let jp = (j + 2 * q - i % q - off % q) % q;
         let dst = geo.rank_of(i, jp, l);
         let src = geo.rank_of(i, t0, l);
-        a_cur = comm.sendrecv(dst, src, 2, a_cur, Phase::InputA);
+        a_cur = comm.sendrecv(dst, src, 2, a_cur, Phase::InputA).await;
     }
     if t0 != i {
         let ip = (i + 2 * q - j % q - off % q) % q;
         let dst = geo.rank_of(ip, j, l);
         let src = geo.rank_of(t0, j, l);
-        b_cur = comm.sendrecv(dst, src, 3, b_cur, Phase::InputB);
+        b_cur = comm.sendrecv(dst, src, 3, b_cur, Phase::InputB).await;
     }
 
     let mut c_local = Matrix::zeros(lm, ln);
@@ -278,10 +278,10 @@ pub fn execute(
         if s + 1 < step {
             let a_dst = geo.rank_of(i, (j + q - 1) % q, l);
             let a_src = geo.rank_of(i, (j + 1) % q, l);
-            a_cur = comm.sendrecv(a_dst, a_src, 4 + 2 * s as u64, a_cur, Phase::InputA);
+            a_cur = comm.sendrecv(a_dst, a_src, 4 + 2 * s as u64, a_cur, Phase::InputA).await;
             let b_dst = geo.rank_of((i + q - 1) % q, j, l);
             let b_src = geo.rank_of((i + 1) % q, j, l);
-            b_cur = comm.sendrecv(b_dst, b_src, 5 + 2 * s as u64, b_cur, Phase::InputB);
+            b_cur = comm.sendrecv(b_dst, b_src, 5 + 2 * s as u64, b_cur, Phase::InputB).await;
         }
     }
 
@@ -289,7 +289,7 @@ pub fn execute(
     if c > 1 {
         let fiber = geo.k_fiber(i, j);
         let mut data = c_local.into_vec();
-        reduce_sum(comm, &fiber, 0, &mut data, 99, Phase::OutputC);
+        reduce_sum(comm, &fiber, 0, &mut data, 99, Phase::OutputC).await;
         let recvs = treecount::reduce_recv_count(l, c);
         comm.record_flops(recvs * (lm * ln) as u64);
         if l != 0 {
@@ -343,13 +343,21 @@ impl MmmAlgorithm for P25dAlgorithm {
         }
     }
 
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
-        let (rows, cols, c) = execute(comm, plan, a, b)?;
-        Some(CPart {
-            rows,
-            cols,
-            offset: 0,
-            data: c.into_vec(),
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>> {
+        Box::pin(async move {
+            let (rows, cols, c) = execute(comm, plan, a, b).await?;
+            Some(CPart {
+                rows,
+                cols,
+                offset: 0,
+                data: c.into_vec(),
+            })
         })
     }
 }
@@ -369,7 +377,8 @@ mod tests {
         let b = Matrix::deterministic(k, n, 52);
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &a, &b));
+        let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
+        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
         let mut c = Matrix::zeros(m, n);
         for (rows, cols, blk) in out.results.into_iter().flatten() {
             c.set_block(rows.start, cols.start, &blk);

@@ -15,7 +15,7 @@
 //! communication, subject to the C tile + panel buffers fitting in `S`.
 
 use cosma::algorithm::{even_range, CPart};
-use cosma::api::{AlgoId, MmmAlgorithm, PlanError};
+use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use cosma::treecount;
@@ -23,7 +23,7 @@ use densemat::gemm::gemm_tiled;
 use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
 use mpsim::collectives::bcast;
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
@@ -182,9 +182,10 @@ fn rel(pos: usize, root: usize, g: usize) -> usize {
     (pos + g - root) % g
 }
 
-/// Execute a SUMMA plan on the calling rank; returns its C block.
-pub fn execute(
-    comm: &mut Comm,
+/// Execute a SUMMA plan on the calling rank; returns its C block. A
+/// resumable rank body: every broadcast wait is an `await` point.
+pub async fn execute(
+    comm: &mut RankComm,
     plan: &DistPlan,
     a: &Matrix,
     b: &Matrix,
@@ -214,14 +215,14 @@ pub fn execute(
         } else {
             Vec::new()
         };
-        bcast(comm, &grid.row_group(i), a_root, &mut a_panel, 2 * round as u64, Phase::InputA);
+        bcast(comm, &grid.row_group(i), a_root, &mut a_panel, 2 * round as u64, Phase::InputA).await;
         // B panel broadcast along my column.
         let mut b_panel = if i == b_root {
             b.block(panel.clone(), cols.clone()).into_vec()
         } else {
             Vec::new()
         };
-        bcast(comm, &grid.col_group(j), b_root, &mut b_panel, 2 * round as u64 + 1, Phase::InputB);
+        bcast(comm, &grid.col_group(j), b_root, &mut b_panel, 2 * round as u64 + 1, Phase::InputB).await;
         let ap = Matrix::from_vec(lm, w, a_panel);
         let bp = Matrix::from_vec(w, ln, b_panel);
         gemm_tiled(&ap, &bp, &mut c_local);
@@ -248,13 +249,21 @@ impl MmmAlgorithm for SummaAlgorithm {
         plan(prob)
     }
 
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
-        let (rows, cols, c) = execute(comm, plan, a, b);
-        Some(CPart {
-            rows,
-            cols,
-            offset: 0,
-            data: c.into_vec(),
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>> {
+        Box::pin(async move {
+            let (rows, cols, c) = execute(comm, plan, a, b).await;
+            Some(CPart {
+                rows,
+                cols,
+                offset: 0,
+                data: c.into_vec(),
+            })
         })
     }
 }
@@ -274,7 +283,8 @@ mod tests {
         let b = Matrix::deterministic(k, n, 32);
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &a, &b));
+        let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
+        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
         let mut c = Matrix::zeros(m, n);
         for (rows, cols, blk) in out.results {
             c.set_block(rows.start, cols.start, &blk);

@@ -6,9 +6,21 @@
 //! ```
 //!
 //! Ids: `fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 table3 table4 exec`. Each experiment prints its table(s) and
-//! writes CSVs to `results/`. See `EXPERIMENTS.md` for the paper-vs-measured
-//! record.
+//! fig13 fig14 table3 table4 exec exec-xl`. Each experiment prints its
+//! table(s) and writes CSVs to `results/`. See `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! Additional maintenance commands (not part of `all`):
+//!
+//! * `bench-smoke` — the CI perf-regression gate: runs a small executed
+//!   subset, writes the rows to `results/bench-smoke.json`, and exits
+//!   non-zero if any row's measured traffic deviates from its plan or a
+//!   scenario's measured MB regresses > 10% against the committed
+//!   `results/bench-smoke-baseline.csv`.
+//! * `bench-smoke-baseline` — regenerate that committed baseline.
+//! * `exec-rss <sharded|event>` — run the square p = 4096 executed
+//!   scenario on one backend and report the process peak RSS (`VmHWM`), for
+//!   the per-backend memory table in `EXPERIMENTS.md`.
 
 use baselines::p25d::Geometry25;
 use baselines::P25dAlgorithm;
@@ -454,14 +466,8 @@ fn table4() {
 // exec: end-to-end executed runs (real messages) certifying the plans
 // ---------------------------------------------------------------------------
 
-fn exec_experiment() {
-    println!("== exec: end-to-end execution, plan vs measured traffic ==\n");
-    println!(
-        "(threaded backend up to 512 ranks, sharded worker-pool beyond — the \
-         sharded executor is what makes the >= 1024-rank rows runnable)\n"
-    );
-    let m = model();
-    let mut t = Table::new(&[
+fn executed_table() -> Table {
+    Table::new(&[
         "shape",
         "cores",
         "backend",
@@ -470,7 +476,33 @@ fn exec_experiment() {
         "measured MB",
         "exact",
         "wall s",
-    ]);
+    ])
+}
+
+fn push_executed_rows(t: &mut Table, name: &str, p: usize, rows: &[runner::ExecutedRow]) {
+    for row in rows {
+        t.row(vec![
+            name.into(),
+            p.to_string(),
+            row.backend.to_string(),
+            row.algo.to_string(),
+            fmt(row.planned_mb, 2),
+            fmt(row.measured_mb, 2),
+            if row.exact { "yes" } else { "NO" }.into(),
+            fmt(row.wall_s, 2),
+        ]);
+    }
+}
+
+fn exec_experiment() {
+    println!("== exec: end-to-end execution, plan vs measured traffic ==\n");
+    println!(
+        "(auto backend escalates threaded -> sharded -> event by world size; \
+         every world additionally runs on the event-driven stackless executor, \
+         which must measure identically)\n"
+    );
+    let m = model();
+    let mut t = executed_table();
     for (shape, name) in [(Shape::Square, "square"), (Shape::LargeK, "largek")] {
         for &p in &scenarios::exec_core_counts() {
             // Keep the sweep bounded: the largeK shape only at the largest
@@ -479,24 +511,254 @@ fn exec_experiment() {
                 continue;
             }
             let prob = scenarios::exec_problem(shape, p);
-            let backend = ExecBackend::auto(p);
-            for row in runner::execute_all(&prob, &m, backend) {
-                t.row(vec![
-                    name.into(),
-                    p.to_string(),
-                    row.backend.to_string(),
-                    row.algo.to_string(),
-                    fmt(row.planned_mb, 2),
-                    fmt(row.measured_mb, 2),
-                    if row.exact { "yes" } else { "NO" }.into(),
-                    fmt(row.wall_s, 2),
-                ]);
+            let auto = ExecBackend::auto(p);
+            push_executed_rows(&mut t, name, p, &runner::execute_all(&prob, &m, auto));
+            if auto != ExecBackend::Event {
+                push_executed_rows(&mut t, name, p, &runner::execute_all(&prob, &m, ExecBackend::Event));
             }
         }
     }
     t.print();
     t.write_csv("exec").expect("write csv");
     println!("\nexpectation: every row exact — executed traffic equals the plan word for word.\n");
+}
+
+// ---------------------------------------------------------------------------
+// exec-xl: 100k-rank worlds on the event-driven stackless executor
+// ---------------------------------------------------------------------------
+
+fn exec_xl() {
+    println!("== exec-xl: event-driven execution at 16384-131072 ranks ==\n");
+    println!(
+        "(COSMA only: every rank is a stackless resumable state machine on one \
+         scheduler thread — no carrier-thread backend can hold these worlds)\n"
+    );
+    let m = model();
+    let cosma = runner::registry().by_id(AlgoId::Cosma).expect("registry has COSMA");
+    let mut t = executed_table();
+    for &p in &scenarios::exec_xl_core_counts() {
+        let prob = scenarios::exec_xl_problem(p);
+        let rows = runner::execute_with(std::slice::from_ref(&cosma), &prob, &m, ExecBackend::Event);
+        push_executed_rows(&mut t, "square", p, &rows);
+    }
+    t.print();
+    t.write_csv("exec-xl").expect("write csv");
+    println!("\nexpectation: every row exact, wall-time bounded — the stackless executor scales.\n");
+}
+
+// ---------------------------------------------------------------------------
+// bench-smoke: the CI perf-regression gate
+// ---------------------------------------------------------------------------
+
+/// The gate's scenario subset: small enough for every CI run, wide enough to
+/// cover all three executors and both a threaded and a large world.
+fn smoke_rows() -> Vec<(String, usize, runner::ExecutedRow)> {
+    let m = model();
+    let mut out = Vec::new();
+    // A fixed sharded pool size keeps the row keys (and so the committed
+    // baseline) stable across machines with different core counts.
+    for (name, p, backend) in [
+        ("square", 64, ExecBackend::Threaded),
+        ("square", 512, ExecBackend::Threaded),
+        ("square", 1024, ExecBackend::Sharded { workers: 2 }),
+        ("square", 1024, ExecBackend::Event),
+    ] {
+        let prob = scenarios::exec_problem(Shape::Square, p);
+        for row in runner::execute_all(&prob, &m, backend) {
+            out.push((name.to_string(), p, row));
+        }
+    }
+    out
+}
+
+fn smoke_key(name: &str, p: usize, row: &runner::ExecutedRow) -> String {
+    format!("{name}/{p}/{}/{}", row.backend, row.algo)
+}
+
+fn smoke_table(rows: &[(String, usize, runner::ExecutedRow)]) -> Table {
+    let mut t = executed_table();
+    for (name, p, row) in rows {
+        push_executed_rows(&mut t, name, *p, std::slice::from_ref(row));
+    }
+    t
+}
+
+/// Write the smoke rows as a JSON array (the CI artifact). No external JSON
+/// dependency in the container, so the writer is hand-rolled; keys and the
+/// flat shape are stable for downstream tooling.
+fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path::PathBuf {
+    use std::io::Write as _;
+    let dir = bench::output::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("bench-smoke.json");
+    let mut f = std::fs::File::create(&path).expect("create bench-smoke.json");
+    writeln!(f, "[").unwrap();
+    for (i, (name, p, row)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "  {{\"scenario\": \"{name}\", \"cores\": {p}, \"backend\": \"{}\", \
+             \"algorithm\": \"{}\", \"planned_mb\": {:.6}, \"measured_mb\": {:.6}, \
+             \"exact\": {}, \"wall_s\": {:.3}}}{comma}",
+            row.backend, row.algo, row.planned_mb, row.measured_mb, row.exact, row.wall_s
+        )
+        .unwrap();
+    }
+    writeln!(f, "]").unwrap();
+    path
+}
+
+/// Parse the committed baseline CSV (`scenario,cores,backend,algorithm,...`
+/// with `measured MB` in column 5) into key -> measured MB.
+fn read_smoke_baseline() -> Option<std::collections::HashMap<String, f64>> {
+    let path = bench::output::results_dir().join("bench-smoke-baseline.csv");
+    let content = std::fs::read_to_string(&path).ok()?;
+    let mut map = std::collections::HashMap::new();
+    for line in content.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() < 6 {
+            continue;
+        }
+        let key = format!("{}/{}/{}/{}", cells[0], cells[1], cells[2], cells[3]);
+        if let Ok(mb) = cells[5].parse::<f64>() {
+            map.insert(key, mb);
+        }
+    }
+    Some(map)
+}
+
+fn bench_smoke_baseline() {
+    println!("== bench-smoke-baseline: (re)recording the committed gate baseline ==\n");
+    let rows = smoke_rows();
+    let t = smoke_table(&rows);
+    t.print();
+    t.write_csv("bench-smoke-baseline").expect("write baseline csv");
+    println!("\nwrote results/bench-smoke-baseline.csv — commit it to update the gate.\n");
+}
+
+fn bench_smoke() {
+    println!("== bench-smoke: executed perf-regression gate ==\n");
+    let rows = smoke_rows();
+    let t = smoke_table(&rows);
+    t.print();
+    let json = write_smoke_json(&rows);
+    println!("\nwrote {}", json.display());
+    let mut failures: Vec<String> = Vec::new();
+    // Gate 1: planned-vs-measured divergence is always a failure (`exact`
+    // compares the underlying word counts rank by rank).
+    for (name, p, row) in &rows {
+        if !row.exact {
+            failures.push(format!(
+                "{}: measured {} MB deviates from planned {} MB",
+                smoke_key(name, *p, row),
+                fmt(row.measured_mb, 4),
+                fmt(row.planned_mb, 4)
+            ));
+        }
+    }
+    // Gate 2: measured MB must not regress > 10% against the committed
+    // baseline (more traffic than recorded = a perf regression). Rows the
+    // baseline does not know are fatal too: they mean the subset or the key
+    // format changed without `bench-smoke-baseline` being re-committed, and
+    // ignoring them would let the gate pass vacuously.
+    match read_smoke_baseline() {
+        Some(base) => {
+            // Coverage must not shrink either: a baseline row the current
+            // run no longer produces means a scenario was silently dropped
+            // (e.g. a planner started erroring), which would otherwise make
+            // the gate pass vacuously.
+            let produced: std::collections::HashSet<String> =
+                rows.iter().map(|(name, p, row)| smoke_key(name, *p, row)).collect();
+            for key in base.keys() {
+                if !produced.contains(key) {
+                    failures.push(format!(
+                        "{key}: in the baseline but not produced by this run — scenario dropped?"
+                    ));
+                }
+            }
+            for (name, p, row) in &rows {
+                let key = smoke_key(name, *p, row);
+                match base.get(&key) {
+                    Some(&b) if row.measured_mb > b * 1.10 + 1e-9 => failures.push(format!(
+                        "{key}: measured {} MB regresses >10% over baseline {} MB",
+                        fmt(row.measured_mb, 2),
+                        fmt(b, 2)
+                    )),
+                    Some(_) => {}
+                    // A key the baseline lacks means the subset (or the key
+                    // format itself) changed without regenerating the
+                    // baseline — fatal, or the gate would pass vacuously.
+                    None => failures.push(format!(
+                        "{key}: no baseline entry — run `experiments bench-smoke-baseline` and commit it"
+                    )),
+                }
+            }
+        }
+        None => failures.push(
+            "results/bench-smoke-baseline.csv missing — run `experiments bench-smoke-baseline` and commit it"
+                .into(),
+        ),
+    }
+    if failures.is_empty() {
+        println!("\nbench-smoke gate: PASS ({} rows)\n", rows.len());
+    } else {
+        eprintln!("\nbench-smoke gate: FAIL");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exec-rss: per-backend peak RSS at p = 4096
+// ---------------------------------------------------------------------------
+
+/// Peak resident set of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn exec_rss(backend_name: &str) {
+    let p = 4096;
+    let backend = match backend_name {
+        "threaded" => {
+            eprintln!("threaded caps at 512 ranks; p = {p} needs sharded or event");
+            std::process::exit(2);
+        }
+        "sharded" => ExecBackend::Sharded {
+            workers: ExecBackend::default_workers(),
+        },
+        "event" => ExecBackend::Event,
+        other => {
+            eprintln!("unknown backend {other:?} (want sharded | event)");
+            std::process::exit(2);
+        }
+    };
+    println!("== exec-rss: COSMA square p = {p} on {backend} ==\n");
+    let m = model();
+    let cosma = runner::registry().by_id(AlgoId::Cosma).expect("registry has COSMA");
+    let prob = scenarios::exec_problem(Shape::Square, p);
+    let before = peak_rss_kib().unwrap_or(0);
+    let rows = runner::execute_with(&[cosma], &prob, &m, backend);
+    let after = peak_rss_kib().unwrap_or(0);
+    let mut t = executed_table();
+    push_executed_rows(&mut t, "square", p, &rows);
+    t.print();
+    println!(
+        "\npeak RSS: {:.1} MiB (baseline before run {:.1} MiB; ~{:.1} KiB per rank)\n",
+        after as f64 / 1024.0,
+        before as f64 / 1024.0,
+        (after.saturating_sub(before)) as f64 / p as f64
+    );
 }
 
 fn run(id: &str) {
@@ -518,6 +780,9 @@ fn run(id: &str) {
         "table3" => table3(),
         "table4" => table4(),
         "exec" => exec_experiment(),
+        "exec-xl" => exec_xl(),
+        "bench-smoke" => bench_smoke(),
+        "bench-smoke-baseline" => bench_smoke_baseline(),
         other => {
             eprintln!("unknown experiment id: {other}");
             std::process::exit(2);
@@ -530,19 +795,24 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments <id>...  (ids: fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 \
-             fig10 fig11 fig12 fig13 fig14 table3 table4 exec | all)"
+             fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl | all | bench-smoke | \
+             bench-smoke-baseline | exec-rss <sharded|event>)"
         );
         std::process::exit(2);
     }
     let all_ids = [
-        "fig3", "fig5", "table3", "exec", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4", "fig8",
-        "fig9", "fig10", "fig11", "fig13", "fig14", "fig1",
+        "fig3", "fig5", "table3", "exec", "exec-xl", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4",
+        "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig1",
     ];
-    for arg in &args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         if arg == "all" {
             for id in all_ids {
                 run(id);
             }
+        } else if arg == "exec-rss" {
+            let backend = it.next().map(String::as_str).unwrap_or("event");
+            exec_rss(backend);
         } else {
             run(arg);
         }

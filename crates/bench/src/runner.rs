@@ -170,12 +170,23 @@ pub struct ExecutedRow {
 /// executed rows exist to certify the plans, so a mismatch is a bug, not a
 /// data point.
 pub fn execute_all(prob: &MmmProblem, model: &CostModel, backend: ExecBackend) -> Vec<ExecutedRow> {
+    execute_with(registry().all(), prob, model, backend)
+}
+
+/// [`execute_all`] over an explicit algorithm set — e.g. COSMA alone for the
+/// `exec_xl` 100k-rank scenario, where running every baseline would
+/// multiply the wall-time without adding coverage.
+pub fn execute_with(
+    algos: &[Arc<dyn MmmAlgorithm>],
+    prob: &MmmProblem,
+    model: &CostModel,
+    backend: ExecBackend,
+) -> Vec<ExecutedRow> {
     let a = Matrix::deterministic(prob.m, prob.k, 61);
     let b = Matrix::deterministic(prob.k, prob.n, 62);
     let want = matmul(&a, &b);
     let spec = MachineSpec::new(prob.p, prob.mem_words, *model);
-    registry()
-        .all()
+    algos
         .iter()
         .filter_map(|algo| {
             algo.supports(prob).ok()?;

@@ -253,6 +253,22 @@ pub fn exec_core_counts() -> Vec<usize> {
     vec![64, 512, 1024, 4096]
 }
 
+/// The core counts of the `exec_xl` experiment: worlds only the
+/// event-driven stackless executor can hold (every rank is a resumable
+/// state machine costing bytes, not a carrier thread). The largest matches
+/// the acceptance criterion of the executor redesign: p = 131072
+/// end-to-end with real messages.
+pub fn exec_xl_core_counts() -> Vec<usize> {
+    vec![16_384, 65_536, 131_072]
+}
+
+/// The `exec_xl` problem instance at `p` cores: the square executable shape
+/// with a per-rank memory small enough that planning stays fast at 100k+
+/// ranks while every rank still owns work.
+pub fn exec_xl_problem(p: usize) -> MmmProblem {
+    MmmProblem::new(256, 256, 256, p, 1 << 12)
+}
+
 /// The core counts of the performance figures (Figures 8–11), including
 /// non-powers-of-two to expose decomposition instability.
 pub fn perf_core_counts() -> Vec<usize> {

@@ -9,7 +9,9 @@
 //! distributed in COSMA's blocked layout, §7.6).
 //!
 //! [`execute`] interprets the same schedule on an [`mpsim`] machine with real
-//! messages and real matrix blocks, in either communication backend of §7.4:
+//! messages and real matrix blocks. The body is a resumable (`async`) rank
+//! program over [`RankComm`], so it runs unchanged on the threaded, sharded
+//! and event-driven executors, in either communication backend of §7.4:
 //!
 //! * **two-sided** — Bruck (log-depth) all-gathers over tagged sends/receives;
 //! * **one-sided** — every rank publishes its owned shards in an RMA window
@@ -24,7 +26,7 @@ use densemat::gemm::gemm_tiled;
 use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
 use mpsim::collectives::{allgather_bruck, even_chunk_ranges, reduce_scatter_ring};
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
 
@@ -196,7 +198,13 @@ pub fn assemble_c(parts: impl IntoIterator<Item = CPart>, m: usize, n: usize) ->
 ///
 /// # Panics
 /// Panics if the plan does not belong to this world size.
-pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, b: &Matrix) -> Option<CPart> {
+pub async fn execute(
+    comm: &mut RankComm,
+    plan: &DistPlan,
+    cfg: &CosmaConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Option<CPart> {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let grid = Grid3 {
         gm: plan.grid[0],
@@ -215,7 +223,7 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
         } else {
             comm.win_resize(0);
         }
-        comm.fence();
+        comm.fence().await;
     }
     if !rp.active {
         return None;
@@ -245,7 +253,8 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
                     &sizes,
                     2 * round as u64 * TAG_STRIDE,
                     Phase::InputA,
-                );
+                )
+                .await;
                 assemble_col_chunks(lm, w, grid.gn, &chunks)
             }
             Backend::OneSided => {
@@ -265,7 +274,8 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
                     &sizes,
                     (2 * round as u64 + 1) * TAG_STRIDE,
                     Phase::InputB,
-                );
+                )
+                .await;
                 assemble_row_chunks(w, ln, grid.gm, &chunks)
             }
             Backend::OneSided => {
@@ -282,7 +292,7 @@ pub fn execute(comm: &mut Comm, plan: &DistPlan, cfg: &CosmaConfig, a: &Matrix, 
         let group = grid.k_group(im, jn);
         let tile = lm * ln;
         let mut data = c_local.into_vec();
-        let (own_idx, chunk) = reduce_scatter_ring(comm, &group, &mut data, REDUCE_TAG, Phase::OutputC);
+        let (own_idx, chunk) = reduce_scatter_ring(comm, &group, &mut data, REDUCE_TAG, Phase::OutputC).await;
         let own_words = even_chunk_ranges(tile, grid.gk)[ik].len();
         comm.record_flops((tile - own_words) as u64);
         let offset = even_chunk_ranges(tile, grid.gk)[own_idx].start;
@@ -375,7 +385,7 @@ fn window_offset(
 /// the slab matrix.
 #[allow(clippy::too_many_arguments)]
 fn gather_chunks_rma(
-    comm: &mut Comm,
+    comm: &mut RankComm,
     plan: &DistPlan,
     grid: &Grid3,
     what: GatherWhat,
@@ -461,7 +471,9 @@ mod tests {
         let b = Matrix::deterministic(k, n, 22);
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
-        let out = run_spmd(&spec, |comm| execute(comm, &dplan, &cfg, &a, &b));
+        let (dplan_r, cfg_r, a_r, b_r) = (&dplan, &cfg, &a, &b);
+        let out =
+            run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, cfg_r, a_r, b_r).await });
         // Assemble C from every active rank's share.
         let parts: Vec<CPart> = out.results.into_iter().flatten().collect();
         assert_eq!(parts.len(), dplan.active_ranks(), "one share per active rank");

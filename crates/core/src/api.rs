@@ -8,9 +8,12 @@
 //!   typed identity ([`AlgoId`]), capability queries
 //!   ([`MmmAlgorithm::supports`]), exact planning
 //!   ([`MmmAlgorithm::plan`]) and real execution
-//!   ([`MmmAlgorithm::execute`]) with mpiP-style measured counters, on a
-//!   threaded (≤ 512 ranks) or sharded worker-pool (any world size)
-//!   [`ExecBackend`].
+//!   ([`MmmAlgorithm::execute`]) with mpiP-style measured counters. Rank
+//!   bodies are resumable ([`MmmAlgorithm::execute_rank`] returns a
+//!   [`RankFuture`]), so one body runs on every [`ExecBackend`]: threaded
+//!   (≤ 512 ranks), sharded worker-pool (a few thousand ranks) or
+//!   event-driven stackless state machines (any world size — verified to
+//!   p = 131072).
 //! * [`PlanError`] — the single error enum for everything that can go wrong
 //!   between "here is a problem" and "here is a validated plan": structural
 //!   plan defects, grid infeasibility, per-algorithm rank-count constraints
@@ -38,12 +41,14 @@
 //! ```
 
 use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
 use std::str::FromStr;
 use std::sync::Arc;
 
 use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
-use mpsim::comm::Comm;
+use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::exec::{run_spmd_with, ExecBackend, ExecError};
 use mpsim::machine::MachineSpec;
@@ -252,8 +257,8 @@ pub enum PlanError {
         reason: &'static str,
     },
     /// The selected execution backend refused the world (e.g. the threaded
-    /// executor's rank cap — pick [`ExecBackend::Sharded`] or
-    /// [`ExecBackend::auto`] for larger worlds).
+    /// executor's rank cap — pick [`ExecBackend::Sharded`],
+    /// [`ExecBackend::Event`] or [`ExecBackend::auto`] for larger worlds).
     Execution {
         /// The executor's typed refusal.
         source: ExecError,
@@ -384,12 +389,25 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
     /// Execute the plan on the calling rank with real messages, returning
     /// this rank's share of the distributed output (`None` for ranks that
     /// hold no output — idle ranks, or non-root layers of a reduction).
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart>;
+    ///
+    /// The body is *resumable*: it returns a [`RankFuture`] whose awaits on
+    /// the communicator's wait-states let the event-driven executor park
+    /// the rank as a stackless state machine. Implementations wrap their
+    /// `async` rank body in `Box::pin(..)`; on the blocking executors the
+    /// future completes within a single poll.
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>>;
 
     /// Execute the plan on a simulated `machine`, assemble the distributed
     /// output and return it with the measured per-rank counters. The
     /// executor is picked by [`ExecBackend::auto`]: one OS thread per rank
-    /// up to the threaded cap, the sharded worker-pool executor beyond.
+    /// up to the threaded cap, the sharded worker-pool executor up to a few
+    /// thousand ranks, the event-driven stackless executor beyond.
     fn execute(
         &self,
         plan: &DistPlan,
@@ -404,10 +422,16 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
     }
 }
 
+/// The resumable rank-body future of [`MmmAlgorithm::execute_rank`]: a
+/// boxed stackless state machine. Not `Send` — each executor polls a rank's
+/// future on the thread that created it.
+pub type RankFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
 /// Object-safe driver behind [`MmmAlgorithm::execute`] — also callable on a
 /// `&dyn MmmAlgorithm` (e.g. a registry entry). Picks the execution backend
-/// with [`ExecBackend::auto`], so worlds beyond the threaded rank cap fall
-/// back to the sharded executor instead of failing.
+/// with [`ExecBackend::auto`], so worlds beyond the threaded rank cap
+/// escalate to the sharded worker pool and then to the event-driven
+/// executor instead of failing.
 pub fn execute_boxed(
     algo: &(impl MmmAlgorithm + ?Sized),
     plan: &DistPlan,
@@ -433,7 +457,12 @@ pub fn execute_boxed_with(
             world_ranks: machine.p,
         });
     }
-    let out = run_spmd_with(machine, backend, |comm| algo.execute_rank(comm, plan, a, b))?;
+    let out =
+        run_spmd_with(
+            machine,
+            backend,
+            |mut comm| async move { algo.execute_rank(&mut comm, plan, a, b).await },
+        )?;
     let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
     Ok(ExecReport { c, stats: out.stats })
 }
@@ -471,8 +500,14 @@ impl MmmAlgorithm for CosmaAlgorithm {
         algorithm::plan(prob, &self.cfg, machine)
     }
 
-    fn execute_rank(&self, comm: &mut Comm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Option<CPart> {
-        algorithm::execute(comm, plan, &self.cfg, a, b)
+    fn execute_rank<'a>(
+        &'a self,
+        comm: &'a mut RankComm,
+        plan: &'a DistPlan,
+        a: &'a Matrix,
+        b: &'a Matrix,
+    ) -> RankFuture<'a, Option<CPart>> {
+        Box::pin(algorithm::execute(comm, plan, &self.cfg, a, b))
     }
 }
 
@@ -871,14 +906,14 @@ mod tests {
                 plan.ranks[0].bricks.clear(); // poke a hole
                 Ok(plan)
             }
-            fn execute_rank(
-                &self,
-                comm: &mut Comm,
-                plan: &DistPlan,
-                a: &Matrix,
-                b: &Matrix,
-            ) -> Option<CPart> {
-                CosmaAlgorithm::default().execute_rank(comm, plan, a, b)
+            fn execute_rank<'a>(
+                &'a self,
+                comm: &'a mut RankComm,
+                plan: &'a DistPlan,
+                a: &'a Matrix,
+                b: &'a Matrix,
+            ) -> RankFuture<'a, Option<CPart>> {
+                Box::pin(async move { CosmaAlgorithm::default().execute_rank(comm, plan, a, b).await })
             }
         }
         let mut reg = AlgorithmRegistry::new();

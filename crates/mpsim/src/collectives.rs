@@ -9,11 +9,15 @@
 //! Traffic accounting is inherited from the point-to-point layer: interior
 //! tree nodes both receive and forward, exactly as an MPI implementation
 //! would be measured by mpiP.
+//!
+//! Every collective is an `async fn` over [`RankComm`]: each internal
+//! receive or exchange is a resumable wait-state, so the collectives run
+//! unchanged on the threaded, sharded and event-driven executors.
 
-use crate::comm::Comm;
+use crate::comm::RankComm;
 use crate::stats::Phase;
 
-fn my_pos(comm: &Comm, group: &[usize]) -> usize {
+fn my_pos(comm: &RankComm, group: &[usize]) -> usize {
     group
         .iter()
         .position(|&r| r == comm.rank())
@@ -22,7 +26,14 @@ fn my_pos(comm: &Comm, group: &[usize]) -> usize {
 
 /// Binomial-tree broadcast of `data` from `group[root_pos]` to the whole
 /// group. On non-root ranks `data`'s previous contents are replaced.
-pub fn bcast(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut Vec<f64>, tag: u64, phase: Phase) {
+pub async fn bcast(
+    comm: &mut RankComm,
+    group: &[usize],
+    root_pos: usize,
+    data: &mut Vec<f64>,
+    tag: u64,
+    phase: Phase,
+) {
     let g = group.len();
     assert!(root_pos < g, "root position out of range");
     if g <= 1 {
@@ -36,7 +47,7 @@ pub fn bcast(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut Vec<f
     let mut mask = 1usize;
     while mask < g {
         if relative & mask != 0 {
-            *data = comm.recv(abs(relative - mask), tag, phase);
+            *data = comm.recv(abs(relative - mask), tag, phase).await;
             break;
         }
         mask <<= 1;
@@ -56,8 +67,8 @@ pub fn bcast(comm: &mut Comm, group: &[usize], root_pos: usize, data: &mut Vec<f
 /// `group[root_pos]`. On the root, `data` holds the element-wise sum on
 /// return; on other ranks its contents are the partial sums that were
 /// forwarded (callers should treat them as garbage).
-pub fn reduce_sum(
-    comm: &mut Comm,
+pub async fn reduce_sum(
+    comm: &mut RankComm,
     group: &[usize],
     root_pos: usize,
     data: &mut [f64],
@@ -78,7 +89,7 @@ pub fn reduce_sum(
         if relative & mask == 0 {
             let src_rel = relative | mask;
             if src_rel < g {
-                let chunk = comm.recv(abs(src_rel), tag, phase);
+                let chunk = comm.recv(abs(src_rel), tag, phase).await;
                 assert_eq!(chunk.len(), data.len(), "reduce length mismatch");
                 for (d, s) in data.iter_mut().zip(&chunk) {
                     *d += *s;
@@ -96,8 +107,8 @@ pub fn reduce_sum(
 /// contributions ordered by group position. `g - 1` steps, each forwarding
 /// the chunk received in the previous step — per-rank received volume is the
 /// total payload minus one's own contribution, the textbook ring cost.
-pub fn allgather_ring(
-    comm: &mut Comm,
+pub async fn allgather_ring(
+    comm: &mut RankComm,
     group: &[usize],
     mine: Vec<f64>,
     tag: u64,
@@ -113,7 +124,7 @@ pub fn allgather_ring(
         let send_idx = (pos + g - step) % g;
         let recv_idx = (pos + g - step - 1) % g;
         let outgoing = chunks[send_idx].clone().expect("ring invariant: chunk to forward present");
-        let incoming = comm.sendrecv(right, left, tag.wrapping_add(step as u64), outgoing, phase);
+        let incoming = comm.sendrecv(right, left, tag.wrapping_add(step as u64), outgoing, phase).await;
         chunks[recv_idx] = Some(incoming);
     }
     chunks.into_iter().map(|c| c.expect("all chunks gathered")).collect()
@@ -128,8 +139,8 @@ pub fn allgather_ring(
 ///
 /// `chunk_words[i]` must give every member's contribution length (all
 /// members must agree), so receivers can split concatenated payloads.
-pub fn allgather_bruck(
-    comm: &mut Comm,
+pub async fn allgather_bruck(
+    comm: &mut RankComm,
     group: &[usize],
     mine: Vec<f64>,
     chunk_words: &[usize],
@@ -153,7 +164,7 @@ pub fn allgather_bruck(
         for blk in have.iter().take(want) {
             payload.extend_from_slice(blk);
         }
-        let received = comm.sendrecv(dst, src, tag.wrapping_add(round), payload, phase);
+        let received = comm.sendrecv(dst, src, tag.wrapping_add(round), payload, phase).await;
         // Split by the known sizes of blocks (pos + step + j) mod g.
         let mut off = 0;
         for j in 0..want {
@@ -181,8 +192,8 @@ pub fn allgather_bruck(
 /// `g − 1` steps; each member receives every chunk except its own position's,
 /// i.e. `total − |chunk_pos|` words — perfectly balanced, unlike a tree
 /// reduction whose root transiently receives `log g` full payloads.
-pub fn reduce_scatter_ring(
-    comm: &mut Comm,
+pub async fn reduce_scatter_ring(
+    comm: &mut RankComm,
     group: &[usize],
     data: &mut [f64],
     tag: u64,
@@ -200,7 +211,7 @@ pub fn reduce_scatter_ring(
         let send_idx = (pos + g - s) % g;
         let recv_idx = (pos + g - s - 1) % g;
         let outgoing = data[ranges[send_idx].clone()].to_vec();
-        let incoming = comm.sendrecv(right, left, tag.wrapping_add(s as u64), outgoing, phase);
+        let incoming = comm.sendrecv(right, left, tag.wrapping_add(s as u64), outgoing, phase).await;
         let dst = &mut data[ranges[recv_idx].clone()];
         assert_eq!(incoming.len(), dst.len(), "reduce-scatter chunk mismatch");
         for (d, v) in dst.iter_mut().zip(&incoming) {
@@ -228,15 +239,22 @@ pub fn even_chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>
 
 /// One ring-shift step (Cannon): send `data` to `dst` and receive the
 /// replacement from `src`.
-pub fn shift(comm: &mut Comm, dst: usize, src: usize, data: Vec<f64>, tag: u64, phase: Phase) -> Vec<f64> {
-    comm.sendrecv(dst, src, tag, data, phase)
+pub async fn shift(
+    comm: &mut RankComm,
+    dst: usize,
+    src: usize,
+    data: Vec<f64>,
+    tag: u64,
+    phase: Phase,
+) -> Vec<f64> {
+    comm.sendrecv(dst, src, tag, data, phase).await
 }
 
 /// Direct gather onto `group[root_pos]`: returns `Some(contributions)` (by
 /// group position) on the root, `None` elsewhere. Linear pattern — used for
 /// collecting verification output, not in measured algorithm phases.
-pub fn gather(
-    comm: &mut Comm,
+pub async fn gather(
+    comm: &mut RankComm,
     group: &[usize],
     root_pos: usize,
     mine: Vec<f64>,
@@ -250,7 +268,7 @@ pub fn gather(
         out[root_pos] = Some(mine);
         for (i, &r) in group.iter().enumerate() {
             if i != root_pos {
-                out[i] = Some(comm.recv(r, tag, phase));
+                out[i] = Some(comm.recv(r, tag, phase).await);
             }
         }
         Some(out.into_iter().map(|c| c.expect("gather complete")).collect())
@@ -263,7 +281,7 @@ pub fn gather(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::run_spmd;
+    use crate::exec::{run_spmd, run_spmd_with, ExecBackend};
     use crate::machine::MachineSpec;
 
     #[test]
@@ -271,14 +289,14 @@ mod tests {
         for p in [1usize, 2, 3, 4, 5, 8, 13] {
             for root in [0, p / 2, p - 1] {
                 let spec = MachineSpec::test_machine(p, 1000);
-                let out = run_spmd(&spec, |c| {
+                let out = run_spmd(&spec, |mut c| async move {
                     let group: Vec<usize> = (0..c.size()).collect();
                     let mut data = if c.rank() == group[root] {
                         vec![42.0, 7.0]
                     } else {
                         vec![]
                     };
-                    bcast(c, &group, root, &mut data, 9, Phase::InputA);
+                    bcast(&mut c, &group, root, &mut data, 9, Phase::InputA).await;
                     data
                 });
                 for (r, d) in out.results.iter().enumerate() {
@@ -294,10 +312,10 @@ mod tests {
         // every non-root receives exactly the payload once.
         let p = 8;
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut data = if c.rank() == 0 { vec![1.0; 100] } else { vec![] };
-            bcast(c, &group, 0, &mut data, 1, Phase::InputA);
+            bcast(&mut c, &group, 0, &mut data, 1, Phase::InputA).await;
         });
         let total_recv: u64 = out.stats.iter().map(|s| s.total_recv()).sum();
         assert_eq!(total_recv, 700, "7 receivers x 100 words");
@@ -309,11 +327,11 @@ mod tests {
     #[test]
     fn bcast_on_subgroup_leaves_others_untouched() {
         let spec = MachineSpec::test_machine(6, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group = vec![1, 3, 5];
             if group.contains(&c.rank()) {
                 let mut data = if c.rank() == 3 { vec![5.0] } else { vec![] };
-                bcast(c, &group, 1, &mut data, 2, Phase::InputB);
+                bcast(&mut c, &group, 1, &mut data, 2, Phase::InputB).await;
                 data
             } else {
                 vec![]
@@ -329,10 +347,10 @@ mod tests {
     fn reduce_sum_collects_on_root() {
         for p in [1usize, 2, 3, 5, 8] {
             let spec = MachineSpec::test_machine(p, 1000);
-            let out = run_spmd(&spec, |c| {
+            let out = run_spmd(&spec, |mut c| async move {
                 let group: Vec<usize> = (0..c.size()).collect();
                 let mut data = vec![c.rank() as f64, 1.0];
-                reduce_sum(c, &group, 0, &mut data, 3, Phase::OutputC);
+                reduce_sum(&mut c, &group, 0, &mut data, 3, Phase::OutputC).await;
                 data
             });
             let expect_sum: f64 = (0..p).map(|r| r as f64).sum();
@@ -343,10 +361,10 @@ mod tests {
     #[test]
     fn reduce_sum_nonzero_root() {
         let spec = MachineSpec::test_machine(5, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut data = vec![1.0];
-            reduce_sum(c, &group, 2, &mut data, 4, Phase::OutputC);
+            reduce_sum(&mut c, &group, 2, &mut data, 4, Phase::OutputC).await;
             data
         });
         assert_eq!(out.results[2], vec![5.0]);
@@ -355,9 +373,10 @@ mod tests {
     #[test]
     fn allgather_ring_returns_position_ordered_chunks() {
         let spec = MachineSpec::test_machine(5, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
-            allgather_ring(c, &group, vec![c.rank() as f64; c.rank() + 1], 10, Phase::InputA)
+            let mine = vec![c.rank() as f64; c.rank() + 1];
+            allgather_ring(&mut c, &group, mine, 10, Phase::InputA).await
         });
         for r in 0..5 {
             for pos in 0..5 {
@@ -371,9 +390,9 @@ mod tests {
         let p = 4;
         let chunk = 25usize;
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
-            allgather_ring(c, &group, vec![0.0; chunk], 11, Phase::InputB);
+            allgather_ring(&mut c, &group, vec![0.0; chunk], 11, Phase::InputB).await;
         });
         for s in &out.stats {
             assert_eq!(s.total_recv() as usize, (p - 1) * chunk);
@@ -384,9 +403,9 @@ mod tests {
     #[test]
     fn allgather_singleton_group_is_free() {
         let spec = MachineSpec::test_machine(2, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group = vec![c.rank()];
-            allgather_ring(c, &group, vec![3.0], 12, Phase::InputA)
+            allgather_ring(&mut c, &group, vec![3.0], 12, Phase::InputA).await
         });
         assert_eq!(out.results[0], vec![vec![3.0]]);
         assert_eq!(out.stats[0].total_recv(), 0);
@@ -395,10 +414,11 @@ mod tests {
     #[test]
     fn shift_rotates_ring() {
         let spec = MachineSpec::test_machine(4, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let dst = (c.rank() + 1) % c.size();
             let src = (c.rank() + c.size() - 1) % c.size();
-            shift(c, dst, src, vec![c.rank() as f64], 13, Phase::InputA)
+            let mine = vec![c.rank() as f64];
+            shift(&mut c, dst, src, mine, 13, Phase::InputA).await
         });
         for r in 0..4 {
             assert_eq!(out.results[r], vec![((r + 3) % 4) as f64]);
@@ -409,11 +429,11 @@ mod tests {
     fn bruck_allgather_matches_ring() {
         for p in [1usize, 2, 3, 4, 5, 7, 8, 13] {
             let spec = MachineSpec::test_machine(p, 1000);
-            let out = run_spmd(&spec, |c| {
+            let out = run_spmd(&spec, |mut c| async move {
                 let group: Vec<usize> = (0..c.size()).collect();
                 let sizes: Vec<usize> = (0..c.size()).map(|r| r + 1).collect();
                 let mine = vec![c.rank() as f64; c.rank() + 1];
-                allgather_bruck(c, &group, mine, &sizes, 40, Phase::InputA)
+                allgather_bruck(&mut c, &group, mine, &sizes, 40, Phase::InputA).await
             });
             for r in 0..p {
                 for posn in 0..p {
@@ -435,10 +455,10 @@ mod tests {
         for p in [1usize, 2, 3, 4, 5, 8] {
             let len = 13;
             let spec = MachineSpec::test_machine(p, 1000);
-            let out = run_spmd(&spec, |c| {
+            let out = run_spmd(&spec, |mut c| async move {
                 let group: Vec<usize> = (0..c.size()).collect();
                 let mut data: Vec<f64> = (0..len).map(|i| (c.rank() * 100 + i) as f64).collect();
-                reduce_scatter_ring(c, &group, &mut data, 50, Phase::OutputC)
+                reduce_scatter_ring(&mut c, &group, &mut data, 50, Phase::OutputC).await
             });
             // Reference sum.
             let want: Vec<f64> = (0..len).map(|i| (0..p).map(|r| (r * 100 + i) as f64).sum()).collect();
@@ -459,10 +479,10 @@ mod tests {
         let p = 4;
         let len = 40; // divisible: every chunk is 10 words
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut data = vec![1.0; len];
-            reduce_scatter_ring(c, &group, &mut data, 51, Phase::OutputC);
+            reduce_scatter_ring(&mut c, &group, &mut data, 51, Phase::OutputC).await;
         });
         for st in &out.stats {
             assert_eq!(st.total_recv() as usize, len - len / p);
@@ -481,9 +501,10 @@ mod tests {
     #[test]
     fn gather_collects_on_root_only() {
         let spec = MachineSpec::test_machine(3, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
-            gather(c, &group, 1, vec![c.rank() as f64], 14, Phase::Other)
+            let mine = vec![c.rank() as f64];
+            gather(&mut c, &group, 1, mine, 14, Phase::Other).await
         });
         assert!(out.results[0].is_none());
         assert!(out.results[2].is_none());
@@ -491,24 +512,27 @@ mod tests {
         assert_eq!(collected, &vec![vec![0.0], vec![1.0], vec![2.0]]);
     }
 
+    /// One shared collective workload, for the cross-backend checks below.
+    async fn collective_workload(mut c: RankComm) -> (Vec<f64>, Vec<f64>, usize) {
+        let group: Vec<usize> = (0..c.size()).collect();
+        let mut data = if c.rank() == 0 { vec![7.0; 5] } else { vec![] };
+        bcast(&mut c, &group, 0, &mut data, 1, Phase::InputA).await;
+        let mut sum = vec![c.rank() as f64];
+        reduce_sum(&mut c, &group, 0, &mut sum, 2, Phase::OutputC).await;
+        let mine = vec![c.rank() as f64];
+        let gathered = allgather_ring(&mut c, &group, mine, 3, Phase::InputB).await;
+        (data, sum, gathered.len())
+    }
+
     #[test]
     fn collectives_complete_on_the_sharded_executor() {
-        use crate::exec::{run_spmd_with, ExecBackend};
         // A world far bigger than the worker pool: tree parents and ring
         // neighbours park awaiting peers, so the gate must rotate its two
         // slots through all 24 ranks for any collective to terminate.
         let p = 24;
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, |c| {
-            let group: Vec<usize> = (0..c.size()).collect();
-            let mut data = if c.rank() == 0 { vec![7.0; 5] } else { vec![] };
-            bcast(c, &group, 0, &mut data, 1, Phase::InputA);
-            let mut sum = vec![c.rank() as f64];
-            reduce_sum(c, &group, 0, &mut sum, 2, Phase::OutputC);
-            let gathered = allgather_ring(c, &group, vec![c.rank() as f64], 3, Phase::InputB);
-            (data, sum, gathered.len())
-        })
-        .expect("sharded run accepted");
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, collective_workload)
+            .expect("sharded run accepted");
         for (r, (data, _, gathered)) in out.results.iter().enumerate() {
             assert_eq!(data, &vec![7.0; 5], "rank {r} missed the broadcast");
             assert_eq!(*gathered, p, "rank {r} missed allgather chunks");
@@ -518,16 +542,31 @@ mod tests {
     }
 
     #[test]
+    fn collectives_complete_on_the_event_executor() {
+        // The same workload as stackless state machines on one scheduler
+        // thread: every tree/ring wait must park and resume through the
+        // matching table, and the measured counters must equal the threaded
+        // baseline bit for bit.
+        let p = 24;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let threaded = run_spmd(&spec, collective_workload);
+        let event =
+            run_spmd_with(&spec, ExecBackend::Event, collective_workload).expect("event run accepted");
+        assert_eq!(threaded.results, event.results);
+        assert_eq!(threaded.stats, event.stats);
+    }
+
+    #[test]
     fn consecutive_collectives_do_not_cross_talk() {
         let spec = MachineSpec::test_machine(4, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut a = if c.rank() == 0 { vec![1.0] } else { vec![] };
-            bcast(c, &group, 0, &mut a, 100, Phase::InputA);
+            bcast(&mut c, &group, 0, &mut a, 100, Phase::InputA).await;
             let mut b = if c.rank() == 3 { vec![2.0] } else { vec![] };
-            bcast(c, &group, 3, &mut b, 101, Phase::InputB);
+            bcast(&mut c, &group, 3, &mut b, 101, Phase::InputB).await;
             let mut s = vec![1.0];
-            reduce_sum(c, &group, 0, &mut s, 102, Phase::OutputC);
+            reduce_sum(&mut c, &group, 0, &mut s, 102, Phase::OutputC).await;
             (a, b, s)
         });
         for r in 0..4 {

@@ -1,24 +1,40 @@
-//! The communicator: tagged two-sided message passing and one-sided windows.
+//! The communicators: tagged two-sided message passing and one-sided windows.
 //!
-//! Two backends mirror §7.4 of the paper:
+//! Rank bodies talk to the machine through [`RankComm`], the resumable
+//! rank-facing handle: operations that may have to wait for a peer
+//! ([`RankComm::recv`], [`RankComm::barrier`], [`RankComm::fence`]) are
+//! `async` *wait-states*, so one body runs unchanged on every
+//! [`crate::exec::ExecBackend`] — parked OS threads on the
+//! threaded/sharded backends, stackless state machines on the event backend.
 //!
-//! * **Two-sided** — [`Comm::send`]/[`Comm::recv`] with `(source, tag)`
-//!   matching over unbounded std mpsc channels (the Message Passing model).
-//!   Unbounded buffering means a send never blocks, so exchange patterns like
-//!   Cannon shifts cannot deadlock.
+//! Two communication backends mirror §7.4 of the paper:
+//!
+//! * **Two-sided** — [`RankComm::send`]/[`RankComm::recv`] with
+//!   `(source, tag)` matching (the Message Passing model). Unbounded
+//!   buffering means a send never blocks, so exchange patterns like Cannon
+//!   shifts cannot deadlock.
 //! * **One-sided** — per-rank shared-memory *windows* with
-//!   [`Comm::put`]/[`Comm::get`]/[`Comm::accumulate`] and a
-//!   [`Comm::fence`] epoch barrier (the RMA model; zero-copy into the target
-//!   window exactly like `MPI_Put` into an `MPI_Win_allocate` buffer).
+//!   [`RankComm::put`]/[`RankComm::get`]/[`RankComm::accumulate`] and a
+//!   [`RankComm::fence`] epoch barrier (the RMA model; zero-copy into the
+//!   target window exactly like `MPI_Put` into an `MPI_Win_allocate`
+//!   buffer).
 //!
-//! Every operation updates the per-rank [`StatsBoard`] counters, which is how
-//! the "communication volume per rank" measurements of Figures 6–7 are taken.
+//! [`Comm`] is the blocking (channel-based) implementation used by the
+//! threaded and sharded executors; [`crate::event::EventComm`] is the
+//! event-driven one. Every operation updates the per-rank [`StatsBoard`]
+//! counters identically, which is how the "communication volume per rank"
+//! measurements of Figures 6–7 are taken — and why all three executors
+//! measure bitwise-identical numbers.
 
 use std::cell::Cell;
+use std::future::Future;
+use std::pin::pin;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
+use crate::event::EventComm;
 use crate::exec::WorkerGate;
 use crate::stats::{Phase, StatsBoard};
 
@@ -45,6 +61,57 @@ struct SharedState {
 /// panicked, so recover the data and let that panic surface first.
 fn lock(w: &Mutex<Vec<f64>>) -> MutexGuard<'_, Vec<f64>> {
     w.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The RMA window operations proper — bounds checks and data movement on a
+/// raw window buffer. Shared by the blocking [`Comm`] and the event-driven
+/// [`EventComm`] so the two backends cannot drift in semantics or panic
+/// messages (their counters are recorded identically via [`record_rma`]).
+pub(crate) mod window {
+    /// (Re)size a window to `words` zeroed words.
+    pub fn resize(w: &mut Vec<f64>, words: usize) {
+        w.clear();
+        w.resize(words, 0.0);
+    }
+
+    /// `MPI_Put`: copy `data` into the window at `offset`.
+    pub fn put(w: &mut [f64], offset: usize, data: &[f64]) {
+        assert!(
+            offset + data.len() <= w.len(),
+            "put past window end: {} + {} > {}",
+            offset,
+            data.len(),
+            w.len()
+        );
+        w[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// `MPI_Get`: read `len` words at `offset`.
+    pub fn get(w: &[f64], offset: usize, len: usize) -> Vec<f64> {
+        assert!(offset + len <= w.len(), "get past window end");
+        w[offset..offset + len].to_vec()
+    }
+
+    /// `MPI_Accumulate` with `MPI_SUM`: element-wise add into the window.
+    pub fn accumulate(w: &mut [f64], offset: usize, data: &[f64]) {
+        assert!(offset + data.len() <= w.len(), "accumulate past window end");
+        for (dst, src) in w[offset..offset + data.len()].iter_mut().zip(data) {
+            *dst += *src;
+        }
+    }
+
+    /// Local window read (no traffic).
+    pub fn read_local(w: &[f64], offset: usize, len: usize) -> Vec<f64> {
+        assert!(offset + len <= w.len(), "local window read past end");
+        w[offset..offset + len].to_vec()
+    }
+}
+
+/// Count one RMA transfer of `words` words: sent by `sender`, received by
+/// `receiver` — the single accounting rule both backends share.
+pub(crate) fn record_rma(stats: &StatsBoard, sender: usize, receiver: usize, words: u64, phase: Phase) {
+    stats.rank(sender).record_send(words, phase);
+    stats.rank(receiver).record_recv(words, phase);
 }
 
 /// A rank's handle on the sharded executor's [`WorkerGate`]: tracks whether
@@ -273,9 +340,7 @@ impl Comm {
     /// `MPI_Win_allocate`, every rank must call it before the first
     /// [`Comm::fence`] of the epoch that uses the window.
     pub fn win_resize(&self, words: usize) {
-        let mut w = lock(&self.shared.windows[self.rank]);
-        w.clear();
-        w.resize(words, 0.0);
+        window::resize(&mut lock(&self.shared.windows[self.rank]), words);
     }
 
     /// Write `data` into `target`'s window at `offset` (like `MPI_Put`).
@@ -285,42 +350,23 @@ impl Comm {
     /// # Panics
     /// Panics if the target window is too small.
     pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        let mut w = lock(&self.shared.windows[target]);
-        assert!(
-            offset + data.len() <= w.len(),
-            "put past window end: {} + {} > {}",
-            offset,
-            data.len(),
-            w.len()
-        );
-        w[offset..offset + data.len()].copy_from_slice(data);
-        self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
-        self.shared.stats.rank(target).record_recv(data.len() as u64, phase);
+        window::put(&mut lock(&self.shared.windows[target]), offset, data);
+        record_rma(&self.shared.stats, self.rank, target, data.len() as u64, phase);
     }
 
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
     /// Counts as words received by this rank and sent by the target.
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
-        let w = lock(&self.shared.windows[target]);
-        assert!(offset + len <= w.len(), "get past window end");
-        let out = w[offset..offset + len].to_vec();
-        drop(w);
-        self.shared.stats.rank(target).record_send(len as u64, phase);
-        self.shared.stats.rank(self.rank).record_recv(len as u64, phase);
+        let out = window::get(&lock(&self.shared.windows[target]), offset, len);
+        record_rma(&self.shared.stats, target, self.rank, len as u64, phase);
         out
     }
 
     /// Element-wise add `data` into `target`'s window at `offset` (like
     /// `MPI_Accumulate` with `MPI_SUM`).
     pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        let mut w = lock(&self.shared.windows[target]);
-        assert!(offset + data.len() <= w.len(), "accumulate past window end");
-        for (dst, src) in w[offset..offset + data.len()].iter_mut().zip(data) {
-            *dst += *src;
-        }
-        drop(w);
-        self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
-        self.shared.stats.rank(target).record_recv(data.len() as u64, phase);
+        window::accumulate(&mut lock(&self.shared.windows[target]), offset, data);
+        record_rma(&self.shared.stats, self.rank, target, data.len() as u64, phase);
     }
 
     /// Replace this rank's window contents (no traffic counted — populating
@@ -337,15 +383,225 @@ impl Comm {
 
     /// Read a slice of this rank's own window (no traffic counted).
     pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
-        let w = lock(&self.shared.windows[self.rank]);
-        assert!(offset + len <= w.len(), "local window read past end");
-        w[offset..offset + len].to_vec()
+        window::read_local(&lock(&self.shared.windows[self.rank]), offset, len)
     }
 
     /// Close an RMA epoch: all puts/gets/accumulates issued before the fence
     /// are visible after it (like `MPI_Win_fence`).
     pub fn fence(&self) {
         self.barrier();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rank-facing resumable handle
+// ---------------------------------------------------------------------------
+
+/// The communicator a rank body receives: one resumable surface over every
+/// execution backend.
+///
+/// Rendezvous operations ([`recv`](Self::recv), [`barrier`](Self::barrier),
+/// [`fence`](Self::fence), [`sendrecv`](Self::sendrecv)) are `async`
+/// wait-states. On the blocking backends (threaded/sharded) they complete
+/// within a single poll — the underlying [`Comm`] parks the rank's OS thread
+/// or yields its worker slot exactly as before. On the event backend they
+/// return `Poll::Pending` and the scheduler parks the rank's state machine
+/// in the matching table, costing bytes instead of a stack.
+///
+/// Rank bodies are `async` closures over this handle:
+///
+/// ```
+/// use mpsim::exec::{run_spmd_with, ExecBackend};
+/// use mpsim::machine::MachineSpec;
+/// use mpsim::stats::Phase;
+///
+/// let spec = MachineSpec::test_machine(4, 1000);
+/// let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+///     let right = (c.rank() + 1) % c.size();
+///     let left = (c.rank() + c.size() - 1) % c.size();
+///     c.sendrecv(right, left, 0, vec![c.rank() as f64], Phase::Other).await[0]
+/// })
+/// .unwrap();
+/// assert_eq!(out.results[1], 0.0);
+/// ```
+pub enum RankComm {
+    /// Channel-backed blocking communicator (threaded/sharded executors).
+    Blocking(Comm),
+    /// Event-world handle (event executor): wait-states actually suspend.
+    Event(EventComm),
+}
+
+impl RankComm {
+    /// This rank's id, `0..p`.
+    pub fn rank(&self) -> usize {
+        match self {
+            RankComm::Blocking(c) => c.rank(),
+            RankComm::Event(c) => c.rank(),
+        }
+    }
+
+    /// World size `p`.
+    pub fn size(&self) -> usize {
+        match self {
+            RankComm::Blocking(c) => c.size(),
+            RankComm::Event(c) => c.size(),
+        }
+    }
+
+    /// The shared statistics board.
+    pub fn stats(&self) -> &StatsBoard {
+        match self {
+            RankComm::Blocking(c) => c.stats(),
+            RankComm::Event(c) => c.stats(),
+        }
+    }
+
+    /// Record `flops` local floating-point operations for this rank.
+    pub fn record_flops(&self, flops: u64) {
+        match self {
+            RankComm::Blocking(c) => c.record_flops(flops),
+            RankComm::Event(c) => c.record_flops(flops),
+        }
+    }
+
+    /// Record a working-memory allocation (peak-memory accounting).
+    pub fn track_alloc(&self, words: u64) {
+        match self {
+            RankComm::Blocking(c) => c.track_alloc(words),
+            RankComm::Event(c) => c.track_alloc(words),
+        }
+    }
+
+    /// Record a working-memory release.
+    pub fn track_free(&self, words: u64) {
+        match self {
+            RankComm::Blocking(c) => c.track_free(words),
+            RankComm::Event(c) => c.track_free(words),
+        }
+    }
+
+    /// Send `data` to rank `to` with `tag`. Never suspends.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>, phase: Phase) {
+        match self {
+            RankComm::Blocking(c) => c.send(to, tag, data, phase),
+            RankComm::Event(c) => c.send(to, tag, data, phase),
+        }
+    }
+
+    /// Receive the next message from `from` with `tag` — a wait-state until
+    /// the matching message arrives. Messages from the same sender with the
+    /// same tag are delivered in send order on every backend.
+    pub async fn recv(&mut self, from: usize, tag: u64, phase: Phase) -> Vec<f64> {
+        match self {
+            RankComm::Blocking(c) => c.recv(from, tag, phase),
+            RankComm::Event(c) => c.recv(from, tag, phase).await,
+        }
+    }
+
+    /// Combined exchange: send `data` to `to` and receive from `from` under
+    /// the same tag (a ring-shift step). Non-deadlocking because sends are
+    /// buffered.
+    pub async fn sendrecv(
+        &mut self,
+        to: usize,
+        from: usize,
+        tag: u64,
+        data: Vec<f64>,
+        phase: Phase,
+    ) -> Vec<f64> {
+        match self {
+            RankComm::Blocking(c) => c.sendrecv(to, from, tag, data, phase),
+            RankComm::Event(c) => c.sendrecv(to, from, tag, data, phase).await,
+        }
+    }
+
+    /// Wait until all ranks reach the barrier — a wait-state.
+    pub async fn barrier(&mut self) {
+        match self {
+            RankComm::Blocking(c) => c.barrier(),
+            RankComm::Event(c) => c.barrier().await,
+        }
+    }
+
+    /// Close an RMA epoch (like `MPI_Win_fence`) — a wait-state.
+    pub async fn fence(&mut self) {
+        match self {
+            RankComm::Blocking(c) => c.fence(),
+            RankComm::Event(c) => c.fence().await,
+        }
+    }
+
+    /// (Re)size this rank's window to `words` zeroed words.
+    pub fn win_resize(&self, words: usize) {
+        match self {
+            RankComm::Blocking(c) => c.win_resize(words),
+            RankComm::Event(c) => c.win_resize(words),
+        }
+    }
+
+    /// Write `data` into `target`'s window at `offset` (like `MPI_Put`).
+    pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
+        match self {
+            RankComm::Blocking(c) => c.put(target, offset, data, phase),
+            RankComm::Event(c) => c.put(target, offset, data, phase),
+        }
+    }
+
+    /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
+    pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
+        match self {
+            RankComm::Blocking(c) => c.get(target, offset, len, phase),
+            RankComm::Event(c) => c.get(target, offset, len, phase),
+        }
+    }
+
+    /// Element-wise add `data` into `target`'s window at `offset`.
+    pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
+        match self {
+            RankComm::Blocking(c) => c.accumulate(target, offset, data, phase),
+            RankComm::Event(c) => c.accumulate(target, offset, data, phase),
+        }
+    }
+
+    /// Replace this rank's window contents (local, no traffic counted).
+    pub fn win_fill(&self, data: Vec<f64>) {
+        match self {
+            RankComm::Blocking(c) => c.win_fill(data),
+            RankComm::Event(c) => c.win_fill(data),
+        }
+    }
+
+    /// Read this rank's own window (no traffic counted).
+    pub fn win_local(&self) -> Vec<f64> {
+        match self {
+            RankComm::Blocking(c) => c.win_local(),
+            RankComm::Event(c) => c.win_local(),
+        }
+    }
+
+    /// Read a slice of this rank's own window (no traffic counted).
+    pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
+        match self {
+            RankComm::Blocking(c) => c.win_read_local(offset, len),
+            RankComm::Event(c) => c.win_read_local(offset, len),
+        }
+    }
+}
+
+/// Drive a rank-body future on a blocking ([`RankComm::Blocking`]) context
+/// to completion. Every wait-state on a blocking context completes within
+/// its poll (the underlying [`Comm`] blocks the thread), so a single poll
+/// finishes the body; suspension here would mean the body awaited something
+/// other than its communicator.
+pub fn block_on_ready<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => panic!(
+            "a blocking rank context cannot suspend: rank bodies must only await \
+             their RankComm's operations"
+        ),
     }
 }
 

@@ -1,37 +1,55 @@
-//! The SPMD executors: run one closure per rank and collect results.
+//! The SPMD executors: run one resumable rank body per rank and collect
+//! results.
 //!
-//! Two backends implement the same SPMD contract ([`ExecBackend`]):
+//! Rank bodies are `async` closures over [`RankComm`] —
+//! `Fn(RankComm) -> impl Future<Output = R>` — so the same body runs on all
+//! three backends of the SPMD contract ([`ExecBackend`]):
 //!
-//! * **Threaded** — one full OS thread per rank, the original executor.
-//!   Simple and fast for small worlds, but capped at
+//! * **Threaded** — one full OS thread per rank; wait-states block the
+//!   thread. Simple and fast for small worlds, capped at
 //!   [`MAX_THREADED_RANKS`] ranks.
 //! * **Sharded** — `p` simulated ranks multiplexed over a fixed pool of
 //!   `workers` runnable slots. Each rank gets a lightweight small-stack
-//!   carrier, but at most `workers` of them are ever runnable: the
-//!   communicator's rendezvous points ([`Comm::recv`] waiting for a message,
-//!   [`Comm::barrier`]/`fence`) are resumable wait-states that hand the
-//!   rank's worker slot to the next runnable rank instead of blocking it
-//!   (see [`WorkerGate`]). Admission is FIFO, so runnable ranks are stepped
-//!   round-robin. This is what lets plan-vs-executed conformance run at the
-//!   paper's rank counts (thousands of ranks) instead of stopping at the
-//!   threaded cap.
+//!   carrier thread, but at most `workers` of them are ever runnable: the
+//!   communicator's rendezvous points (a `recv` waiting for a message, a
+//!   `barrier`/`fence`) yield the rank's worker slot to the next runnable
+//!   rank instead of blocking it (see [`WorkerGate`]). Admission is FIFO, so
+//!   runnable ranks are stepped round-robin. Parked ranks still pin their
+//!   carrier stacks (~64 KiB touched each), which bounds practical worlds
+//!   to a few thousand ranks.
+//! * **Event** — no per-rank thread at all: every rank body is compiled by
+//!   rustc into a *stackless* resumable state machine, and a single-threaded
+//!   scheduler drives all of them from a FIFO ready queue
+//!   ([`crate::event`]). A parked rank costs bytes (its suspended state
+//!   machine plus a matching-table entry), which is what lets 100k+-rank
+//!   worlds execute end-to-end with real messages.
 //!
-//! Blocked ranks cost only their (small) stack, so worlds of 4096+ ranks
-//! execute with real messages on a laptop-sized worker pool.
+//! [`ExecBackend::auto`] escalates Threaded → Sharded → Event by world size.
+//! All three backends are observationally identical: bitwise-equal results
+//! and identical per-rank counters (the conformance suite enforces this).
 
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::future::Future;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::comm::Comm;
+use crate::comm::{block_on_ready, Comm, RankComm};
+use crate::event::run_spmd_event;
 use crate::machine::MachineSpec;
 use crate::stats::{RankStats, StatsBoard};
 
 /// Maximum number of simulated ranks the threaded executor accepts. Beyond
-/// this, use [`ExecBackend::Sharded`] (or [`ExecBackend::auto`], which
-/// switches automatically) — the per-rank word counts are exact either way;
-/// the executors exist to validate them with real data.
+/// this, use [`ExecBackend::Sharded`] or [`ExecBackend::Event`] (or
+/// [`ExecBackend::auto`], which escalates automatically) — the per-rank word
+/// counts are exact either way; the executors exist to validate them with
+/// real data.
 pub const MAX_THREADED_RANKS: usize = 512;
+
+/// World size past which [`ExecBackend::auto`] escalates from the sharded
+/// worker pool to the event-driven executor: each sharded rank pins a
+/// carrier stack even while parked, so beyond a few thousand ranks the
+/// stackless state machines win on both memory and spawn time.
+pub const MAX_SHARDED_RANKS: usize = 8192;
 
 /// Stack size of one sharded rank carrier. Rank bodies keep their working
 /// sets on the heap (matrix tiles, message buffers) and recurse at most
@@ -44,23 +62,30 @@ pub const SHARDED_STACK_BYTES: usize = 1 << 20;
 pub enum ExecBackend {
     /// One OS thread per rank; at most [`MAX_THREADED_RANKS`] ranks.
     Threaded,
-    /// `p` ranks multiplexed over `workers` runnable slots; any world size.
+    /// `p` carrier threads multiplexed over `workers` runnable slots; worlds
+    /// up to a few thousand ranks.
     Sharded {
         /// Maximum number of concurrently runnable ranks (≥ 1).
         workers: usize,
     },
+    /// Event-driven stackless state machines on one scheduler thread; any
+    /// world size (verified to p = 131072).
+    Event,
 }
 
 impl ExecBackend {
     /// The backend for a `p`-rank world: threaded up to
-    /// [`MAX_THREADED_RANKS`], sharded over [`Self::default_workers`] beyond.
+    /// [`MAX_THREADED_RANKS`], sharded over [`Self::default_workers`] up to
+    /// [`MAX_SHARDED_RANKS`], event-driven beyond.
     pub fn auto(p: usize) -> ExecBackend {
         if p <= MAX_THREADED_RANKS {
             ExecBackend::Threaded
-        } else {
+        } else if p <= MAX_SHARDED_RANKS {
             ExecBackend::Sharded {
                 workers: Self::default_workers(),
             }
+        } else {
+            ExecBackend::Event
         }
     }
 
@@ -75,6 +100,7 @@ impl fmt::Display for ExecBackend {
         match self {
             ExecBackend::Threaded => write!(f, "threaded"),
             ExecBackend::Sharded { workers } => write!(f, "sharded({workers})"),
+            ExecBackend::Event => write!(f, "event"),
         }
     }
 }
@@ -99,7 +125,8 @@ impl fmt::Display for ExecError {
             ExecError::WorldTooLarge { p, max } => write!(
                 f,
                 "threaded execution supports at most {max} ranks (got {p}); \
-                 use ExecBackend::Sharded for larger worlds"
+                 use ExecBackend::Sharded or ExecBackend::Event for larger worlds \
+                 (ExecBackend::auto escalates by world size)"
             ),
             ExecError::NoWorkers => write!(f, "sharded execution needs at least one worker"),
         }
@@ -204,7 +231,11 @@ impl WorkerGate {
 // Runners
 // ---------------------------------------------------------------------------
 
-/// Run `f` on every rank of `spec` under `backend` and collect results.
+/// Run the rank body `f` on every rank of `spec` under `backend` and collect
+/// results. The body receives its [`RankComm`] by value and returns a
+/// future; on the threaded/sharded backends the future is driven on the
+/// rank's own thread (wait-states block it), on the event backend all bodies
+/// are stackless state machines on one scheduler thread.
 ///
 /// # Errors
 /// [`ExecError::WorldTooLarge`] when the threaded backend is asked for more
@@ -213,10 +244,15 @@ impl WorkerGate {
 ///
 /// # Panics
 /// Panics if any rank panics (the panic is propagated).
-pub fn run_spmd_with<R, F>(spec: &MachineSpec, backend: ExecBackend, f: F) -> Result<RunOutput<R>, ExecError>
+pub fn run_spmd_with<R, F, Fut>(
+    spec: &MachineSpec,
+    backend: ExecBackend,
+    f: F,
+) -> Result<RunOutput<R>, ExecError>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
 {
     match backend {
         ExecBackend::Threaded => {
@@ -226,14 +262,15 @@ where
                     max: MAX_THREADED_RANKS,
                 });
             }
-            Ok(run_threaded(spec, f))
+            Ok(run_world(spec, None, f))
         }
         ExecBackend::Sharded { workers } => {
             if workers == 0 {
                 return Err(ExecError::NoWorkers);
             }
-            Ok(run_sharded(spec, workers, f))
+            Ok(run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f))
         }
+        ExecBackend::Event => Ok(run_spmd_event(spec, f)),
     }
 }
 
@@ -243,11 +280,13 @@ where
 /// # Panics
 /// Panics if any rank panics (the panic is propagated), or if
 /// `spec.p > MAX_THREADED_RANKS` — use [`run_spmd_with`] with
-/// [`ExecBackend::Sharded`] (or [`ExecBackend::auto`]) for larger worlds.
-pub fn run_spmd<R, F>(spec: &MachineSpec, f: F) -> RunOutput<R>
+/// [`ExecBackend::Sharded`]/[`ExecBackend::Event`] (or
+/// [`ExecBackend::auto`]) for larger worlds.
+pub fn run_spmd<R, F, Fut>(spec: &MachineSpec, f: F) -> RunOutput<R>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
 {
     match run_spmd_with(spec, ExecBackend::Threaded, f) {
         Ok(out) => out,
@@ -255,31 +294,17 @@ where
     }
 }
 
-fn run_threaded<R, F>(spec: &MachineSpec, f: F) -> RunOutput<R>
+/// The shared blocking-backend skeleton: spawn one carrier per rank, drive
+/// each rank's body future on its own thread, join in rank order. Gated
+/// (sharded) worlds get small-stack carriers and acquire their admission
+/// slot on their own thread before user code; the slot is returned when the
+/// body finishes or panics (the communicator's gate handle releases on
+/// drop). `Comm::gate_enter` is a no-op on ungated (threaded) worlds.
+fn run_world<R, F, Fut>(spec: &MachineSpec, gate: Option<Arc<WorkerGate>>, f: F) -> RunOutput<R>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
-{
-    run_world(spec, None, f)
-}
-
-fn run_sharded<R, F>(spec: &MachineSpec, workers: usize, f: F) -> RunOutput<R>
-where
-    R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
-{
-    run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)
-}
-
-/// The shared SPMD skeleton: spawn one carrier per rank, join in rank order.
-/// Gated worlds get small-stack carriers and acquire their admission slot on
-/// their own thread before user code; the slot is returned when the closure
-/// finishes or panics (the communicator's gate handle releases on drop).
-/// `Comm::gate_enter` is a no-op on ungated (threaded) worlds.
-fn run_world<R, F>(spec: &MachineSpec, gate: Option<Arc<WorkerGate>>, f: F) -> RunOutput<R>
-where
-    R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
 {
     let stats = Arc::new(StatsBoard::new(spec.p));
     let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone());
@@ -287,11 +312,11 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|mut c| {
+            .map(|c| {
                 let f = &f;
                 let body = move || {
                     c.gate_enter();
-                    f(&mut c)
+                    block_on_ready(f(RankComm::Blocking(c)))
                 };
                 match &gate {
                     Some(_) => std::thread::Builder::new()
@@ -320,7 +345,7 @@ mod tests {
     #[test]
     fn results_are_rank_ordered() {
         let spec = MachineSpec::test_machine(8, 1000);
-        let out = run_spmd(&spec, |c| c.rank() * 10);
+        let out = run_spmd(&spec, |c| async move { c.rank() * 10 });
         assert_eq!(out.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
         assert_eq!(out.stats.len(), 8);
     }
@@ -328,7 +353,7 @@ mod tests {
     #[test]
     fn stats_reflect_execution() {
         let spec = MachineSpec::test_machine(4, 1000);
-        let out = run_spmd(&spec, |c| {
+        let out = run_spmd(&spec, |mut c| async move {
             // Everyone sends rank+1 words to rank 0.
             if c.rank() != 0 {
                 c.send(0, 1, vec![0.0; c.rank() + 1], Phase::OutputC);
@@ -336,7 +361,7 @@ mod tests {
             } else {
                 let mut total = 0u64;
                 for from in 1..c.size() {
-                    total += c.recv(from, 1, Phase::OutputC).len() as u64;
+                    total += c.recv(from, 1, Phase::OutputC).await.len() as u64;
                 }
                 total
             }
@@ -349,8 +374,8 @@ mod tests {
     #[test]
     fn barrier_synchronizes() {
         let spec = MachineSpec::test_machine(6, 1000);
-        let out = run_spmd(&spec, |c| {
-            c.barrier();
+        let out = run_spmd(&spec, |mut c| async move {
+            c.barrier().await;
             c.rank()
         });
         assert_eq!(out.results.len(), 6);
@@ -360,13 +385,13 @@ mod tests {
     #[should_panic(expected = "threaded execution supports at most")]
     fn rank_limit_enforced() {
         let spec = MachineSpec::test_machine(MAX_THREADED_RANKS + 1, 10);
-        let _ = run_spmd(&spec, |_| ());
+        let _ = run_spmd(&spec, |_| async move {});
     }
 
     #[test]
     fn threaded_backend_rejects_large_worlds_typed() {
         let spec = MachineSpec::test_machine(MAX_THREADED_RANKS + 1, 10);
-        let err = run_spmd_with(&spec, ExecBackend::Threaded, |_| ()).unwrap_err();
+        let err = run_spmd_with(&spec, ExecBackend::Threaded, |_| async move {}).unwrap_err();
         assert_eq!(
             err,
             ExecError::WorldTooLarge {
@@ -375,29 +400,34 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("Sharded"));
+        assert!(err.to_string().contains("Event"));
     }
 
     #[test]
     fn sharded_rejects_empty_pool() {
         let spec = MachineSpec::test_machine(4, 10);
-        let err = run_spmd_with(&spec, ExecBackend::Sharded { workers: 0 }, |_| ()).unwrap_err();
+        let err = run_spmd_with(&spec, ExecBackend::Sharded { workers: 0 }, |_| async move {}).unwrap_err();
         assert_eq!(err, ExecError::NoWorkers);
     }
 
     #[test]
-    fn auto_switches_at_the_threaded_cap() {
+    fn auto_escalates_threaded_sharded_event() {
         assert_eq!(ExecBackend::auto(1), ExecBackend::Threaded);
         assert_eq!(ExecBackend::auto(MAX_THREADED_RANKS), ExecBackend::Threaded);
         assert!(matches!(
             ExecBackend::auto(MAX_THREADED_RANKS + 1),
             ExecBackend::Sharded { workers } if workers >= 1
         ));
+        assert!(matches!(ExecBackend::auto(MAX_SHARDED_RANKS), ExecBackend::Sharded { .. }));
+        assert_eq!(ExecBackend::auto(MAX_SHARDED_RANKS + 1), ExecBackend::Event);
+        assert_eq!(ExecBackend::auto(131_072), ExecBackend::Event);
     }
 
     #[test]
     fn sharded_results_are_rank_ordered() {
         let spec = MachineSpec::test_machine(24, 1000);
-        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 3 }, |c| c.rank() * 10).unwrap();
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 3 }, |c| async move { c.rank() * 10 })
+            .unwrap();
         assert_eq!(out.results, (0..24).map(|r| r * 10).collect::<Vec<_>>());
     }
 
@@ -408,10 +438,10 @@ mod tests {
         // between parked and runnable ranks without deadlocking.
         let p = MAX_THREADED_RANKS + 160;
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 4 }, |c| {
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 4 }, |mut c| async move {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
-            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other);
+            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other).await;
             got[0] as usize
         })
         .unwrap();
@@ -425,17 +455,17 @@ mod tests {
         // workers = 1 is the harshest schedule: every recv/barrier must yield
         // the lone slot or the world deadlocks.
         let spec = MachineSpec::test_machine(8, 1000);
-        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 1 }, |c| {
-            c.barrier();
+        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers: 1 }, |mut c| async move {
+            c.barrier().await;
             let got = if c.rank() == 0 {
                 for to in 1..c.size() {
                     c.send(to, 1, vec![to as f64], Phase::Other);
                 }
                 0.0
             } else {
-                c.recv(0, 1, Phase::Other)[0]
+                c.recv(0, 1, Phase::Other).await[0]
             };
-            c.barrier();
+            c.barrier().await;
             got
         });
         let out = match out {
@@ -448,19 +478,60 @@ mod tests {
     }
 
     #[test]
-    fn sharded_and_threaded_measure_identically() {
+    fn all_three_backends_measure_identically() {
         let spec = MachineSpec::test_machine(16, 1000);
-        let pattern = |c: &mut Comm| {
+        let pattern = |mut c: RankComm| async move {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
-            c.sendrecv(right, left, 3, vec![1.0; c.rank() + 1], Phase::InputA);
-            c.barrier();
+            c.sendrecv(right, left, 3, vec![1.0; c.rank() + 1], Phase::InputA).await;
+            c.barrier().await;
             c.rank()
         };
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
         let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
         assert_eq!(threaded.results, sharded.results);
         assert_eq!(threaded.stats, sharded.stats);
+        assert_eq!(threaded.results, event.results);
+        assert_eq!(threaded.stats, event.stats);
+    }
+
+    #[test]
+    fn event_backend_runs_worlds_beyond_the_sharded_threshold() {
+        // A world past the auto sharded threshold: stackless ranks exchange
+        // with a neighbour and everything completes on one scheduler thread.
+        let p = MAX_SHARDED_RANKS + 1000;
+        let spec = MachineSpec::test_machine(p, 1000);
+        let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other).await;
+            c.barrier().await;
+            got[0] as usize
+        })
+        .unwrap();
+        for (r, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, (r + p - 1) % p);
+        }
+    }
+
+    #[test]
+    #[ignore = "xl world (131072 ranks); run with --ignored"]
+    fn ring_exchange_131072_ranks_stackless() {
+        // The raw-executor form of the acceptance criterion: p = 131072 with
+        // a real message per rank, far beyond any carrier-thread backend.
+        let p = 131_072;
+        let spec = MachineSpec::test_machine(p, 10);
+        let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.sendrecv(right, left, 1, vec![c.rank() as f64], Phase::Other).await;
+            got[0] as usize
+        })
+        .unwrap();
+        for (r, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, (r + p - 1) % p);
+        }
     }
 
     #[test]
@@ -490,5 +561,6 @@ mod tests {
     fn backend_display_names() {
         assert_eq!(ExecBackend::Threaded.to_string(), "threaded");
         assert_eq!(ExecBackend::Sharded { workers: 6 }.to_string(), "sharded(6)");
+        assert_eq!(ExecBackend::Event.to_string(), "event");
     }
 }

@@ -10,34 +10,44 @@
 //! * [`stats`] — per-rank traffic/flop/memory counters, the stand-in for the
 //!   mpiP profiler: every word a rank sends or receives is counted, bucketed
 //!   by communication phase (A-input, B-input, C-output, …).
-//! * [`comm`] — the communicator: tagged point-to-point message passing over
-//!   crossbeam channels (two-sided backend) and shared-memory windows with
-//!   put/get/accumulate (one-sided/RMA backend, §7.4 of the paper).
+//! * [`comm`] — the communicators: [`comm::RankComm`], the resumable
+//!   rank-facing handle every rank body receives (tagged point-to-point
+//!   message passing, two-sided backend; shared-memory windows with
+//!   put/get/accumulate, one-sided/RMA backend, §7.4 of the paper), over the
+//!   blocking channel implementation used by the threaded/sharded executors.
+//! * [`event`] — the event-driven machine behind `ExecBackend::Event`:
+//!   rank bodies as stackless resumable state machines on one scheduler
+//!   thread with a FIFO ready queue and a message-matching table.
 //! * [`collectives`] — binomial-tree broadcast and reduce, ring all-gather
 //!   and ring shift, built on the point-to-point layer exactly like the
-//!   paper's hand-rolled broadcast trees (§7.2).
+//!   paper's hand-rolled broadcast trees (§7.2); all resumable (`async`).
 //! * [`exec`] — the SPMD executors: one OS thread per simulated rank
-//!   (threaded, ≤ 512 ranks) or `p` ranks multiplexed over a fixed worker
-//!   pool with resumable send/recv/barrier wait-states (sharded, any world
-//!   size — this is how paper-scale rank counts execute with real data).
+//!   (threaded, ≤ 512 ranks), `p` ranks multiplexed over a fixed worker pool
+//!   of small-stack carriers (sharded, up to a few thousand ranks), or
+//!   event-driven stackless rank state machines (event, any world size —
+//!   verified to p = 131072 with real messages).
 //! * [`cost`] — the α-β-γ time model: per-round communication/computation
 //!   costs, with and without communication–computation overlap (§7.3), and
 //!   %-of-peak reporting used by Figures 8–14.
 //!
 //! Algorithms run in two modes backed by the same decomposition code: real
-//! threaded execution with data (correctness, small `p`) and plan-level
-//! analysis (exact word counts at paper scale, up to 18,432 ranks). The
-//! integration tests in `tests/` assert the two modes agree.
+//! execution with data (correctness, any `p`) and plan-level analysis
+//! (exact word counts at paper scale, up to 18,432 ranks). The integration
+//! tests in `tests/` assert the two modes agree.
 
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod event;
 pub mod exec;
 pub mod machine;
 pub mod stats;
 
-pub use comm::Comm;
+pub use comm::{block_on_ready, Comm, RankComm};
 pub use cost::{CostModel, RoundCost, TimeBreakdown};
-pub use exec::{run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, MAX_THREADED_RANKS};
+pub use event::{run_spmd_event, run_spmd_event_traced, EventComm, SchedEvent};
+pub use exec::{
+    run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, MAX_SHARDED_RANKS, MAX_THREADED_RANKS,
+};
 pub use machine::MachineSpec;
 pub use stats::{Phase, RankStats, StatsBoard};

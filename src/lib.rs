@@ -6,7 +6,8 @@
 //! * [`pebbles`] — red-blue pebble game, CDAGs, X-partitions, MMM I/O lower
 //!   bounds (paper §2.2, §4, §5).
 //! * [`densemat`] — dense-matrix substrate: storage, GEMM kernels, layouts.
-//! * [`mpsim`] — simulated distributed machine: threaded and sharded SPMD
+//! * [`mpsim`] — simulated distributed machine: threaded, sharded and
+//!   event-driven (stackless, 100k-rank) SPMD
 //!   executors, collectives, traffic counters, α-β-γ cost model (replaces
 //!   Piz Daint + MPI + mpiP).
 //! * [`cosma`] — the paper's contribution: near-communication-optimal
@@ -17,8 +18,9 @@
 //!
 //! The front door is [`cosma::api::RunSession`]: pick a problem, a cost
 //! model and an [`cosma::api::AlgoId`], then `.plan()`, `.run()` (cost-model
-//! simulation) or `.execute()` (real execution — threaded up to 512 ranks,
-//! sharded worker-pool beyond):
+//! simulation) or `.execute()` (real execution — `ExecBackend::auto`
+//! escalates threaded → sharded worker-pool → event-driven stackless by
+//! world size, so any rank count up to 131072 runs end-to-end):
 //!
 //! ```
 //! use cosma_repro::cosma::api::{AlgoId, RunSession};

@@ -215,52 +215,63 @@ fn gemm_kernels_agree() {
     }
 }
 
-/// The sharded scheduler under random world/worker-pool sizes: every world
-/// completes (no deadlock — parked ranks must always yield their worker),
-/// and matched send/recv pairs are delivered in send order per
-/// `(sender, tag)` even when ranks are parked and resumed between messages.
+/// Shared scheduler workload for the no-deadlock/no-reorder properties:
+/// send `msgs` messages along every offset, then receive them all and check
+/// per-`(sender, tag)` FIFO delivery.
+async fn offset_exchange(mut c: mpsim::RankComm, offs: &[usize], msgs: usize) -> bool {
+    let p = c.size();
+    for (t, &d) in offs.iter().enumerate() {
+        let to = (c.rank() + d) % p;
+        for s in 0..msgs {
+            c.send(to, t as u64, vec![c.rank() as f64, s as f64], Phase::Other);
+        }
+    }
+    let mut in_order = true;
+    for (t, &d) in offs.iter().enumerate() {
+        let from = (c.rank() + p - d) % p;
+        for s in 0..msgs {
+            let got = c.recv(from, t as u64, Phase::Other).await;
+            in_order &= got == vec![from as f64, s as f64];
+        }
+    }
+    c.barrier().await;
+    in_order
+}
+
+/// The sharded and event schedulers under random world/worker-pool sizes:
+/// every world completes (no deadlock — parked ranks must always yield
+/// their worker slot / scheduler turn), and matched send/recv pairs are
+/// delivered in send order per `(sender, tag)` even when ranks are parked
+/// and resumed between messages.
 #[test]
-fn sharded_scheduler_never_deadlocks_or_reorders() {
+fn schedulers_never_deadlock_or_reorder() {
     let mut rng = Rng::new(10);
-    for _ in 0..16 {
+    for case in 0..16 {
         let p = rng.range(2, 48);
         let workers = rng.range(1, 9);
         let msgs = rng.range(1, 5);
         let offsets: Vec<usize> = (0..rng.range(1, 4)).map(|_| rng.range(1, p)).collect();
         let spec = MachineSpec::test_machine(p, 1000);
         let offs = &offsets;
-        let out = run_spmd_with(&spec, ExecBackend::Sharded { workers }, |c| {
-            let p = c.size();
-            for (t, &d) in offs.iter().enumerate() {
-                let to = (c.rank() + d) % p;
-                for s in 0..msgs {
-                    c.send(to, t as u64, vec![c.rank() as f64, s as f64], Phase::Other);
-                }
-            }
-            let mut in_order = true;
-            for (t, &d) in offs.iter().enumerate() {
-                let from = (c.rank() + p - d) % p;
-                for s in 0..msgs {
-                    let got = c.recv(from, t as u64, Phase::Other);
-                    in_order &= got == vec![from as f64, s as f64];
-                }
-            }
-            c.barrier();
-            in_order
-        })
-        .expect("sharded run must be accepted");
+        let backend = if case % 2 == 0 {
+            ExecBackend::Sharded { workers }
+        } else {
+            ExecBackend::Event
+        };
+        let out = run_spmd_with(&spec, backend, |c| offset_exchange(c, offs, msgs))
+            .expect("scheduled run must be accepted");
         assert!(
             out.results.iter().all(|&ok| ok),
-            "p={p} workers={workers} msgs={msgs} offsets={offsets:?}: reordered delivery"
+            "{backend} p={p} msgs={msgs} offsets={offsets:?}: reordered delivery"
         );
     }
 }
 
-/// Random exchange patterns measure identically on both executors: the
-/// scheduler may interleave ranks differently, but results and every
+/// Random exchange patterns measure identically on all three executors: the
+/// schedulers may interleave ranks differently, but results and every
 /// per-rank counter must match the threaded baseline bit for bit.
 #[test]
-fn sharded_matches_threaded_on_random_patterns() {
+fn sharded_and_event_match_threaded_on_random_patterns() {
     let mut rng = Rng::new(11);
     for _ in 0..12 {
         let p = rng.range(2, 32);
@@ -268,22 +279,118 @@ fn sharded_matches_threaded_on_random_patterns() {
         let words = rng.range(1, 40);
         let rounds = rng.range(1, 4);
         let spec = MachineSpec::test_machine(p, 1000);
-        let pattern = |c: &mut mpsim::Comm| {
+        let pattern = |mut c: mpsim::RankComm| async move {
             let p = c.size();
             let mut acc = 0.0;
             for r in 0..rounds {
                 let dst = (c.rank() + r + 1) % p;
                 let src = (c.rank() + p - ((r + 1) % p)) % p;
-                let got = c.sendrecv(dst, src, r as u64, vec![c.rank() as f64; words], Phase::Other);
+                let got = c.sendrecv(dst, src, r as u64, vec![c.rank() as f64; words], Phase::Other).await;
                 acc += got.iter().sum::<f64>();
-                c.barrier();
+                c.barrier().await;
             }
             acc
         };
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
         let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers }, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
         assert_eq!(threaded.results, sharded.results, "p={p} workers={workers}");
         assert_eq!(threaded.stats, sharded.stats, "p={p} workers={workers}");
+        assert_eq!(threaded.results, event.results, "event results diverge at p={p}");
+        assert_eq!(threaded.stats, event.stats, "event counters diverge at p={p}");
+    }
+}
+
+/// The event backend under random world sizes and message orders: random
+/// send permutations (a splitmix64 shuffle per rank) must still produce the
+/// threaded backend's exact results and counters — scheduling and send
+/// interleaving never change what is computed or measured.
+#[test]
+fn event_matches_threaded_under_random_message_orders() {
+    let mut rng = Rng::new(12);
+    for _ in 0..12 {
+        let p = rng.range(2, 40);
+        let words = rng.range(1, 16);
+        let shuffle_seed = rng.next();
+        let spec = MachineSpec::test_machine(p, 1000);
+        let pattern = move |mut c: mpsim::RankComm| async move {
+            let p = c.size();
+            // Send to every peer in a per-rank pseudo-random order...
+            let mut order: Vec<usize> = (0..p).collect();
+            let mut r = Rng::new(shuffle_seed ^ c.rank() as u64);
+            for i in (1..p).rev() {
+                order.swap(i, r.range(0, i + 1));
+            }
+            for &to in &order {
+                c.send(to, 5, vec![c.rank() as f64; words], Phase::Other);
+            }
+            // ...but receive in rank order: matching is by (source, tag),
+            // so arrival order must not matter.
+            let mut acc = 0.0;
+            for from in 0..p {
+                acc += c.recv(from, 5, Phase::Other).await[0];
+            }
+            c.barrier().await;
+            acc
+        };
+        let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
+        assert_eq!(threaded.results, event.results, "p={p} words={words}");
+        assert_eq!(threaded.stats, event.stats, "p={p} words={words}");
+    }
+}
+
+/// Scheduler fairness: the event executor admits and polls ranks strictly
+/// FIFO, so a ready rank is never starved — under random worlds, the k-th
+/// poll is always the k-th ready-queue admission, and every admission is
+/// eventually polled.
+#[test]
+fn event_scheduler_never_starves_a_ready_rank() {
+    use mpsim::{run_spmd_event_traced, SchedEvent};
+    let mut rng = Rng::new(13);
+    for _ in 0..12 {
+        let p = rng.range(2, 40);
+        let rounds = rng.range(1, 4);
+        let spec = MachineSpec::test_machine(p, 1000);
+        let (out, trace) = run_spmd_event_traced(&spec, |mut c| async move {
+            let p = c.size();
+            for r in 0..rounds {
+                let dst = (c.rank() + r + 1) % p;
+                let src = (c.rank() + p - ((r + 1) % p)) % p;
+                c.sendrecv(dst, src, r as u64, vec![1.0], Phase::Other).await;
+            }
+            c.barrier().await;
+            c.rank()
+        });
+        assert_eq!(out.results, (0..p).collect::<Vec<_>>());
+        let enqueues: Vec<usize> = trace
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Enqueue(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        let polls: Vec<usize> = trace
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Poll(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(enqueues, polls, "p={p} rounds={rounds}: polls must consume admissions in FIFO order");
+        // Every admission precedes its poll: the i-th poll can only happen
+        // after the i-th enqueue appeared in the trace.
+        let mut seen_enq = 0usize;
+        let mut seen_poll = 0usize;
+        for e in &trace {
+            match e {
+                SchedEvent::Enqueue(_) => seen_enq += 1,
+                SchedEvent::Poll(_) => {
+                    seen_poll += 1;
+                    assert!(seen_poll <= seen_enq, "poll of a rank that was never admitted");
+                }
+            }
+        }
     }
 }
 

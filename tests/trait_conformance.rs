@@ -8,7 +8,7 @@
 //! 3. planned per-rank traffic equals executed traffic, word for word, and
 //!    the executed product matches the sequential kernel.
 
-use cosma::api::{execute_boxed, execute_boxed_with, PlanError, RunSession};
+use cosma::api::{execute_boxed, execute_boxed_with, MmmAlgorithm, PlanError, RunSession};
 use cosma::problem::MmmProblem;
 use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
@@ -193,11 +193,11 @@ fn session_auto_backend_executes_beyond_threaded_cap() {
 }
 
 /// Backend equivalence: for every registry algorithm on the shared (≤ 512
-/// rank) problem matrix, the threaded and sharded executors produce bitwise
-/// identical per-rank `CPart` results and identical per-rank counters —
-/// scheduling must never change what is computed or measured.
+/// rank) problem matrix, the threaded, sharded and event executors produce
+/// bitwise identical per-rank `CPart` results and identical per-rank
+/// counters — scheduling must never change what is computed or measured.
 #[test]
-fn threaded_and_sharded_backends_agree_exactly() {
+fn all_three_backends_agree_exactly() {
     let reg = baselines::registry();
     let mut probs = shared_problems();
     probs.push(MmmProblem::new(64, 64, 64, 256, 1 << 16));
@@ -214,22 +214,103 @@ fn threaded_and_sharded_backends_agree_exactly() {
                 continue;
             };
             let run = |backend: ExecBackend| {
-                run_spmd_with(&spec, backend, |c| algo.execute_rank(c, &plan, &a, &b))
-                    .unwrap_or_else(|e| panic!("{id} on p={}: {e}", prob.p))
+                let (algo, plan, a, b) = (algo.as_ref(), &plan, &a, &b);
+                run_spmd_with(&spec, backend, move |mut c| async move {
+                    algo.execute_rank(&mut c, plan, a, b).await
+                })
+                .unwrap_or_else(|e| panic!("{id} on p={}: {e}", prob.p))
             };
             let threaded = run(ExecBackend::Threaded);
-            let sharded = run(ExecBackend::Sharded { workers: 3 });
+            for backend in [ExecBackend::Sharded { workers: 3 }, ExecBackend::Event] {
+                let other = run(backend);
+                assert_eq!(
+                    threaded.results, other.results,
+                    "{id} on p={}: {backend} disagrees on CPart results",
+                    prob.p
+                );
+                assert_eq!(
+                    threaded.stats, other.stats,
+                    "{id} on p={}: {backend} disagrees on measured counters",
+                    prob.p
+                );
+            }
+        }
+    }
+}
+
+/// The shared reference size of the acceptance contract: at p = 2048, the
+/// sharded worker pool and the event-driven stackless executor produce
+/// bitwise-identical results and identical traffic counters for every
+/// applicable algorithm. Slow; run via `cargo test -- --ignored` (CI
+/// `large-world` job).
+#[test]
+#[ignore = "large world (2048 ranks); run with --ignored"]
+fn event_and_sharded_agree_exactly_at_p2048() {
+    let reg = baselines::registry();
+    let prob = MmmProblem::new(192, 224, 512, 2048, 1 << 20);
+    let a = Matrix::deterministic(prob.m, prob.k, 31);
+    let b = Matrix::deterministic(prob.k, prob.n, 32);
+    let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words);
+    for algo in reg.all() {
+        let id = algo.id();
+        if algo.supports(&prob).is_err() {
+            continue;
+        }
+        let Ok(plan) = algo.plan(&prob, &model()) else {
+            continue;
+        };
+        let run = |backend: ExecBackend| {
+            execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b)
+                .unwrap_or_else(|e| panic!("{id}: {e}"))
+        };
+        let sharded = run(ExecBackend::Sharded {
+            workers: ExecBackend::default_workers(),
+        });
+        let event = run(ExecBackend::Event);
+        assert_eq!(
+            sharded.c.as_slice(),
+            event.c.as_slice(),
+            "{id} at p=2048: backends disagree on the product bitwise"
+        );
+        assert_eq!(sharded.stats, event.stats, "{id} at p=2048: backends disagree on measured counters");
+        for (r, st) in event.stats.iter().enumerate() {
             assert_eq!(
-                threaded.results, sharded.results,
-                "{id} on p={}: backends disagree on CPart results",
-                prob.p
-            );
-            assert_eq!(
-                threaded.stats, sharded.stats,
-                "{id} on p={}: backends disagree on measured counters",
-                prob.p
+                st.total_recv(),
+                plan.ranks[r].comm_words(),
+                "{id} at p=2048: rank {r} event traffic deviates from the plan"
             );
         }
+    }
+}
+
+/// The acceptance criterion's XL world: a `XL_RANKS` (default 131072) rank
+/// COSMA execution end-to-end on the event backend, with real messages, a
+/// verified product and plan-exact per-rank traffic. No carrier-thread
+/// backend can hold a world this size; the stackless state machines cost
+/// bytes per rank. Run via `cargo test --release -- --ignored` (the CI
+/// `large-world` matrix sets `XL_RANKS` to 16384/65536/131072).
+#[test]
+#[ignore = "xl world (>= 16384 ranks); run with --ignored"]
+fn event_xl_world_executes_end_to_end() {
+    let p: usize = std::env::var("XL_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(131_072);
+    // The same instance the `exec-xl` experiment records in EXPERIMENTS.md.
+    let prob = bench::scenarios::exec_xl_problem(p);
+    let algo = cosma::api::CosmaAlgorithm::default();
+    let plan = algo.plan(&prob, &model()).unwrap_or_else(|e| panic!("p={p}: {e}"));
+    plan.validate_coverage().expect("XL plan tiles the space");
+    let a = Matrix::deterministic(prob.m, prob.k, 71);
+    let b = Matrix::deterministic(prob.k, prob.n, 72);
+    let want = matmul(&a, &b);
+    let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
+    let report = execute_boxed_with(&algo, &plan, &spec, ExecBackend::Event, &a, &b)
+        .unwrap_or_else(|e| panic!("p={p}: {e}"));
+    assert!(want.approx_eq(&report.c, 1e-9), "p={p}: product off by {}", want.max_abs_diff(&report.c));
+    for (r, st) in report.stats.iter().enumerate() {
+        assert_eq!(
+            st.total_recv(),
+            plan.ranks[r].comm_words(),
+            "p={p}: rank {r} executed traffic deviates from the plan"
+        );
     }
 }
 
