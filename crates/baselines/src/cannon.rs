@@ -184,15 +184,15 @@ impl MmmAlgorithm for CannonAlgorithm {
         plan: &'a DistPlan,
         a: &'a Matrix,
         b: &'a Matrix,
-    ) -> RankFuture<'a, Option<CPart>> {
+    ) -> RankFuture<'a, Vec<CPart>> {
         Box::pin(async move {
             let (rows, cols, c) = execute(comm, plan, a, b).await;
-            Some(CPart {
+            vec![CPart {
                 rows,
                 cols,
                 offset: 0,
                 data: c.into_vec(),
-            })
+            }]
         })
     }
 }

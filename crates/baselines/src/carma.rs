@@ -12,18 +12,25 @@
 //!   them pairwise (a recursive-halving reduce-scatter): each receives half
 //!   of its current C share, `|C_share|/2` words.
 //!
-//! At the leaf (`g = 1`) the rank multiplies its `m_l × n_l × k_l` brick; if
-//! the leaf working set exceeds `S`, real CARMA keeps splitting sequentially
-//! (a local blocking decision that moves no network words), so the plan's
-//! memory figure is the leaf footprint capped at the sequential-blocking
-//! working set.
+//! At the leaf (`g = 1`) the rank multiplies its `m_l × n_l × k_l` brick.
+//! When that leaf working set exceeds `S`, memory-aware CARMA prepends
+//! *sequential DFS steps*: the whole machine processes one half of the
+//! iteration space after the other ([`dfs_leaves`]), paying the full BFS
+//! communication per DFS leaf — the re-fetching cost behind the `√3` factor
+//! of §6.2.
 //!
-//! Execution realism: the downward A/B share exchanges move real share-sized
-//! payloads (content read from the initially distributed inputs); leaf
-//! operands are materialized from the initial distribution exactly as in the
-//! other algorithms, and the upward k-split reduction is performed with the
-//! real partial C data, so the final product is verified end to end while
-//! every counted message has the true CARMA size.
+//! Both regimes are fully executable. The streaming executor iterates the
+//! DFS leaves in order, re-fetching A/B shares and reducing C per leaf with
+//! buffers sized to the *leaf* footprint, so the measured `peak_mem_words`
+//! stays within `S` whenever the plan does — runs on a machine with an
+//! enforced memory budget (`MachineSpec::with_mem_budget`) certify exactly
+//! that. The downward A/B share exchanges move real share-sized payloads
+//! (content read from the initially distributed inputs), leaf operands are
+//! materialized from the initial distribution exactly as in the other
+//! algorithms, and the upward k-split reduction runs on the real partial C
+//! data, so the final product is verified end to end while every counted
+//! message has the true CARMA size. A rank's k-split DFS leaves yield
+//! partial sums of the same C region; `assemble_c` accumulates them.
 
 use cosma::algorithm::CPart;
 use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture, RankRequirement};
@@ -104,6 +111,14 @@ pub fn trace(prob: &MmmProblem, rank: usize) -> Trace {
 }
 
 /// BFS recursion trace over an explicit sub-volume (used by the DFS prefix).
+///
+/// Split decisions are taken on *canonical* dims — the ceiling-halved dims
+/// of the recursion root, independent of which halves this rank took. All
+/// ranks of a group therefore split the same dimension sequence even when a
+/// halved dimension is odd, which keeps k-split partners on identical
+/// `(rows, cols)` leaves (the upward reduce-scatter pairs opposite halves of
+/// the *same* C block) and makes rank 0 — the all-ceiling path — the rank
+/// with the largest leaf working set.
 pub fn trace_on(
     rows0: std::ops::Range<usize>,
     cols0: std::ops::Range<usize>,
@@ -114,11 +129,12 @@ pub fn trace_on(
     let mut rows = rows0;
     let mut cols = cols0;
     let mut ks = ks0;
+    let (mut cm, mut cn, mut ck) = (rows.len(), cols.len(), ks.len());
     let mut group = p;
     let mut idx = rank; // index within the current group
     let mut levels = Vec::new();
     while group > 1 {
-        let dim = split_dim(rows.len(), cols.len(), ks.len());
+        let dim = split_dim(cm, cn, ck);
         let hsize = group / 2;
         let upper = idx >= hsize;
         let partner_idx = if upper { idx - hsize } else { idx + hsize };
@@ -134,9 +150,18 @@ pub fn trace_on(
             upper,
         });
         match dim {
-            SplitDim::M => rows = half(&rows, upper),
-            SplitDim::N => cols = half(&cols, upper),
-            SplitDim::K => ks = half(&ks, upper),
+            SplitDim::M => {
+                rows = half(&rows, upper);
+                cm = cm.div_ceil(2);
+            }
+            SplitDim::N => {
+                cols = half(&cols, upper);
+                cn = cn.div_ceil(2);
+            }
+            SplitDim::K => {
+                ks = half(&ks, upper);
+                ck = ck.div_ceil(2);
+            }
         }
         group = hsize;
         idx = if upper { idx - hsize } else { idx };
@@ -169,58 +194,62 @@ fn c_share_after_unwind(tr: &Trace) -> (usize, usize) {
 /// A `(rows, cols, ks)` sub-volume of the iteration space.
 type SubVolume = (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>);
 
-/// Predicate deciding whether a sub-volume's BFS leaf working set fits `S`.
-type FitsFn<'a> =
-    &'a dyn Fn(&std::ops::Range<usize>, &std::ops::Range<usize>, &std::ops::Range<usize>, usize) -> bool;
+/// Hard ceiling on sequential DFS levels: beyond 24 something is wrong.
+const MAX_DFS_DEPTH: usize = 24;
+
+/// The maximum over ranks of the BFS-leaf working set (`|A| + |B| + |C|`
+/// words) for the recursion over a sub-volume among `p` ranks. Because
+/// split decisions are canonical ([`trace_on`]) and halving puts the
+/// ceiling in the lower half, rank 0 — which takes the lower half at every
+/// level — holds the coordinate-wise largest leaf, and the footprint is
+/// monotone in each dimension, so its leaf is the maximum.
+fn max_leaf_footprint(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+    ks: std::ops::Range<usize>,
+    p: usize,
+) -> usize {
+    let b = trace_on(rows, cols, ks, p, 0).brick;
+    let (lm, ln, lk) = (b.rows.len(), b.cols.len(), b.ks.len());
+    lm * lk + lk * ln + lm * ln
+}
 
 /// The sub-volumes the DFS prefix produces: real (memory-aware) CARMA takes
 /// sequential steps — the whole machine processes one half after the other —
-/// until a pure-BFS recursion's leaf working set fits in `S`. Each DFS leaf
-/// then pays the full BFS communication, which is how CARMA's limited-memory
-/// re-fetching cost (the `√3` factor of §6.2) arises.
+/// until every pure-BFS recursion's leaf working set fits in `S`. Each DFS
+/// leaf then pays the full BFS communication, which is how CARMA's
+/// limited-memory re-fetching cost (the `√3` factor of §6.2) arises.
+///
+/// The descent is *level-synchronous*: at each sequential level every
+/// current sub-volume splits its own largest dimension, mirroring the
+/// machine-wide lockstep of the sequential schedule. Two invariants follow
+/// (pinned by the property suite): the leaf count is always a power of two,
+/// and it is monotone non-increasing in `S`. Fitting is judged by
+/// [`max_leaf_footprint`], i.e. against the *worst* rank, so a plan whose
+/// leaves fit keeps every rank within `S`.
 fn dfs_leaves(prob: &MmmProblem) -> Vec<SubVolume> {
-    let mut out = Vec::new();
-    let fits = |rows: &std::ops::Range<usize>,
-                cols: &std::ops::Range<usize>,
-                ks: &std::ops::Range<usize>,
-                p: usize| {
-        // Leaf working set of the BFS recursion below: dims shrink by the
-        // BFS halvings; compute the actual rank-0 leaf.
-        let tr = trace_on(rows.clone(), cols.clone(), ks.clone(), p, 0);
-        let (lm, ln, lk) = (tr.brick.rows.len(), tr.brick.cols.len(), tr.brick.ks.len());
-        lm * lk + lk * ln + lm * ln <= prob.mem_words
+    let fits = |(rows, cols, ks): &SubVolume| {
+        max_leaf_footprint(rows.clone(), cols.clone(), ks.clone(), prob.p) <= prob.mem_words
     };
-    // Bounded recursion depth: beyond 24 DFS levels something is wrong.
-    fn rec(
-        rows: std::ops::Range<usize>,
-        cols: std::ops::Range<usize>,
-        ks: std::ops::Range<usize>,
-        p: usize,
-        depth: usize,
-        fits: FitsFn,
-        out: &mut Vec<SubVolume>,
-    ) {
-        if depth >= 24 || (rows.len().max(cols.len()).max(ks.len()) <= 1) || fits(&rows, &cols, &ks, p) {
-            out.push((rows, cols, ks));
-            return;
+    let splittable = |(rows, cols, ks): &SubVolume| rows.len().max(cols.len()).max(ks.len()) > 1;
+    let mut cur: Vec<SubVolume> = vec![(0..prob.m, 0..prob.n, 0..prob.k)];
+    for _ in 0..MAX_DFS_DEPTH {
+        if cur.iter().all(fits) || !cur.iter().all(splittable) {
+            break;
         }
-        match split_dim(rows.len(), cols.len(), ks.len()) {
-            SplitDim::M => {
-                rec(half(&rows, false), cols.clone(), ks.clone(), p, depth + 1, fits, out);
-                rec(half(&rows, true), cols, ks, p, depth + 1, fits, out);
-            }
-            SplitDim::N => {
-                rec(rows.clone(), half(&cols, false), ks.clone(), p, depth + 1, fits, out);
-                rec(rows, half(&cols, true), ks, p, depth + 1, fits, out);
-            }
-            SplitDim::K => {
-                rec(rows.clone(), cols.clone(), half(&ks, false), p, depth + 1, fits, out);
-                rec(rows, cols, half(&ks, true), p, depth + 1, fits, out);
-            }
-        }
+        cur = cur
+            .iter()
+            .flat_map(|(rows, cols, ks)| {
+                let halves = |upper| match split_dim(rows.len(), cols.len(), ks.len()) {
+                    SplitDim::M => (half(rows, upper), cols.clone(), ks.clone()),
+                    SplitDim::N => (rows.clone(), half(cols, upper), ks.clone()),
+                    SplitDim::K => (rows.clone(), cols.clone(), half(ks, upper)),
+                };
+                [halves(false), halves(true)]
+            })
+            .collect();
     }
-    rec(0..prob.m, 0..prob.n, 0..prob.k, prob.p, 0, &fits, &mut out);
-    out
+    cur
 }
 
 /// Number of sequential (DFS) leaves memory-aware CARMA processes.
@@ -232,8 +261,12 @@ pub fn dfs_leaf_count(prob: &MmmProblem) -> usize {
 ///
 /// Fails with [`PlanError::UnsupportedRanks`] unless `p = 2^L`. When the
 /// pure-BFS leaf working set exceeds `S`, the plan prepends sequential DFS
-/// steps (see [`dfs_leaf_count`]); the executable path only supports the
-/// all-BFS case, which every execution test uses.
+/// steps (see [`dfs_leaf_count`]) whose per-leaf re-fetching is priced round
+/// by round; [`execute`] streams exactly that schedule, so memory-starved
+/// plans execute end-to-end like everything else. Each rank's `mem_words`
+/// is its real maximum leaf footprint — within `S` whenever the DFS
+/// terminated by fitting, so the plan passes the full `validate()` memory
+/// check, not just coverage.
 pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
     RankRequirement::PowerOfTwo.check(AlgoId::Carma, prob.p)?;
     let leaves = dfs_leaves(prob);
@@ -298,7 +331,7 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
             coords: [0, 0, 0],
             bricks,
             rounds,
-            mem_words: mem_words.min(prob.mem_words as u64),
+            mem_words,
         });
     }
     Ok(DistPlan {
@@ -324,26 +357,59 @@ pub struct CarmaResult {
     pub data: Vec<f64>,
 }
 
-/// Execute a CARMA plan on the calling rank. A resumable rank body: every
-/// sibling exchange of the BFS descent and the k-split reduce unwinding is
-/// an `await` point.
-pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> CarmaResult {
+/// Execute a CARMA plan on the calling rank — the *streaming* executor. A
+/// resumable rank body: every sibling exchange of the BFS descent and the
+/// k-split reduce unwinding is an `await` point.
+///
+/// The rank iterates the plan's sequential DFS leaves in order, running one
+/// full BFS recursion per leaf: A/B shares are re-fetched from the initial
+/// distribution per leaf (the paper's limited-memory re-fetching cost), and
+/// every buffer is sized to the *leaf* footprint, so the measured
+/// `peak_mem_words` stays within the plan's per-rank memory figure — a run
+/// on a budget-enforcing machine certifies `peak ≤ S`. One [`CarmaResult`]
+/// is returned per leaf; results of k-split leaves cover the same C region
+/// with partial sums, which `assemble_c` accumulates.
+pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Vec<CarmaResult> {
     assert_eq!(plan.problem.p, comm.size(), "plan/world size mismatch");
     let prob = &plan.problem;
-    assert_eq!(
-        plan.ranks[0].bricks.len(),
-        1,
-        "executable CARMA supports the all-BFS case only (give ranks enough memory)"
+    let leaves = dfs_leaves(prob);
+    debug_assert_eq!(
+        plan.ranks[comm.rank()].bricks.len(),
+        leaves.len(),
+        "plan and problem disagree on the DFS schedule"
     );
+    let mut results = Vec::with_capacity(leaves.len());
+    for (leaf, (rows0, cols0, ks0)) in leaves.into_iter().enumerate() {
+        results.push(execute_leaf(comm, prob, leaf, rows0, cols0, ks0, a, b).await);
+    }
+    results
+}
+
+/// One DFS leaf of [`execute`]: the full BFS recursion over the leaf
+/// sub-volume, with working memory tracked at leaf granularity (buffers are
+/// allocated per leaf and released when its reduced share streams back to
+/// the output distribution).
+#[allow(clippy::too_many_arguments)]
+async fn execute_leaf(
+    comm: &mut RankComm,
+    prob: &MmmProblem,
+    leaf: usize,
+    rows0: std::ops::Range<usize>,
+    cols0: std::ops::Range<usize>,
+    ks0: std::ops::Range<usize>,
+    a: &Matrix,
+    b: &Matrix,
+) -> CarmaResult {
     let rank = comm.rank();
-    let tr = trace(prob, rank);
+    let tr = trace_on(rows0.clone(), cols0.clone(), ks0.clone(), prob.p, rank);
 
     // Downward: exchange replicated-matrix shares with the partner across
     // the sibling half. Payload contents are the partner's actual share of
-    // the replicated matrix (read from the initial distribution).
-    let mut rows = 0..prob.m;
-    let mut cols = 0..prob.n;
-    let mut ks = 0..prob.k;
+    // the replicated matrix (read from the initial distribution); only the
+    // share itself is ever buffered, never the full replicated sub-matrix.
+    let mut rows = rows0;
+    let mut cols = cols0;
+    let mut ks = ks0;
     let mut group = prob.p;
     let mut group_lo = 0usize;
     let mut idx = rank - group_lo;
@@ -358,22 +424,36 @@ pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matri
         match level.dim {
             SplitDim::M | SplitDim::N => {
                 // My share of the replicated matrix, flattened row-major.
-                let (flat, phase) = match level.dim {
-                    SplitDim::M => (b.block(ks.clone(), cols.clone()).into_vec(), Phase::InputB),
-                    _ => (a.block(rows.clone(), ks.clone()).into_vec(), Phase::InputA),
+                let (flat_len, payload, phase) = match level.dim {
+                    SplitDim::M => {
+                        let flat_len = ks.len() * cols.len();
+                        let my_off = share_offset(flat_len, group, idx);
+                        let my_len = piece_len(flat_len, group, idx);
+                        (flat_len, flat_block_slice(b, &ks, &cols, my_off, my_len), Phase::InputB)
+                    }
+                    _ => {
+                        let flat_len = rows.len() * ks.len();
+                        let my_off = share_offset(flat_len, group, idx);
+                        let my_len = piece_len(flat_len, group, idx);
+                        (flat_len, flat_block_slice(a, &rows, &ks, my_off, my_len), Phase::InputA)
+                    }
                 };
-                let my_off = share_offset(flat.len(), group, idx);
-                let my_len = piece_len(flat.len(), group, idx);
-                let payload = flat[my_off..my_off + my_len].to_vec();
-                let got = comm.sendrecv(partner, partner, tag(li), payload, phase).await;
+                // Send buffer + received share are both resident at the
+                // rendezvous; together they are the post-exchange holding of
+                // this matrix (my share + partner share), within the leaf
+                // footprint the holdings grow into.
+                let sent_len = payload.len() as u64;
+                comm.track_alloc(sent_len);
+                let got = comm.sendrecv(partner, partner, tag(leaf, li), payload, phase).await;
+                comm.track_alloc(got.len() as u64);
                 // The received share merges into this rank's holdings; leaf
                 // operands are re-materialized below, so contents are only
-                // checked for size here.
+                // checked for size here before the buffers are retired.
                 debug_assert_eq!(
                     got.len(),
-                    piece_len(flat.len(), group, if upper { idx - hsize } else { idx + hsize })
+                    piece_len(flat_len, group, if upper { idx - hsize } else { idx + hsize })
                 );
-                let _ = got;
+                comm.track_free(sent_len + got.len() as u64);
             }
             SplitDim::K => {}
         }
@@ -389,20 +469,23 @@ pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matri
         group = hsize;
     }
 
-    // Leaf multiply.
+    // Leaf multiply: the leaf footprint |A| + |B| + |C| is the working set.
     let brick = &tr.brick;
-    let (lm, ln) = (brick.rows.len(), brick.cols.len());
+    let (lm, ln, lk) = (brick.rows.len(), brick.cols.len(), brick.ks.len());
+    comm.track_alloc((lm * lk + lk * ln + lm * ln) as u64);
     let leaf_a = a.block(brick.rows.clone(), brick.ks.clone());
     let leaf_b = b.block(brick.ks.clone(), brick.cols.clone());
     let mut c_leaf = Matrix::zeros(lm, ln);
-    comm.track_alloc((lm * ln) as u64);
     gemm_tiled(&leaf_a, &leaf_b, &mut c_leaf);
-    comm.record_flops(2 * (lm * ln * brick.ks.len()) as u64);
+    comm.record_flops(2 * (lm * ln * lk) as u64);
+    drop((leaf_a, leaf_b));
+    comm.track_free((lm * lk + lk * ln) as u64);
 
     // Upward: recursive-halving reduce-scatter over the k-splits. Partners
     // across a k-split have the same (rows, cols) leaf and the same nested
     // share structure, so exchanging opposite halves and adding yields the
-    // summed share.
+    // summed share. The received half is the only transient buffer; the
+    // sent half is shed from the working set as the share halves.
     let mut data = c_leaf.into_vec();
     let mut off = 0usize;
     // Reconstruct group extents bottom-up: replay the path to know each
@@ -434,19 +517,27 @@ pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matri
             g_lo + ix + hsize
         };
         let lower_len = data.len().div_ceil(2);
-        let (keep_rng, send_rng) = if level.upper {
-            (lower_len..data.len(), 0..lower_len)
+        // Split the share in place — no copies: the sent half leaves the
+        // working set with the message, the kept half stays, and the
+        // received half is the only transient buffer.
+        let (payload, mut kept) = if level.upper {
+            let upper_half = data.split_off(lower_len);
+            (data, upper_half)
         } else {
-            (0..lower_len, lower_len..data.len())
+            let upper_half = data.split_off(lower_len);
+            (upper_half, data)
         };
-        let payload = data[send_rng].to_vec();
-        let got = comm.sendrecv(partner, partner, tag(li) + 1, payload, Phase::OutputC).await;
-        assert_eq!(got.len(), keep_rng.len(), "k-split reduce share mismatch");
-        let mut kept: Vec<f64> = data[keep_rng.clone()].to_vec();
+        comm.track_free(payload.len() as u64);
+        let got = comm
+            .sendrecv(partner, partner, tag(leaf, li) + 1, payload, Phase::OutputC)
+            .await;
+        comm.track_alloc(got.len() as u64);
+        assert_eq!(got.len(), kept.len(), "k-split reduce share mismatch");
         for (d, s) in kept.iter_mut().zip(&got) {
             *d += *s;
         }
         comm.record_flops(kept.len() as u64);
+        comm.track_free(got.len() as u64);
         if level.upper {
             off += lower_len;
         }
@@ -454,6 +545,9 @@ pub async fn execute(comm: &mut RankComm, plan: &DistPlan, a: &Matrix, b: &Matri
     }
     let (expect_off, expect_len) = c_share_after_unwind(&tr);
     debug_assert_eq!((off, data.len()), (expect_off, expect_len));
+    // The fully reduced share streams back to the output distribution, so
+    // its words leave the working set before the next leaf begins.
+    comm.track_free(data.len() as u64);
     CarmaResult {
         rows: brick.rows.clone(),
         cols: brick.cols.clone(),
@@ -469,15 +563,36 @@ fn share_offset(len: usize, parts: usize, idx: usize) -> usize {
     idx * base + idx.min(extra)
 }
 
-fn tag(level: usize) -> u64 {
-    1000 + 10 * level as u64
+/// The `[off, off + len)` words of the row-major flattening of
+/// `mat[rows, cols]`, materialized without building the whole block — the
+/// descent exchanges buffer only the share being sent, which is what keeps
+/// the streaming executor's working set at the leaf footprint.
+fn flat_block_slice(
+    mat: &Matrix,
+    rows: &std::ops::Range<usize>,
+    cols: &std::ops::Range<usize>,
+    off: usize,
+    len: usize,
+) -> Vec<f64> {
+    let w = cols.len();
+    (off..off + len)
+        .map(|f| mat.get(rows.start + f / w, cols.start + f % w))
+        .collect()
+}
+
+/// Tags: disjoint per `(leaf, level)` pair; `+ 1` marks the upward k-split
+/// reduce exchange of the same level.
+fn tag(leaf: usize, level: usize) -> u64 {
+    1_000 + leaf as u64 * 1_000 + 2 * level as u64
 }
 
 /// CARMA as an [`MmmAlgorithm`]: requires `p = 2^L`.
 ///
-/// The executable path supports the all-BFS case (leaf working sets within
-/// `S`); memory-starved plans gain sequential DFS steps and are analysed at
-/// plan level only, like the paper's CARMA comparison.
+/// Both memory regimes execute end-to-end: ample-memory problems run the
+/// pure-BFS recursion (one leaf, one `CPart`), memory-starved problems
+/// stream their sequential DFS leaves with leaf-sized buffers (one `CPart`
+/// per leaf), keeping the measured working set within the plan's per-rank
+/// memory figure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CarmaAlgorithm;
 
@@ -504,15 +619,18 @@ impl MmmAlgorithm for CarmaAlgorithm {
         plan: &'a DistPlan,
         a: &'a Matrix,
         b: &'a Matrix,
-    ) -> RankFuture<'a, Option<CPart>> {
+    ) -> RankFuture<'a, Vec<CPart>> {
         Box::pin(async move {
-            let res = execute(comm, plan, a, b).await;
-            Some(CPart {
-                rows: res.rows,
-                cols: res.cols,
-                offset: res.offset,
-                data: res.data,
-            })
+            execute(comm, plan, a, b)
+                .await
+                .into_iter()
+                .map(|res| CPart {
+                    rows: res.rows,
+                    cols: res.cols,
+                    offset: res.offset,
+                    data: res.data,
+                })
+                .collect()
         })
     }
 }
@@ -520,6 +638,7 @@ impl MmmAlgorithm for CarmaAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cosma::algorithm::assemble_c;
     use densemat::gemm::matmul;
     use mpsim::exec::run_spmd;
     use mpsim::machine::MachineSpec;
@@ -534,16 +653,19 @@ mod tests {
         let spec = MachineSpec::piz_daint_with_memory(p, s);
         let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
         let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
-        // Reassemble C from the scattered shares.
-        let mut c = Matrix::zeros(m, n);
-        for res in &out.results {
-            let flat_cols = res.cols.len();
-            for (w, &v) in res.data.iter().enumerate() {
-                let flat = res.offset + w;
-                let (li, lj) = (flat / flat_cols, flat % flat_cols);
-                c.set(res.rows.start + li, res.cols.start + lj, v);
-            }
-        }
+        // Reassemble C through the production assembly path, which
+        // accumulates: k-split DFS leaves contribute partial sums of the
+        // same region.
+        let c = assemble_c(
+            out.results.into_iter().flatten().map(|res| CPart {
+                rows: res.rows,
+                cols: res.cols,
+                offset: res.offset,
+                data: res.data,
+            }),
+            m,
+            n,
+        );
         assert!(
             want.approx_eq(&c, 1e-9),
             "{m}x{n}x{k} p={p}: wrong product, max diff {}",
@@ -551,6 +673,12 @@ mod tests {
         );
         for (r, st) in out.stats.iter().enumerate() {
             assert_eq!(st.total_recv(), dplan.ranks[r].comm_words(), "rank {r} traffic");
+            assert!(
+                st.peak_mem_words <= dplan.ranks[r].mem_words.max(1),
+                "rank {r} peaked at {} words, plan allows {}",
+                st.peak_mem_words,
+                dplan.ranks[r].mem_words
+            );
         }
         dplan
     }
@@ -585,6 +713,44 @@ mod tests {
     #[test]
     fn carma_single_rank() {
         check_carma(8, 9, 10, 1, 1 << 12);
+    }
+
+    #[test]
+    fn carma_streams_dfs_leaves_under_tight_memory() {
+        // 64^3 over 8 ranks: the pure-BFS leaf footprint is 3·32^2 = 3072
+        // words, so S = 1024 forces a sequential DFS prefix — and the
+        // streaming executor must still produce the exact product, the
+        // plan's exact traffic, and a peak within the plan's memory figure.
+        let prob = MmmProblem::new(64, 64, 64, 8, 1 << 10);
+        assert!(dfs_leaf_count(&prob) > 1, "problem must be memory-starved");
+        let dplan = check_carma(64, 64, 64, 8, 1 << 10);
+        // The plan is memory-honest: every rank within S, so the *full*
+        // validation (not just coverage) passes.
+        dplan.validate().expect("streaming CARMA plan respects S");
+        for rp in &dplan.ranks {
+            assert_eq!(rp.bricks.len(), dfs_leaf_count(&prob));
+        }
+    }
+
+    #[test]
+    fn carma_streams_sequential_k_leaves() {
+        // k >> m, n with tight memory: the DFS prefix splits k, so one rank
+        // contributes partial sums of the same C region across leaves and
+        // the accumulating reassembly is what makes the product right.
+        let prob = MmmProblem::new(8, 8, 512, 4, 600);
+        assert!(dfs_leaf_count(&prob) > 1);
+        check_carma(8, 8, 512, 4, 600);
+    }
+
+    #[test]
+    fn leaf_count_is_a_power_of_two_and_monotone_in_s() {
+        for s_shift in 8..16 {
+            let prob = MmmProblem::new(96, 80, 112, 8, 1 << s_shift);
+            let leaves = dfs_leaf_count(&prob);
+            assert!(leaves.is_power_of_two(), "S=2^{s_shift}: {leaves} leaves");
+            let roomier = MmmProblem::new(96, 80, 112, 8, 1 << (s_shift + 1));
+            assert!(dfs_leaf_count(&roomier) <= leaves, "more memory must not add DFS steps");
+        }
     }
 
     #[test]

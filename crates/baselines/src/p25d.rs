@@ -349,15 +349,18 @@ impl MmmAlgorithm for P25dAlgorithm {
         plan: &'a DistPlan,
         a: &'a Matrix,
         b: &'a Matrix,
-    ) -> RankFuture<'a, Option<CPart>> {
+    ) -> RankFuture<'a, Vec<CPart>> {
         Box::pin(async move {
-            let (rows, cols, c) = execute(comm, plan, a, b).await?;
-            Some(CPart {
-                rows,
-                cols,
-                offset: 0,
-                data: c.into_vec(),
-            })
+            match execute(comm, plan, a, b).await {
+                Some((rows, cols, c)) => vec![CPart {
+                    rows,
+                    cols,
+                    offset: 0,
+                    data: c.into_vec(),
+                }],
+                // Idle ranks and non-root replica layers hold no output.
+                None => Vec::new(),
+            }
         })
     }
 }

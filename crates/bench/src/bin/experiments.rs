@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Ids: `fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 table3 table4 exec exec-xl`. Each experiment prints its
-//! table(s) and writes CSVs to `results/`. See `EXPERIMENTS.md` for the
+//! fig13 fig14 table3 table4 exec exec-xl mem-sweep`. Each experiment prints
+//! its table(s) and writes CSVs to `results/`. See `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 //!
 //! Additional maintenance commands (not part of `all`):
@@ -467,6 +467,8 @@ fn table4() {
 // ---------------------------------------------------------------------------
 
 fn executed_table() -> Table {
+    // The memory columns sit at the end so the bench-smoke baseline parser's
+    // fixed column indices (scenario..measured MB) stay stable.
     Table::new(&[
         "shape",
         "cores",
@@ -476,6 +478,8 @@ fn executed_table() -> Table {
         "measured MB",
         "exact",
         "wall s",
+        "peak words",
+        "within S",
     ])
 }
 
@@ -490,6 +494,8 @@ fn push_executed_rows(t: &mut Table, name: &str, p: usize, rows: &[runner::Execu
             fmt(row.measured_mb, 2),
             if row.exact { "yes" } else { "NO" }.into(),
             fmt(row.wall_s, 2),
+            row.peak_mem_words.to_string(),
+            if row.within_mem { "yes" } else { "NO" }.into(),
         ]);
     }
 }
@@ -547,11 +553,63 @@ fn exec_xl() {
 }
 
 // ---------------------------------------------------------------------------
+// mem-sweep: CARMA traffic vs per-rank memory S (the limited-memory regime)
+// ---------------------------------------------------------------------------
+
+fn mem_sweep() {
+    println!("== mem-sweep: executed CARMA under a shrinking memory budget S ==\n");
+    println!(
+        "(fixed 128^3 problem at p = 64; every run enforces S as a hard per-rank \
+         budget — the DFS prefix re-fetches inputs per sequential leaf, so \
+         traffic rises as S falls while the measured peak stays within S)\n"
+    );
+    let m = model();
+    let p = 64;
+    let carma = runner::registry().by_id(AlgoId::Carma).expect("registry has CARMA");
+    let mut t = Table::new(&[
+        "S words",
+        "dfs leaves",
+        "planned MB",
+        "measured MB",
+        "exact",
+        "peak words",
+        "within S",
+    ]);
+    for &s in &scenarios::mem_sweep_budgets() {
+        let prob = scenarios::mem_starved_problem(p, s);
+        let leaves = baselines::carma::dfs_leaf_count(&prob);
+        let rows =
+            runner::execute_budgeted_with(std::slice::from_ref(&carma), &prob, &m, ExecBackend::Threaded);
+        let row = rows
+            .iter()
+            .find(|r| r.algo == AlgoId::Carma)
+            .unwrap_or_else(|| panic!("CARMA must execute budgeted at S = {s}"));
+        t.row(vec![
+            s.to_string(),
+            leaves.to_string(),
+            fmt(row.planned_mb, 2),
+            fmt(row.measured_mb, 2),
+            if row.exact { "yes" } else { "NO" }.into(),
+            row.peak_mem_words.to_string(),
+            if row.within_mem { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.print();
+    t.write_csv("mem-sweep").expect("write csv");
+    println!(
+        "\nexpectation (paper §6.2): halving S past the pure-BFS leaf footprint \
+         doubles the DFS leaf count and raises traffic toward the sqrt(3) \
+         re-fetching factor, with peak <= S on every row.\n"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // bench-smoke: the CI perf-regression gate
 // ---------------------------------------------------------------------------
 
 /// The gate's scenario subset: small enough for every CI run, wide enough to
-/// cover all three executors and both a threaded and a large world.
+/// cover all three executors, both a threaded and a large world, and one
+/// memory-starved world run under an enforced budget.
 fn smoke_rows() -> Vec<(String, usize, runner::ExecutedRow)> {
     let m = model();
     let mut out = Vec::new();
@@ -567,6 +625,13 @@ fn smoke_rows() -> Vec<(String, usize, runner::ExecutedRow)> {
         for row in runner::execute_all(&prob, &m, backend) {
             out.push((name.to_string(), p, row));
         }
+    }
+    // The memory-starved conformance case: S enforced as a hard budget, so
+    // only memory-honest plans run (DFS-streaming CARMA) and a budget
+    // regression fails the gate before it ever reaches the baseline diff.
+    let tight = scenarios::mem_starved_problem(64, 1 << 10);
+    for row in runner::execute_budgeted(&tight, &m, ExecBackend::Threaded) {
+        out.push(("square-tight".to_string(), 64, row));
     }
     out
 }
@@ -599,8 +664,16 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
             f,
             "  {{\"scenario\": \"{name}\", \"cores\": {p}, \"backend\": \"{}\", \
              \"algorithm\": \"{}\", \"planned_mb\": {:.6}, \"measured_mb\": {:.6}, \
-             \"exact\": {}, \"wall_s\": {:.3}}}{comma}",
-            row.backend, row.algo, row.planned_mb, row.measured_mb, row.exact, row.wall_s
+             \"exact\": {}, \"wall_s\": {:.3}, \"peak_mem_words\": {}, \
+             \"within_mem\": {}}}{comma}",
+            row.backend,
+            row.algo,
+            row.planned_mb,
+            row.measured_mb,
+            row.exact,
+            row.wall_s,
+            row.peak_mem_words,
+            row.within_mem
         )
         .unwrap();
     }
@@ -645,7 +718,8 @@ fn bench_smoke() {
     println!("\nwrote {}", json.display());
     let mut failures: Vec<String> = Vec::new();
     // Gate 1: planned-vs-measured divergence is always a failure (`exact`
-    // compares the underlying word counts rank by rank).
+    // compares the underlying word counts rank by rank), and so is a rank
+    // peaking past the problem's per-rank memory S.
     for (name, p, row) in &rows {
         if !row.exact {
             failures.push(format!(
@@ -653,6 +727,13 @@ fn bench_smoke() {
                 smoke_key(name, *p, row),
                 fmt(row.measured_mb, 4),
                 fmt(row.planned_mb, 4)
+            ));
+        }
+        if !row.within_mem {
+            failures.push(format!(
+                "{}: peak working set {} words exceeds the per-rank memory S",
+                smoke_key(name, *p, row),
+                row.peak_mem_words
             ));
         }
     }
@@ -781,6 +862,7 @@ fn run(id: &str) {
         "table4" => table4(),
         "exec" => exec_experiment(),
         "exec-xl" => exec_xl(),
+        "mem-sweep" => mem_sweep(),
         "bench-smoke" => bench_smoke(),
         "bench-smoke-baseline" => bench_smoke_baseline(),
         other => {
@@ -795,14 +877,31 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments <id>...  (ids: fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 \
-             fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl | all | bench-smoke | \
-             bench-smoke-baseline | exec-rss <sharded|event>)"
+             fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl mem-sweep | all | \
+             bench-smoke | bench-smoke-baseline | exec-rss <sharded|event>)"
         );
         std::process::exit(2);
     }
     let all_ids = [
-        "fig3", "fig5", "table3", "exec", "exec-xl", "fig6", "fig7", "fig7m", "fig7f", "fig12", "table4",
-        "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig1",
+        "fig3",
+        "fig5",
+        "table3",
+        "exec",
+        "exec-xl",
+        "mem-sweep",
+        "fig6",
+        "fig7",
+        "fig7m",
+        "fig7f",
+        "fig12",
+        "table4",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig13",
+        "fig14",
+        "fig1",
     ];
     let mut it = args.iter();
     while let Some(arg) = it.next() {

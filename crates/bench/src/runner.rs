@@ -158,6 +158,11 @@ pub struct ExecutedRow {
     pub exact: bool,
     /// Host wall-clock seconds of the executed run.
     pub wall_s: f64,
+    /// Maximum measured per-rank peak working set, in words.
+    pub peak_mem_words: u64,
+    /// Whether every rank's measured peak stayed within the problem's
+    /// per-rank memory `S` — the paper's limited-memory contract.
+    pub within_mem: bool,
 }
 
 /// Execute every registry algorithm on `prob` with real data under
@@ -182,15 +187,56 @@ pub fn execute_with(
     model: &CostModel,
     backend: ExecBackend,
 ) -> Vec<ExecutedRow> {
+    execute_rows(algos, prob, model, backend, false)
+}
+
+/// [`execute_with`] on a machine that *enforces* the problem's `S` as a
+/// hard per-rank budget ([`MachineSpec::with_mem_budget`]): only algorithms
+/// whose plan passes the full memory validation run, and a run in which any
+/// rank's measured peak exceeded `S` (checked on the counters once the
+/// world finishes) turns the executor's typed `MemBudgetExceeded` into a
+/// panic (executed rows exist to certify the plans). This is the paper's
+/// limited-memory regime taken literally — the row set for memory-starved
+/// problems, where DFS-streaming CARMA is typically the only entrant.
+pub fn execute_budgeted(prob: &MmmProblem, model: &CostModel, backend: ExecBackend) -> Vec<ExecutedRow> {
+    execute_rows(registry().all(), prob, model, backend, true)
+}
+
+/// [`execute_budgeted`] over an explicit algorithm set — e.g. CARMA alone
+/// for the `mem-sweep` budget curve, where executing the other entrants at
+/// every budget would multiply the wall-time without adding data points.
+pub fn execute_budgeted_with(
+    algos: &[Arc<dyn MmmAlgorithm>],
+    prob: &MmmProblem,
+    model: &CostModel,
+    backend: ExecBackend,
+) -> Vec<ExecutedRow> {
+    execute_rows(algos, prob, model, backend, true)
+}
+
+fn execute_rows(
+    algos: &[Arc<dyn MmmAlgorithm>],
+    prob: &MmmProblem,
+    model: &CostModel,
+    backend: ExecBackend,
+    enforce_mem: bool,
+) -> Vec<ExecutedRow> {
     let a = Matrix::deterministic(prob.m, prob.k, 61);
     let b = Matrix::deterministic(prob.k, prob.n, 62);
     let want = matmul(&a, &b);
-    let spec = MachineSpec::new(prob.p, prob.mem_words, *model);
+    let mut spec = MachineSpec::new(prob.p, prob.mem_words, *model);
+    if enforce_mem {
+        spec = spec.enforcing_memory();
+    }
     algos
         .iter()
         .filter_map(|algo| {
             algo.supports(prob).ok()?;
             let plan = algo.plan(prob, model).ok()?;
+            if enforce_mem {
+                // A budgeted run only admits memory-honest plans.
+                plan.validate().ok()?;
+            }
             let start = Instant::now();
             let report = execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b)
                 .unwrap_or_else(|e| panic!("{} on p={}: {e}", algo.id(), prob.p));
@@ -207,6 +253,7 @@ pub fn execute_with(
                 .iter()
                 .enumerate()
                 .all(|(r, st)| st.total_recv() == plan.ranks[r].comm_words());
+            let peak_mem_words = aggregate::max_peak_mem(&report.stats);
             Some(ExecutedRow {
                 algo: algo.id(),
                 p: prob.p,
@@ -215,6 +262,8 @@ pub fn execute_with(
                 measured_mb: words_to_mb(aggregate::total_volume(&report.stats) as f64),
                 exact,
                 wall_s,
+                peak_mem_words,
+                within_mem: peak_mem_words <= prob.mem_words as u64,
             })
         })
         .collect()
@@ -306,6 +355,28 @@ mod tests {
                 assert!(r.exact, "{backend}: {} measured traffic deviates from plan", r.algo);
                 assert!((r.planned_mb - r.measured_mb).abs() < 1e-12, "{backend}: {}", r.algo);
             }
+        }
+    }
+
+    #[test]
+    fn budgeted_rows_stay_within_s_on_a_memory_starved_problem() {
+        // S below the pure-BFS CARMA leaf footprint: the budgeted runner
+        // enforces S as a hard limit, and DFS-streaming CARMA completes
+        // within it with plan-exact traffic.
+        let prob = MmmProblem::new(64, 64, 64, 8, 1 << 10);
+        assert!(baselines::carma::dfs_leaf_count(&prob) > 1);
+        let rows = execute_budgeted(&prob, &model(), ExecBackend::Threaded);
+        let carma = rows.iter().find(|r| r.algo == AlgoId::Carma).expect("CARMA runs budgeted");
+        assert!(carma.exact, "budgeted CARMA traffic deviates from plan");
+        assert!(carma.within_mem && carma.peak_mem_words <= 1 << 10, "{carma:?}");
+    }
+
+    #[test]
+    fn executed_rows_report_peak_memory() {
+        let prob = MmmProblem::new(48, 48, 48, 16, 1 << 14);
+        for row in execute_all(&prob, &model(), ExecBackend::Threaded) {
+            assert!(row.peak_mem_words > 0, "{}: no memory tracked", row.algo);
+            assert!(row.within_mem, "{}: exceeded ample S", row.algo);
         }
     }
 

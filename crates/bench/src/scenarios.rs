@@ -269,6 +269,22 @@ pub fn exec_xl_problem(p: usize) -> MmmProblem {
     MmmProblem::new(256, 256, 256, p, 1 << 12)
 }
 
+/// A memory-starved executable instance: the square shape with a per-rank
+/// `S` small enough that pure-BFS CARMA's leaf working set no longer fits,
+/// forcing the sequential DFS prefix. Used by the `mem-sweep` experiment
+/// and the bench-smoke gate's budget-enforced conformance case.
+pub fn mem_starved_problem(p: usize, mem_words: usize) -> MmmProblem {
+    MmmProblem::new(128, 128, 128, p, mem_words)
+}
+
+/// The per-rank memory sweep of the `mem-sweep` experiment, ample → starved
+/// (words). At p = 64 the pure-BFS leaf footprint of the 128³ instance is
+/// 3072 words, so the lower budgets force 2, 4 and 8 sequential DFS leaves
+/// — the paper's limited-memory regime in executable miniature.
+pub fn mem_sweep_budgets() -> Vec<usize> {
+    vec![1 << 14, 1 << 12, 3072, 2048, 1280, 1 << 10]
+}
+
 /// The core counts of the performance figures (Figures 8–11), including
 /// non-powers-of-two to expose decomposition instability.
 pub fn perf_core_counts() -> Vec<usize> {
@@ -357,6 +373,26 @@ mod tests {
                 assert!(prob.fits_collective_memory(), "{shape:?} at p={p}");
             }
         }
+    }
+
+    #[test]
+    fn mem_sweep_spans_both_regimes() {
+        let budgets = scenarios_sorted();
+        let leaf_counts: Vec<usize> = budgets
+            .iter()
+            .map(|&s| baselines::carma::dfs_leaf_count(&mem_starved_problem(64, s)))
+            .collect();
+        // Ample budgets stay pure-BFS; the starved end forces DFS leaves.
+        assert_eq!(leaf_counts[0], 1, "largest budget must be ample");
+        assert!(*leaf_counts.last().unwrap() > 1, "smallest budget must starve");
+        // Monotone: shrinking S never removes DFS steps.
+        assert!(leaf_counts.windows(2).all(|w| w[0] <= w[1]), "{leaf_counts:?}");
+    }
+
+    fn scenarios_sorted() -> Vec<usize> {
+        let mut budgets = mem_sweep_budgets();
+        budgets.sort_unstable_by(|a, b| b.cmp(a));
+        budgets
     }
 
     #[test]

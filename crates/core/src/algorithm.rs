@@ -175,13 +175,20 @@ pub struct CPart {
 }
 
 /// Assemble a full `m × n` C matrix from the ranks' [`CPart`] shares.
+///
+/// Shares *accumulate*: parts covering the same C words add up. Fully
+/// reduced algorithms return disjoint parts (adding into zeros is exact
+/// assignment); memory-budgeted CARMA returns one part per sequential DFS
+/// leaf, and the k-split leaves of one rank carry partial sums of the same
+/// C region that only become the product once summed here.
 pub fn assemble_c(parts: impl IntoIterator<Item = CPart>, m: usize, n: usize) -> Matrix {
     let mut c = Matrix::zeros(m, n);
     for part in parts {
         let width = part.cols.len();
         for (w, &v) in part.data.iter().enumerate() {
             let flat = part.offset + w;
-            c.set(part.rows.start + flat / width, part.cols.start + flat % width, v);
+            let (i, j) = (part.rows.start + flat / width, part.cols.start + flat % width);
+            c.set(i, j, c.get(i, j) + v);
         }
     }
     c

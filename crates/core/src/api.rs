@@ -387,8 +387,11 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
     fn plan(&self, prob: &MmmProblem, machine: &CostModel) -> Result<DistPlan, PlanError>;
 
     /// Execute the plan on the calling rank with real messages, returning
-    /// this rank's share of the distributed output (`None` for ranks that
+    /// this rank's shares of the distributed output (empty for ranks that
     /// hold no output — idle ranks, or non-root layers of a reduction).
+    /// Most algorithms return one [`CPart`]; memory-budgeted CARMA returns
+    /// one per sequential DFS leaf, and parts covering the same C region
+    /// carry partial sums that [`assemble_c`] accumulates.
     ///
     /// The body is *resumable*: it returns a [`RankFuture`] whose awaits on
     /// the communicator's wait-states let the event-driven executor park
@@ -401,7 +404,7 @@ pub trait MmmAlgorithm: Send + Sync + std::any::Any {
         plan: &'a DistPlan,
         a: &'a Matrix,
         b: &'a Matrix,
-    ) -> RankFuture<'a, Option<CPart>>;
+    ) -> RankFuture<'a, Vec<CPart>>;
 
     /// Execute the plan on a simulated `machine`, assemble the distributed
     /// output and return it with the measured per-rank counters. The
@@ -506,8 +509,8 @@ impl MmmAlgorithm for CosmaAlgorithm {
         plan: &'a DistPlan,
         a: &'a Matrix,
         b: &'a Matrix,
-    ) -> RankFuture<'a, Option<CPart>> {
-        Box::pin(algorithm::execute(comm, plan, &self.cfg, a, b))
+    ) -> RankFuture<'a, Vec<CPart>> {
+        Box::pin(async move { algorithm::execute(comm, plan, &self.cfg, a, b).await.into_iter().collect() })
     }
 }
 
@@ -614,6 +617,7 @@ pub struct RunSession {
     delta: Option<f64>,
     overlap: bool,
     exec: Option<ExecBackend>,
+    mem_budget: Option<u64>,
 }
 
 impl RunSession {
@@ -629,7 +633,25 @@ impl RunSession {
             delta: None,
             overlap: true,
             exec: None,
+            mem_budget: None,
         }
+    }
+
+    /// Enforce `words` as a hard per-rank memory budget during
+    /// [`execute`](Self::execute)/[`execute_verified`](Self::execute_verified):
+    /// a rank whose measured working set peaks above it turns the run into
+    /// [`PlanError::Execution`] with
+    /// [`ExecError::MemBudgetExceeded`] — on every execution backend.
+    pub fn mem_budget(mut self, words: u64) -> Self {
+        self.mem_budget = Some(words);
+        self
+    }
+
+    /// [`mem_budget`](Self::mem_budget) with the problem's own `S` — the
+    /// paper's limited-memory regime taken literally.
+    pub fn enforce_mem_budget(self) -> Self {
+        let s = self.prob.mem_words as u64;
+        self.mem_budget(s)
     }
 
     /// Set the machine cost model (the machine's rank count and memory come
@@ -692,9 +714,14 @@ impl RunSession {
     }
 
     /// The simulated machine the session executes on: `prob.p` ranks with
-    /// `prob.mem_words` words each under the session's cost model.
+    /// `prob.mem_words` words each under the session's cost model, enforcing
+    /// the session's [`mem_budget`](Self::mem_budget) when one is set.
     pub fn machine_spec(&self) -> MachineSpec {
-        MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model())
+        let spec = MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model());
+        match self.mem_budget {
+            Some(words) => spec.with_mem_budget(words),
+            None => spec,
+        }
     }
 
     /// Resolve the configured algorithm instance.
@@ -912,7 +939,7 @@ mod tests {
                 plan: &'a DistPlan,
                 a: &'a Matrix,
                 b: &'a Matrix,
-            ) -> RankFuture<'a, Option<CPart>> {
+            ) -> RankFuture<'a, Vec<CPart>> {
                 Box::pin(async move { CosmaAlgorithm::default().execute_rank(comm, plan, a, b).await })
             }
         }
@@ -961,6 +988,28 @@ mod tests {
             .execute_verified(&a, &b)
             .unwrap();
         assert_eq!(report.total_recv_words(), plan.total_comm_words());
+    }
+
+    #[test]
+    fn session_mem_budget_surfaces_typed_violations() {
+        // A one-word budget no algorithm can honour: the executor's typed
+        // refusal arrives as PlanError::Execution, on the default backend.
+        let prob = MmmProblem::new(16, 16, 16, 4, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 1);
+        let b = Matrix::deterministic(prob.k, prob.n, 2);
+        let err = RunSession::new(prob).mem_budget(1).execute(&a, &b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::Execution {
+                    source: ExecError::MemBudgetExceeded { budget: 1, .. }
+                }
+            ),
+            "{err}"
+        );
+        // The problem's own S is ample: enforcing it passes.
+        let report = RunSession::new(prob).enforce_mem_budget().execute(&a, &b).unwrap();
+        assert!(report.stats.iter().all(|st| st.peak_mem_words <= prob.mem_words as u64));
     }
 
     #[test]

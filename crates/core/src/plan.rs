@@ -228,9 +228,10 @@ impl DistPlan {
     }
 
     /// Coverage-only validation: tiling and bounds, without the memory
-    /// check. Memory-oblivious baselines (CARMA) can legitimately exceed the
-    /// per-rank budget that COSMA respects; the experiment harness reports
-    /// their footprint separately instead of rejecting the plan.
+    /// check. Memory-oblivious baselines (SUMMA, Cannon, 2.5D) can
+    /// legitimately exceed the per-rank budget that COSMA and DFS-streaming
+    /// CARMA respect; the experiment harness reports their footprint
+    /// separately instead of rejecting the plan.
     pub fn validate_coverage(&self) -> Result<(), PlanError> {
         let prob = &self.problem;
         let mut covered: u64 = 0;

@@ -105,7 +105,8 @@ impl fmt::Display for ExecBackend {
     }
 }
 
-/// Why an executor refused to run a world (before any rank started).
+/// Why an executor refused to run a world (before any rank started), or
+/// rejected a finished one (a rank broke the enforced memory budget).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecError {
     /// The threaded backend's rank cap was exceeded.
@@ -117,6 +118,18 @@ pub enum ExecError {
     },
     /// A sharded pool of zero workers can never step any rank.
     NoWorkers,
+    /// A rank's tracked working set exceeded the machine's enforced per-rank
+    /// memory budget ([`MachineSpec::mem_budget`]). Raised identically by
+    /// all three backends — the budget check runs on the measured
+    /// `peak_mem_words` counters, which the backends share.
+    MemBudgetExceeded {
+        /// First offending rank.
+        rank: usize,
+        /// Its measured peak working set, in words.
+        need: u64,
+        /// The enforced budget `S`, in words.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -129,6 +142,11 @@ impl fmt::Display for ExecError {
                  (ExecBackend::auto escalates by world size)"
             ),
             ExecError::NoWorkers => write!(f, "sharded execution needs at least one worker"),
+            ExecError::MemBudgetExceeded { rank, need, budget } => write!(
+                f,
+                "rank {rank} peaked at {need} words of working memory, exceeding the \
+                 enforced per-rank budget S = {budget} (MachineSpec::with_mem_budget)"
+            ),
         }
     }
 }
@@ -142,6 +160,25 @@ pub struct RunOutput<R> {
     pub results: Vec<R>,
     /// Per-rank measured statistics (the mpiP-equivalent numbers).
     pub stats: Vec<RankStats>,
+}
+
+/// The shared budget gate of all three backends: with an enforcing
+/// [`MachineSpec::mem_budget`], a finished run in which any rank's measured
+/// peak working set exceeds the budget becomes a typed
+/// [`ExecError::MemBudgetExceeded`] instead of an output.
+fn enforce_mem_budget<R>(spec: &MachineSpec, out: RunOutput<R>) -> Result<RunOutput<R>, ExecError> {
+    if let Some(budget) = spec.mem_budget {
+        for (rank, st) in out.stats.iter().enumerate() {
+            if st.peak_mem_words > budget {
+                return Err(ExecError::MemBudgetExceeded {
+                    rank,
+                    need: st.peak_mem_words,
+                    budget,
+                });
+            }
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +277,9 @@ impl WorkerGate {
 /// # Errors
 /// [`ExecError::WorldTooLarge`] when the threaded backend is asked for more
 /// than [`MAX_THREADED_RANKS`] ranks; [`ExecError::NoWorkers`] for an empty
-/// sharded pool.
+/// sharded pool; [`ExecError::MemBudgetExceeded`] when the machine enforces
+/// a per-rank memory budget ([`MachineSpec::mem_budget`]) and a rank's
+/// measured peak working set breaks it — on any backend.
 ///
 /// # Panics
 /// Panics if any rank panics (the panic is propagated).
@@ -254,7 +293,7 @@ where
     F: Fn(RankComm) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
-    match backend {
+    let out = match backend {
         ExecBackend::Threaded => {
             if spec.p > MAX_THREADED_RANKS {
                 return Err(ExecError::WorldTooLarge {
@@ -262,16 +301,17 @@ where
                     max: MAX_THREADED_RANKS,
                 });
             }
-            Ok(run_world(spec, None, f))
+            run_world(spec, None, f)
         }
         ExecBackend::Sharded { workers } => {
             if workers == 0 {
                 return Err(ExecError::NoWorkers);
             }
-            Ok(run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f))
+            run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)
         }
-        ExecBackend::Event => Ok(run_spmd_event(spec, f)),
-    }
+        ExecBackend::Event => run_spmd_event(spec, f),
+    };
+    enforce_mem_budget(spec, out)
 }
 
 /// Run `f` on every rank of `spec` concurrently (threaded backend) and
@@ -555,6 +595,59 @@ mod tests {
         gate.acquire();
         gate.release();
         gate.release();
+    }
+
+    #[test]
+    fn mem_budget_violation_is_typed_on_every_backend() {
+        // Each rank allocates rank+1 words; with a budget of 2, rank 2 is
+        // the first offender — on all three backends identically.
+        let spec = MachineSpec::test_machine(4, 1000).with_mem_budget(2);
+        for backend in [
+            ExecBackend::Threaded,
+            ExecBackend::Sharded { workers: 2 },
+            ExecBackend::Event,
+        ] {
+            let err = run_spmd_with(&spec, backend, |c| async move {
+                c.track_alloc(c.rank() as u64 + 1);
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                ExecError::MemBudgetExceeded {
+                    rank: 2,
+                    need: 3,
+                    budget: 2
+                },
+                "{backend}"
+            );
+            assert!(err.to_string().contains("per-rank budget"));
+        }
+    }
+
+    #[test]
+    fn mem_budget_within_limit_passes_and_freed_memory_does_not_count() {
+        let spec = MachineSpec::test_machine(2, 1000).with_mem_budget(10);
+        let out = run_spmd_with(&spec, ExecBackend::Threaded, |c| async move {
+            // Peak 10, then shrink: stays exactly at the budget.
+            c.track_alloc(10);
+            c.track_free(8);
+            c.track_alloc(2);
+            c.rank()
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![0, 1]);
+        assert!(out.stats.iter().all(|s| s.peak_mem_words == 10));
+    }
+
+    #[test]
+    fn advisory_memory_never_errors() {
+        // Without an enforcing budget, over-allocation is only measured.
+        let spec = MachineSpec::test_machine(2, 10);
+        let out = run_spmd_with(&spec, ExecBackend::Event, |c| async move {
+            c.track_alloc(10_000);
+        })
+        .unwrap();
+        assert_eq!(out.stats[0].peak_mem_words, 10_000);
     }
 
     #[test]

@@ -12,14 +12,40 @@ pub struct MachineSpec {
     pub mem_words: usize,
     /// Cost constants for the time model.
     pub cost: CostModel,
+    /// Enforced per-rank memory budget, in words. `None` (the default)
+    /// makes `S` advisory — executions only *measure* `peak_mem_words`.
+    /// `Some(budget)` makes it a hard limit: a run in which any rank's
+    /// tracked peak exceeds the budget returns
+    /// [`ExecError::MemBudgetExceeded`](crate::exec::ExecError) from every
+    /// execution backend.
+    pub mem_budget: Option<u64>,
 }
 
 impl MachineSpec {
-    /// A machine with explicit parameters.
+    /// A machine with explicit parameters (advisory memory).
     pub fn new(p: usize, mem_words: usize, cost: CostModel) -> Self {
         assert!(p > 0, "machine needs at least one rank");
         assert!(mem_words > 0, "ranks need memory");
-        MachineSpec { p, mem_words, cost }
+        MachineSpec {
+            p,
+            mem_words,
+            cost,
+            mem_budget: None,
+        }
+    }
+
+    /// Enforce `words` as a hard per-rank memory budget (see
+    /// [`MachineSpec::mem_budget`]).
+    pub fn with_mem_budget(mut self, words: u64) -> Self {
+        self.mem_budget = Some(words);
+        self
+    }
+
+    /// Enforce the machine's own `S` as the hard per-rank budget — the
+    /// paper's limited-memory regime taken literally.
+    pub fn enforcing_memory(self) -> Self {
+        let words = self.mem_words as u64;
+        self.with_mem_budget(words)
     }
 
     /// Piz-Daint-like machine: one rank per core, 64 GiB per 36-core node
@@ -92,5 +118,13 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = MachineSpec::test_machine(0, 10);
+    }
+
+    #[test]
+    fn mem_budget_defaults_off_and_enforces_s() {
+        let m = MachineSpec::test_machine(4, 100);
+        assert_eq!(m.mem_budget, None);
+        assert_eq!(m.clone().enforcing_memory().mem_budget, Some(100));
+        assert_eq!(m.with_mem_budget(64).mem_budget, Some(64));
     }
 }

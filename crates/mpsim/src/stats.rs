@@ -206,6 +206,12 @@ pub mod aggregate {
     pub fn total_flops(stats: &[RankStats]) -> u64 {
         stats.iter().map(|s| s.flops).sum()
     }
+
+    /// Maximum per-rank peak working set over ranks, in words — the number
+    /// a memory-budgeted run holds against the paper's `S`.
+    pub fn max_peak_mem(stats: &[RankStats]) -> u64 {
+        stats.iter().map(|s| s.peak_mem_words).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +297,10 @@ mod tests {
         assert_eq!(aggregate::total_flops(&stats), 12);
         assert_eq!(aggregate::max_volume(&[]), 0);
         assert_eq!(aggregate::mean_volume(&[]), 0.0);
+        assert_eq!(aggregate::max_peak_mem(&[]), 0);
+        let mut with_mem = stats;
+        with_mem[0].peak_mem_words = 70;
+        with_mem[1].peak_mem_words = 90;
+        assert_eq!(aggregate::max_peak_mem(&with_mem), 90);
     }
 }

@@ -119,6 +119,47 @@ fn carma_plan_predicts_execution_exactly() {
 }
 
 #[test]
+fn memory_starved_carma_plan_predicts_execution_exactly() {
+    // S below the pure-BFS leaf footprint: the plan gains sequential DFS
+    // steps and the streaming executor must move exactly the re-fetching
+    // words the plan prices, message for message.
+    for &(m, n, k, p, s) in &[
+        (64usize, 64usize, 64usize, 8usize, 1usize << 10),
+        (8, 8, 512, 4, 600),
+        (96, 24, 24, 8, 800),
+        (33, 45, 59, 16, 512),
+    ] {
+        let prob = MmmProblem::new(m, n, k, p, s);
+        assert!(baselines::carma::dfs_leaf_count(&prob) > 1, "{m}x{n}x{k} S={s} must be memory-starved");
+        check(AlgoId::Carma, &prob);
+    }
+}
+
+#[test]
+fn carma_streaming_peak_stays_within_s() {
+    // The acceptance criterion in miniature: a memory-starved problem,
+    // executed with S enforced as a hard budget, measures peak ≤ S on every
+    // rank while the product and traffic stay exact.
+    let prob = MmmProblem::new(64, 64, 64, 8, 1 << 10);
+    let session = RunSession::new(prob)
+        .machine(CostModel::piz_daint_two_sided())
+        .registry(baselines::registry())
+        .algorithm(AlgoId::Carma)
+        .enforce_mem_budget();
+    let (a, b) = inputs(&prob);
+    let (plan, report) = session.execute_verified(&a, &b).expect("streaming CARMA within budget");
+    assert!(plan.ranks.iter().all(|r| r.bricks.len() > 1), "expected DFS leaves");
+    for (r, st) in report.stats.iter().enumerate() {
+        assert!(
+            st.peak_mem_words <= prob.mem_words as u64,
+            "rank {r} peaked at {} words over S = {}",
+            st.peak_mem_words,
+            prob.mem_words
+        );
+    }
+}
+
+#[test]
 fn planned_memory_is_respected_by_execution() {
     // The executor's tracked peak allocation stays within the plan's
     // memory figure plus the input-shard footprint convention.

@@ -108,6 +108,87 @@ fn carma_plans_cover_space() {
     }
 }
 
+/// DFS schedule invariants under random problems: the level-synchronous
+/// sequential descent always yields a power-of-two leaf count, and giving
+/// ranks more memory never adds DFS steps (monotone non-increasing in `S`).
+#[test]
+fn carma_dfs_leaf_count_invariants() {
+    use baselines::carma::dfs_leaf_count;
+    let mut rng = Rng::new(14);
+    for _ in 0..CASES {
+        let m = rng.range(8, 96);
+        let n = rng.range(8, 96);
+        let k = rng.range(8, 96);
+        let p = 1usize << rng.range(0, 6);
+        // Budgets from starved to ample, descending by random factors.
+        let mut budgets: Vec<usize> = (0..4).map(|_| rng.range(64, 4 * m * n)).collect();
+        budgets.sort_unstable_by(|a, b| b.cmp(a));
+        let mut prev_leaves = 0usize;
+        for s in budgets {
+            let leaves = dfs_leaf_count(&MmmProblem::new(m, n, k, p, s));
+            assert!(leaves.is_power_of_two(), "{m}x{n}x{k} p={p} S={s}: {leaves} leaves");
+            assert!(
+                leaves >= prev_leaves,
+                "{m}x{n}x{k} p={p}: shrinking S from removed DFS steps ({prev_leaves} -> {leaves})"
+            );
+            prev_leaves = leaves;
+        }
+    }
+}
+
+/// Memory-starved CARMA on the event backend: for random problems whose
+/// pure-BFS leaf working set exceeds a randomly drawn `S`, the streaming
+/// executor completes under an *enforced* budget with `peak_mem_words ≤ S`,
+/// plan-exact traffic and the right product.
+#[test]
+fn carma_streaming_respects_memory_on_event_backend() {
+    use baselines::carma::dfs_leaf_count;
+    use cosma::api::execute_boxed_with;
+    use densemat::gemm::matmul;
+    let carma = baselines::registry().by_id(AlgoId::Carma).unwrap();
+    let model = CostModel::piz_daint_two_sided();
+    let mut rng = Rng::new(15);
+    let mut starved = 0usize;
+    for _ in 0..12 {
+        let m = rng.range(16, 56);
+        let n = rng.range(16, 56);
+        let k = rng.range(16, 56);
+        let p = 1usize << rng.range(1, 4);
+        // The pure-BFS leaf footprint of this instance: draw S at or below
+        // it so most cases are memory-starved, but keep headroom for the
+        // DFS descent to terminate by fitting.
+        let ample = MmmProblem::new(m, n, k, p, 1 << 28);
+        let bfs_footprint = carma
+            .plan(&ample, &model)
+            .unwrap()
+            .ranks
+            .iter()
+            .map(|r| r.mem_words)
+            .max()
+            .unwrap() as usize;
+        let s = rng.range(bfs_footprint.div_ceil(3).max(16), bfs_footprint.max(17) + 1);
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let plan = carma.plan(&prob, &model).unwrap();
+        assert!(plan.validate().is_ok(), "{m}x{n}x{k} p={p} S={s}: DFS plan must be memory-honest");
+        starved += usize::from(dfs_leaf_count(&prob) > 1);
+        let a = Matrix::deterministic(m, k, 81);
+        let b = Matrix::deterministic(k, n, 82);
+        let spec = MachineSpec::piz_daint_with_memory(p, s).enforcing_memory();
+        let report = execute_boxed_with(carma.as_ref(), &plan, &spec, ExecBackend::Event, &a, &b)
+            .unwrap_or_else(|e| panic!("{m}x{n}x{k} p={p} S={s}: {e}"));
+        assert!(matmul(&a, &b).approx_eq(&report.c, 1e-9), "{m}x{n}x{k} p={p} S={s}: wrong product");
+        for (r, st) in report.stats.iter().enumerate() {
+            assert_eq!(
+                st.total_recv(),
+                plan.ranks[r].comm_words(),
+                "{m}x{n}x{k} p={p} S={s}: rank {r} traffic"
+            );
+            assert!(st.peak_mem_words <= s as u64, "{m}x{n}x{k} p={p} S={s}: rank {r} peak");
+        }
+    }
+    assert!(starved >= 6, "only {starved}/12 cases were memory-starved — weak sample");
+}
+
 #[test]
 fn summa_plans_cover_space() {
     let reg = baselines::registry();

@@ -29,6 +29,7 @@ fn shared_problems() -> Vec<MmmProblem> {
         MmmProblem::new(40, 40, 6, 16, 1 << 12),  // flat
         MmmProblem::new(30, 30, 30, 12, 1 << 12), // p = 12: not square, not 2^x
         MmmProblem::new(22, 26, 34, 7, 1 << 12),  // p = 7: prime
+        MmmProblem::new(64, 64, 64, 8, 1 << 10),  // memory-starved: CARMA streams DFS leaves
     ]
 }
 
@@ -311,6 +312,64 @@ fn event_xl_world_executes_end_to_end() {
             plan.ranks[r].comm_words(),
             "p={p}: rank {r} executed traffic deviates from the plan"
         );
+    }
+}
+
+/// An integer-valued matrix: every product and partial sum is an exactly
+/// representable integer (well below 2^53), so *any* summation order yields
+/// bitwise-identical results — what makes the DFS-vs-BFS equality below a
+/// legitimate bitwise assertion rather than an epsilon comparison.
+fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| ((i as u64 * 31 + j as u64 * 17 + seed) % 7) as f64 - 3.0)
+}
+
+/// The memory-budgeted streaming contract: a CARMA problem whose pure-BFS
+/// leaf working set exceeds `S` executes end-to-end on all three backends
+/// with an *enforced* budget, produces the bit-exact product of both the
+/// ample-memory BFS run and the dense reference GEMM, moves exactly the
+/// DFS plan's words, and keeps every rank's measured peak within `S`.
+#[test]
+fn dfs_carma_matches_bfs_and_reference_bitwise_on_all_backends() {
+    let tight = MmmProblem::new(64, 64, 64, 8, 1 << 10);
+    let ample = MmmProblem::new(64, 64, 64, 8, 1 << 20);
+    assert!(baselines::carma::dfs_leaf_count(&tight) > 1, "tight problem must force DFS");
+    assert_eq!(baselines::carma::dfs_leaf_count(&ample), 1, "ample problem must stay pure BFS");
+    let a = int_matrix(64, 64, 3);
+    let b = int_matrix(64, 64, 5);
+    let want = matmul(&a, &b);
+    let algo = baselines::registry().by_id(cosma::api::AlgoId::Carma).unwrap();
+    let run = |prob: &MmmProblem, backend: ExecBackend| {
+        let plan = algo.plan(prob, &model()).unwrap();
+        plan.validate().expect("CARMA plans are memory-honest in both regimes");
+        let spec = MachineSpec::piz_daint_with_memory(prob.p, prob.mem_words).enforcing_memory();
+        let report = execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b)
+            .unwrap_or_else(|e| panic!("{backend} S={}: {e}", prob.mem_words));
+        for (r, st) in report.stats.iter().enumerate() {
+            assert_eq!(
+                st.total_recv(),
+                plan.ranks[r].comm_words(),
+                "{backend} S={}: rank {r} traffic deviates from the DFS plan",
+                prob.mem_words
+            );
+            assert!(
+                st.peak_mem_words <= prob.mem_words as u64,
+                "{backend} S={}: rank {r} peaked at {} words",
+                prob.mem_words,
+                st.peak_mem_words
+            );
+        }
+        report.c
+    };
+    let c_bfs = run(&ample, ExecBackend::Threaded);
+    assert_eq!(c_bfs.as_slice(), want.as_slice(), "BFS CARMA vs reference GEMM");
+    for backend in [
+        ExecBackend::Threaded,
+        ExecBackend::Sharded { workers: 3 },
+        ExecBackend::Event,
+    ] {
+        let c_dfs = run(&tight, backend);
+        assert_eq!(c_dfs.as_slice(), c_bfs.as_slice(), "{backend}: DFS vs BFS product not bitwise equal");
+        assert_eq!(c_dfs.as_slice(), want.as_slice(), "{backend}: DFS vs reference not bitwise equal");
     }
 }
 
