@@ -640,7 +640,7 @@ mod tests {
     use super::*;
     use cosma::algorithm::assemble_c;
     use densemat::gemm::matmul;
-    use mpsim::exec::run_spmd;
+    use mpsim::exec::{run_spmd_with, ExecBackend};
     use mpsim::machine::MachineSpec;
 
     fn check_carma(m: usize, n: usize, k: usize, p: usize, s: usize) -> DistPlan {
@@ -652,7 +652,10 @@ mod tests {
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
         let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
-        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
+        let out = run_spmd_with(&spec, ExecBackend::Threaded, |mut comm| async move {
+            execute(&mut comm, dplan_r, a_r, b_r).await
+        })
+        .expect("threaded run accepted");
         // Reassemble C through the production assembly path, which
         // accumulates: k-split DFS leaves contribute partial sums of the
         // same region.

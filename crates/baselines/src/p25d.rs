@@ -369,7 +369,7 @@ impl MmmAlgorithm for P25dAlgorithm {
 mod tests {
     use super::*;
     use densemat::gemm::matmul;
-    use mpsim::exec::run_spmd;
+    use mpsim::exec::{run_spmd_with, ExecBackend};
     use mpsim::machine::MachineSpec;
 
     fn check_p25d(m: usize, n: usize, k: usize, p: usize, s: usize) -> DistPlan {
@@ -381,7 +381,10 @@ mod tests {
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
         let (dplan_r, a_r, b_r) = (&dplan, &a, &b);
-        let out = run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, a_r, b_r).await });
+        let out = run_spmd_with(&spec, ExecBackend::Threaded, |mut comm| async move {
+            execute(&mut comm, dplan_r, a_r, b_r).await
+        })
+        .expect("threaded run accepted");
         let mut c = Matrix::zeros(m, n);
         for (rows, cols, blk) in out.results.into_iter().flatten() {
             c.set_block(rows.start, cols.start, &blk);

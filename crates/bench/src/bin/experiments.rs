@@ -6,16 +6,19 @@
 //! ```
 //!
 //! Ids: `fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 table3 table4 exec exec-xl mem-sweep`. Each experiment prints
-//! its table(s) and writes CSVs to `results/`. See `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! fig13 fig14 table3 table4 exec exec-xl timed mem-sweep`. Each experiment
+//! prints its table(s) and writes CSVs to `results/`. See `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
 //!
 //! Additional maintenance commands (not part of `all`):
 //!
 //! * `bench-smoke` — the CI perf-regression gate: runs a small executed
 //!   subset, writes the rows to `results/bench-smoke.json`, and exits
-//!   non-zero if any row's measured traffic deviates from its plan or a
-//!   scenario's measured MB regresses > 10% against the committed
+//!   non-zero if any row's measured traffic deviates from its plan, an
+//!   event-backend row's measured virtual time disagrees with
+//!   `DistPlan::simulate` beyond the stated band (or overlap-on beats
+//!   overlap-off), or a scenario's measured MB / simulated wall-clock
+//!   regresses > 10% against the committed
 //!   `results/bench-smoke-baseline.csv`.
 //! * `bench-smoke-baseline` — regenerate that committed baseline.
 //! * `exec-rss <sharded|event>` — run the square p = 4096 executed
@@ -467,8 +470,9 @@ fn table4() {
 // ---------------------------------------------------------------------------
 
 fn executed_table() -> Table {
-    // The memory columns sit at the end so the bench-smoke baseline parser's
-    // fixed column indices (scenario..measured MB) stay stable.
+    // New columns only ever append so the bench-smoke baseline parser's
+    // fixed column indices (scenario..measured MB at 0..5, measured ms at
+    // 11) stay stable.
     Table::new(&[
         "shape",
         "cores",
@@ -480,6 +484,9 @@ fn executed_table() -> Table {
         "wall s",
         "peak words",
         "within S",
+        "planned ms",
+        "meas ms",
+        "meas %peak",
     ])
 }
 
@@ -496,6 +503,10 @@ fn push_executed_rows(t: &mut Table, name: &str, p: usize, rows: &[runner::Execu
             fmt(row.wall_s, 2),
             row.peak_mem_words.to_string(),
             if row.within_mem { "yes" } else { "NO" }.into(),
+            fmt(row.planned_time_s * 1e3, 4),
+            // Blocking backends keep no virtual clock: measured ms is 0.
+            fmt(row.measured_time_s * 1e3, 4),
+            fmt(row.measured_percent_peak, 2),
         ]);
     }
 }
@@ -550,6 +561,57 @@ fn exec_xl() {
     t.print();
     t.write_csv("exec-xl").expect("write csv");
     println!("\nexpectation: every row exact, wall-time bounded — the stackless executor scales.\n");
+}
+
+// ---------------------------------------------------------------------------
+// timed: planned vs measured virtual time (the paper's time axis, closed)
+// ---------------------------------------------------------------------------
+
+fn timed() {
+    println!("== timed: planned vs measured alpha-beta-gamma time, event backend ==\n");
+    println!(
+        "(every algorithm executes twice on the discrete-event executor — overlap \
+         on and off — and the virtual clock is held against DistPlan::simulate; \
+         the gate band is x{:.1} either way, overlap-on <= overlap-off on every row)\n",
+        runner::TIME_AGREEMENT_FACTOR
+    );
+    let m = model();
+    let mut t = Table::new(&[
+        "cores",
+        "algorithm",
+        "planned ms",
+        "meas ms",
+        "meas/plan",
+        "planned ms (no ovl)",
+        "meas ms (no ovl)",
+        "overlap gap %",
+        "meas %peak",
+        "agrees",
+    ]);
+    for &p in &scenarios::timed_core_counts() {
+        let prob = scenarios::exec_problem(Shape::Square, p);
+        for row in runner::time_all(&prob, &m) {
+            let gap = 100.0 * (1.0 - row.measured_s / row.measured_no_overlap_s);
+            t.row(vec![
+                p.to_string(),
+                row.algo.to_string(),
+                fmt(row.planned_s * 1e3, 4),
+                fmt(row.measured_s * 1e3, 4),
+                fmt(row.ratio(), 2),
+                fmt(row.planned_no_overlap_s * 1e3, 4),
+                fmt(row.measured_no_overlap_s * 1e3, 4),
+                fmt(gap, 1),
+                fmt(row.measured_percent_peak, 2),
+                if row.agrees() { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv("timed").expect("write csv");
+    println!(
+        "\nexpectation: every row agrees — the measured time axis matches the \
+         planned one the way measured MB matches planned MB.\n"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -665,7 +727,8 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
             "  {{\"scenario\": \"{name}\", \"cores\": {p}, \"backend\": \"{}\", \
              \"algorithm\": \"{}\", \"planned_mb\": {:.6}, \"measured_mb\": {:.6}, \
              \"exact\": {}, \"wall_s\": {:.3}, \"peak_mem_words\": {}, \
-             \"within_mem\": {}}}{comma}",
+             \"within_mem\": {}, \"planned_time_s\": {:.9}, \"measured_time_s\": {:.9}, \
+             \"measured_percent_peak\": {:.4}}}{comma}",
             row.backend,
             row.algo,
             row.planned_mb,
@@ -673,7 +736,10 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
             row.exact,
             row.wall_s,
             row.peak_mem_words,
-            row.within_mem
+            row.within_mem,
+            row.planned_time_s,
+            row.measured_time_s,
+            row.measured_percent_peak
         )
         .unwrap();
     }
@@ -681,9 +747,17 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
     path
 }
 
+/// A committed baseline row: measured MB and measured virtual ms (0 for
+/// blocking-backend rows, which keep no virtual clock).
+struct BaselineRow {
+    measured_mb: f64,
+    measured_ms: f64,
+}
+
 /// Parse the committed baseline CSV (`scenario,cores,backend,algorithm,...`
-/// with `measured MB` in column 5) into key -> measured MB.
-fn read_smoke_baseline() -> Option<std::collections::HashMap<String, f64>> {
+/// with `measured MB` in column 5 and `meas ms` in column 11) into
+/// key -> baseline row.
+fn read_smoke_baseline() -> Option<std::collections::HashMap<String, BaselineRow>> {
     let path = bench::output::results_dir().join("bench-smoke-baseline.csv");
     let content = std::fs::read_to_string(&path).ok()?;
     let mut map = std::collections::HashMap::new();
@@ -693,8 +767,15 @@ fn read_smoke_baseline() -> Option<std::collections::HashMap<String, f64>> {
             continue;
         }
         let key = format!("{}/{}/{}/{}", cells[0], cells[1], cells[2], cells[3]);
-        if let Ok(mb) = cells[5].parse::<f64>() {
-            map.insert(key, mb);
+        if let Ok(measured_mb) = cells[5].parse::<f64>() {
+            let measured_ms = cells.get(11).and_then(|c| c.parse::<f64>().ok()).unwrap_or(0.0);
+            map.insert(
+                key,
+                BaselineRow {
+                    measured_mb,
+                    measured_ms,
+                },
+            );
         }
     }
     Some(map)
@@ -711,6 +792,7 @@ fn bench_smoke_baseline() {
 
 fn bench_smoke() {
     println!("== bench-smoke: executed perf-regression gate ==\n");
+    let m = model();
     let rows = smoke_rows();
     let t = smoke_table(&rows);
     t.print();
@@ -719,7 +801,10 @@ fn bench_smoke() {
     let mut failures: Vec<String> = Vec::new();
     // Gate 1: planned-vs-measured divergence is always a failure (`exact`
     // compares the underlying word counts rank by rank), and so is a rank
-    // peaking past the problem's per-rank memory S.
+    // peaking past the problem's per-rank memory S. The *time* axis is held
+    // the same way on every row that measured it (event backend): the
+    // virtual clock must agree with DistPlan::simulate within the stated
+    // TIME_AGREEMENT_FACTOR band.
     for (name, p, row) in &rows {
         if !row.exact {
             failures.push(format!(
@@ -736,12 +821,43 @@ fn bench_smoke() {
                 row.peak_mem_words
             ));
         }
+        if row.measured_time_s > 0.0 {
+            let f = runner::TIME_AGREEMENT_FACTOR;
+            if row.measured_time_s > row.planned_time_s * f || row.measured_time_s < row.planned_time_s / f {
+                failures.push(format!(
+                    "{}: measured {} ms disagrees with planned {} ms beyond x{f}",
+                    smoke_key(name, *p, row),
+                    fmt(row.measured_time_s * 1e3, 4),
+                    fmt(row.planned_time_s * 1e3, 4)
+                ));
+            }
+        }
+    }
+    // Gate 1b: overlap semantics on the event scenario — double buffering
+    // may only help: measured overlap-on <= overlap-off for every compared
+    // algorithm, and both modes inside the agreement band.
+    let timed_prob = scenarios::exec_problem(Shape::Square, 1024);
+    for row in runner::time_all(&timed_prob, &m) {
+        if !row.agrees() {
+            failures.push(format!(
+                "timed/1024/{}: measured {}/{} ms (ovl on/off) vs planned {}/{} ms breaks \
+                 the overlap/agreement contract",
+                row.algo,
+                fmt(row.measured_s * 1e3, 4),
+                fmt(row.measured_no_overlap_s * 1e3, 4),
+                fmt(row.planned_s * 1e3, 4),
+                fmt(row.planned_no_overlap_s * 1e3, 4)
+            ));
+        }
     }
     // Gate 2: measured MB must not regress > 10% against the committed
-    // baseline (more traffic than recorded = a perf regression). Rows the
-    // baseline does not know are fatal too: they mean the subset or the key
-    // format changed without `bench-smoke-baseline` being re-committed, and
-    // ignoring them would let the gate pass vacuously.
+    // baseline (more traffic than recorded = a perf regression), and
+    // neither may the measured virtual wall-clock on rows that time
+    // (simulated-time regressions are schedule regressions: more exposed
+    // stalls for the same words). Rows the baseline does not know are fatal
+    // too: they mean the subset or the key format changed without
+    // `bench-smoke-baseline` being re-committed, and ignoring them would
+    // let the gate pass vacuously.
     match read_smoke_baseline() {
         Some(base) => {
             // Coverage must not shrink either: a baseline row the current
@@ -760,12 +876,25 @@ fn bench_smoke() {
             for (name, p, row) in &rows {
                 let key = smoke_key(name, *p, row);
                 match base.get(&key) {
-                    Some(&b) if row.measured_mb > b * 1.10 + 1e-9 => failures.push(format!(
-                        "{key}: measured {} MB regresses >10% over baseline {} MB",
-                        fmt(row.measured_mb, 2),
-                        fmt(b, 2)
-                    )),
-                    Some(_) => {}
+                    Some(b) => {
+                        if row.measured_mb > b.measured_mb * 1.10 + 1e-9 {
+                            failures.push(format!(
+                                "{key}: measured {} MB regresses >10% over baseline {} MB",
+                                fmt(row.measured_mb, 2),
+                                fmt(b.measured_mb, 2)
+                            ));
+                        }
+                        // Time-regression gate: only on rows where both the
+                        // run and the baseline measured a virtual clock.
+                        if b.measured_ms > 0.0 && row.measured_time_s * 1e3 > b.measured_ms * 1.10 + 1e-9 {
+                            failures.push(format!(
+                                "{key}: measured {} ms regresses >10% over baseline {} ms \
+                                 (simulated wall-clock)",
+                                fmt(row.measured_time_s * 1e3, 4),
+                                fmt(b.measured_ms, 4)
+                            ));
+                        }
+                    }
                     // A key the baseline lacks means the subset (or the key
                     // format itself) changed without regenerating the
                     // baseline — fatal, or the gate would pass vacuously.
@@ -862,6 +991,7 @@ fn run(id: &str) {
         "table4" => table4(),
         "exec" => exec_experiment(),
         "exec-xl" => exec_xl(),
+        "timed" => timed(),
         "mem-sweep" => mem_sweep(),
         "bench-smoke" => bench_smoke(),
         "bench-smoke-baseline" => bench_smoke_baseline(),
@@ -877,7 +1007,7 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments <id>...  (ids: fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 \
-             fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl mem-sweep | all | \
+             fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl timed mem-sweep | all | \
              bench-smoke | bench-smoke-baseline | exec-rss <sharded|event>)"
         );
         std::process::exit(2);
@@ -888,6 +1018,7 @@ fn main() {
         "table3",
         "exec",
         "exec-xl",
+        "timed",
         "mem-sweep",
         "fig6",
         "fig7",

@@ -285,6 +285,15 @@ pub fn mem_sweep_budgets() -> Vec<usize> {
     vec![1 << 14, 1 << 12, 3072, 2048, 1280, 1 << 10]
 }
 
+/// The core counts of the `timed` experiment (planned-vs-measured virtual
+/// time): one threaded-scale world, one at the paper's mid range, and one
+/// only the event executor can hold — every count a power of two and a
+/// perfect square, so the whole COSMA / SUMMA / 2.5D / CARMA comparison
+/// matrix runs at each.
+pub fn timed_core_counts() -> Vec<usize> {
+    vec![64, 1024, 16_384]
+}
+
 /// The core counts of the performance figures (Figures 8–11), including
 /// non-powers-of-two to expose decomposition instability.
 pub fn perf_core_counts() -> Vec<usize> {

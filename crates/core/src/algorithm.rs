@@ -465,7 +465,7 @@ fn assemble_row_chunks(w: usize, ln: usize, parts: usize, chunks: &[Vec<f64>]) -
 mod tests {
     use super::*;
     use densemat::gemm::matmul;
-    use mpsim::exec::run_spmd;
+    use mpsim::exec::{run_spmd_with, ExecBackend};
     use mpsim::machine::MachineSpec;
 
     fn check_cosma(m: usize, n: usize, k: usize, p: usize, s: usize, backend: Backend) {
@@ -479,8 +479,10 @@ mod tests {
         let want = matmul(&a, &b);
         let spec = MachineSpec::piz_daint_with_memory(p, s);
         let (dplan_r, cfg_r, a_r, b_r) = (&dplan, &cfg, &a, &b);
-        let out =
-            run_spmd(&spec, |mut comm| async move { execute(&mut comm, dplan_r, cfg_r, a_r, b_r).await });
+        let out = run_spmd_with(&spec, ExecBackend::Threaded, |mut comm| async move {
+            execute(&mut comm, dplan_r, cfg_r, a_r, b_r).await
+        })
+        .expect("threaded run accepted");
         // Assemble C from every active rank's share.
         let parts: Vec<CPart> = out.results.into_iter().flatten().collect();
         assert_eq!(parts.len(), dplan.active_ranks(), "one share per active rank");

@@ -323,11 +323,14 @@ impl From<ExecError> for PlanError {
 // The trait
 // ---------------------------------------------------------------------------
 
-/// Measured outcome of a real threaded execution.
+/// Measured outcome of a real execution.
 ///
 /// The distributed output shares are assembled into the full product matrix,
 /// and every rank's mpiP-style counters are returned so callers can hold the
-/// execution against [`DistPlan`]'s word-exact predictions.
+/// execution against [`DistPlan`]'s word-exact predictions. Runs on the
+/// event backend additionally carry each rank's *virtual* α-β-γ time
+/// (`RankStats::time`), measured by the discrete-event scheduler — the
+/// executed analogue of [`SimReport`]'s planned numbers.
 #[derive(Debug)]
 pub struct ExecReport {
     /// The assembled `m × n` product.
@@ -345,6 +348,31 @@ impl ExecReport {
     /// Maximum words received by any rank.
     pub fn max_recv_words(&self) -> u64 {
         self.stats.iter().map(RankStats::total_recv).max().unwrap_or(0)
+    }
+
+    /// Measured machine time: the slowest rank's virtual finish time, in
+    /// seconds. Zero on blocking-backend runs, which keep no virtual clock
+    /// (use [`ExecBackend::Event`] to measure time).
+    pub fn measured_time_s(&self) -> f64 {
+        mpsim::stats::aggregate::machine_time_s(&self.stats)
+    }
+
+    /// The slowest rank's measured compute / exposed-comm / hidden-comm
+    /// breakdown — the executed analogue of `SimReport::critical`.
+    pub fn critical_time(&self) -> mpsim::cost::TimeBreakdown {
+        mpsim::stats::aggregate::critical_time(&self.stats)
+    }
+
+    /// Measured percent of machine peak over `p` ranks under `model` —
+    /// the executed analogue of `SimReport::percent_peak` (Figures
+    /// 8/10/13/14). Zero when no virtual time was measured.
+    pub fn measured_percent_peak(&self, p: usize, model: &CostModel) -> f64 {
+        mpsim::cost::percent_peak(
+            mpsim::stats::aggregate::total_flops(&self.stats),
+            p,
+            self.measured_time_s(),
+            model,
+        )
     }
 }
 
@@ -687,7 +715,11 @@ impl RunSession {
         self
     }
 
-    /// Simulate with or without communication–computation overlap (§7.3).
+    /// Plan-simulate *and* execute with or without communication–computation
+    /// overlap (§7.3). Affects [`run`](Self::run)'s cost-model evaluation
+    /// and, through [`machine_spec`](Self::machine_spec), the event
+    /// executor's virtual clock, so planned and measured time use the same
+    /// overlap semantics.
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
         self
@@ -714,10 +746,12 @@ impl RunSession {
     }
 
     /// The simulated machine the session executes on: `prob.p` ranks with
-    /// `prob.mem_words` words each under the session's cost model, enforcing
-    /// the session's [`mem_budget`](Self::mem_budget) when one is set.
+    /// `prob.mem_words` words each under the session's cost model and
+    /// [`overlap`](Self::overlap) mode, enforcing the session's
+    /// [`mem_budget`](Self::mem_budget) when one is set.
     pub fn machine_spec(&self) -> MachineSpec {
-        let spec = MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model());
+        let spec =
+            MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model()).with_overlap(self.overlap);
         match self.mem_budget {
             Some(words) => spec.with_mem_budget(words),
             None => spec,
@@ -988,6 +1022,32 @@ mod tests {
             .execute_verified(&a, &b)
             .unwrap();
         assert_eq!(report.total_recv_words(), plan.total_comm_words());
+    }
+
+    #[test]
+    fn session_event_execution_measures_virtual_time() {
+        let prob = MmmProblem::new(24, 20, 28, 6, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 5);
+        let b = Matrix::deterministic(prob.k, prob.n, 6);
+        let session = RunSession::new(prob).exec_backend(ExecBackend::Event);
+        let report = session.execute(&a, &b).unwrap();
+        assert!(report.measured_time_s() > 0.0, "the event backend must measure time");
+        let peak = report.measured_percent_peak(prob.p, &session.cost_model());
+        assert!(peak > 0.0 && peak <= 100.0, "measured %peak {peak}");
+        let crit = report.critical_time();
+        assert!((crit.total_s() - report.measured_time_s()).abs() < 1e-15);
+        // The overlap knob reaches the executor through machine_spec():
+        // disabling double buffering can only slow the measured run down.
+        let off = RunSession::new(prob)
+            .overlap(false)
+            .exec_backend(ExecBackend::Event)
+            .execute(&a, &b)
+            .unwrap();
+        assert!(!RunSession::new(prob).overlap(false).machine_spec().overlap);
+        assert!(report.measured_time_s() <= off.measured_time_s() + 1e-15);
+        // Blocking backends keep no virtual clock.
+        let threaded = RunSession::new(prob).execute(&a, &b).unwrap();
+        assert_eq!(threaded.measured_time_s(), 0.0);
     }
 
     #[test]

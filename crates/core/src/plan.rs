@@ -135,6 +135,13 @@ impl RankPlan {
             })
             .collect()
     }
+
+    /// This rank's *planned* time under `model` — the per-rank number an
+    /// event-backend execution's measured `RankStats::time` is held
+    /// against.
+    pub fn time_breakdown(&self, model: &CostModel, overlap: bool) -> TimeBreakdown {
+        simulate_rounds(&self.round_costs(), model, overlap)
+    }
 }
 
 /// Simulated outcome of a plan under a cost model.

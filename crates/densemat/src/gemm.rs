@@ -10,7 +10,7 @@
 //!   Listing 1 generalized to `a_opt x b_opt` blocks: each tile of C is kept
 //!   "red" (hot) while streaming panels of A and B through it.
 //! * [`gemm_parallel`] — row-band parallelization of the tiled kernel using
-//!   crossbeam scoped threads (the local-domain rows are independent).
+//!   `std::thread::scope` (the local-domain rows are independent).
 //!
 //! All kernels *accumulate* into C, matching the distributed algorithms that
 //! sum partial products over k-slabs.
@@ -136,8 +136,8 @@ fn gemm_tiled_raw(
     }
 }
 
-/// Multi-threaded kernel: `c += a * b` using `threads` crossbeam scoped
-/// threads, each owning a contiguous row band of C.
+/// Multi-threaded kernel: `c += a * b` using `threads` std scoped threads
+/// (`std::thread::scope`), each owning a contiguous row band of C.
 ///
 /// Row bands are disjoint, so no synchronization is needed beyond the scope
 /// join — the same argument the paper uses for its `P_ij` parallelization

@@ -9,8 +9,8 @@
 //!   views, used both by the local kernels and by the distributed algorithms to
 //!   describe sub-domains.
 //! * [`gemm`] — local matrix-multiplication kernels: a reference naive kernel,
-//!   a cache-tiled kernel, and a multi-threaded kernel (crossbeam scoped
-//!   threads). All kernels compute `C += A * B` so that the distributed
+//!   a cache-tiled kernel, and a multi-threaded kernel over std scoped
+//!   threads. All kernels compute `C += A * B` so that the distributed
 //!   algorithms can accumulate partial results exactly like the paper's
 //!   rank-1-update formulation (Listing 1).
 //! * [`layout`] — distributed data layouts: the ScaLAPACK block-cyclic layout

@@ -29,17 +29,28 @@
 use std::cell::Cell;
 use std::future::Future;
 use std::pin::pin;
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use crate::event::EventComm;
-use crate::exec::WorkerGate;
+use crate::exec::{ExecError, Waiting, WorkerGate};
+use crate::machine::DEFAULT_RECV_TIMEOUT;
 use crate::stats::{Phase, StatsBoard};
 
-/// How long a blocking receive waits before declaring the run deadlocked.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+/// Unwind this rank with a typed executor failure. The executors' recovery
+/// paths (`run_world`'s join loop, the event scheduler's poll wrapper)
+/// downcast the payload back to [`ExecError`] and return it through
+/// `run_spmd_with`, so a deadlocked or torn-down world surfaces as a typed
+/// error instead of a process abort. The default panic hook cannot Display
+/// a typed payload (it prints `Box<dyn Any>`), so the human-readable form
+/// goes to stderr first — worlds driven through the raw communicator API
+/// stay diagnosable.
+pub(crate) fn raise(e: ExecError) -> ! {
+    eprintln!("mpsim rank failure: {e}");
+    std::panic::panic_any(e)
+}
 
 /// A tagged message.
 #[derive(Debug)]
@@ -156,17 +167,27 @@ pub struct Comm {
     pending: Vec<Packet>,
     /// Sharded-executor admission handle (`None` on the threaded backend).
     gate: Option<RankGate>,
+    /// Deadlock guard: how long a blocking receive waits before raising
+    /// [`ExecError::DeadlockSuspected`].
+    recv_timeout: Duration,
 }
 
 impl Comm {
     /// Build communicators for a world of `p` ranks sharing `stats`.
     pub fn create_world(p: usize, stats: Arc<StatsBoard>) -> Vec<Comm> {
-        Comm::create_world_gated(p, stats, None)
+        Comm::create_world_gated(p, stats, None, DEFAULT_RECV_TIMEOUT)
     }
 
-    /// [`create_world`](Self::create_world) for the sharded executor: every
-    /// rank's blocking rendezvous will yield its runnable slot to `gate`.
-    pub fn create_world_gated(p: usize, stats: Arc<StatsBoard>, gate: Option<Arc<WorkerGate>>) -> Vec<Comm> {
+    /// [`create_world`](Self::create_world) for an executor: every rank's
+    /// blocking rendezvous will yield its runnable slot to `gate` (sharded
+    /// worlds), and a blocking receive that waits past `recv_timeout` raises
+    /// the typed deadlock guard.
+    pub fn create_world_gated(
+        p: usize,
+        stats: Arc<StatsBoard>,
+        gate: Option<Arc<WorkerGate>>,
+        recv_timeout: Duration,
+    ) -> Vec<Comm> {
         assert!(p > 0, "world needs at least one rank");
         assert_eq!(stats.len(), p, "stats board size mismatch");
         let mut senders = Vec::with_capacity(p);
@@ -195,6 +216,7 @@ impl Comm {
                     gate: g.clone(),
                     held: Cell::new(false),
                 }),
+                recv_timeout,
             })
             .collect()
     }
@@ -245,17 +267,23 @@ impl Comm {
     /// Send `data` to rank `to` with `tag`. Never blocks.
     ///
     /// # Panics
-    /// Panics if `to` is out of range.
+    /// Panics if `to` is out of range, or with a typed
+    /// [`ExecError::WorldTornDown`] payload when the receiving rank already
+    /// exited (the executor converts that into a typed error).
     pub fn send(&self, to: usize, tag: u64, data: Vec<f64>, phase: Phase) {
         assert!(to < self.p, "send to rank {to} of {}", self.p);
         self.shared.stats.rank(self.rank).record_send(data.len() as u64, phase);
-        self.shared.senders[to]
+        if self.shared.senders[to]
             .send(Packet {
                 from: self.rank,
                 tag,
                 data,
             })
-            .expect("receiver dropped: a rank exited early");
+            .is_err()
+        {
+            // The receiver dropped: a peer exited (or failed) early.
+            raise(ExecError::WorldTornDown { rank: self.rank });
+        }
     }
 
     /// Receive the next message from `from` with `tag`, blocking until it
@@ -267,7 +295,10 @@ impl Comm {
     /// waits and re-acquires one once the message arrived.
     ///
     /// # Panics
-    /// Panics after two minutes without a matching message (deadlock guard).
+    /// Panics with a typed [`ExecError::DeadlockSuspected`] payload after
+    /// [`MachineSpec::recv_timeout`](crate::machine::MachineSpec) without a
+    /// matching message, or [`ExecError::WorldTornDown`] if every peer
+    /// exited; the executor converts both into typed errors.
     pub fn recv(&mut self, from: usize, tag: u64, phase: Phase) -> Vec<f64> {
         // Check the out-of-order buffer first.
         if let Some(i) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
@@ -284,9 +315,7 @@ impl Comm {
                 }
                 Ok(msg) => self.pending.push(msg),
                 Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    panic!("rank {}: world torn down while receiving", self.rank)
-                }
+                Err(TryRecvError::Disconnected) => raise(ExecError::WorldTornDown { rank: self.rank }),
             }
         }
         // Nothing buffered: park until the match arrives, yielding this
@@ -295,9 +324,14 @@ impl Comm {
             g.suspend();
         }
         let data = loop {
-            let msg = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
-                panic!("rank {}: timed out waiting for (from={from}, tag={tag})", self.rank)
-            });
+            let msg = match self.inbox.recv_timeout(self.recv_timeout) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => raise(ExecError::DeadlockSuspected {
+                    rank: self.rank,
+                    on: Waiting::Message { from, tag },
+                }),
+                Err(RecvTimeoutError::Disconnected) => raise(ExecError::WorldTornDown { rank: self.rank }),
+            };
             if msg.from == from && msg.tag == tag {
                 break msg.data;
             }

@@ -1,4 +1,5 @@
-//! The event-driven stackless executor behind [`ExecBackend::Event`].
+//! The event-driven stackless executor behind [`ExecBackend::Event`] — a
+//! true discrete-event simulator with a per-rank **virtual clock**.
 //!
 //! The sharded executor multiplexes ranks over a worker pool, but every rank
 //! still owns an OS thread whose (small) stack it keeps while parked —
@@ -9,41 +10,77 @@
 //!   rank body the caller hands to [`crate::exec::run_spmd_with`], compiled
 //!   by rustc into an explicit-continuation enum whose suspended state costs
 //!   bytes, not a stack;
-//! * one scheduler thread drives all `p` state machines from a FIFO
-//!   [`ready queue`](SchedEvent); a rank that cannot make progress
-//!   (a `recv` with no matching message, a `barrier`/`fence` waiting for
-//!   peers) registers a [`Wait`] in the world's matching table and returns
-//!   `Poll::Pending`;
+//! * one scheduler thread drives all `p` state machines from a ready queue
+//!   that is a **min-heap ordered by virtual timestamp** (FIFO on ties); a
+//!   rank that cannot make progress (a `recv` with no matching message, a
+//!   `barrier`/`fence` waiting for peers) registers a [`Wait`] in the
+//!   world's matching table and returns `Poll::Pending`;
 //! * a `send` that satisfies a registered `Recv` wait — or the last arrival
 //!   at a barrier — clears the wait and moves the rank back onto the ready
-//!   queue.
+//!   queue at its virtual completion time.
 //!
-//! Admission is strictly FIFO, so a ready rank is never starved: between two
-//! polls of the same rank, every other rank that became ready earlier is
-//! polled first (the property tests assert this on the scheduler trace).
-//! Message matching, delivery order and counter updates mirror the blocking
-//! [`crate::comm::Comm`] exactly, so results are bitwise identical and the
-//! per-rank counters equal across all three backends. Worlds of 100k+ ranks
-//! execute end-to-end with real messages in a few hundred bytes per rank.
+//! # The virtual clock
+//!
+//! Each rank carries a virtual `now` driven by the machine's α-β-γ
+//! [`CostModel`](crate::cost::CostModel):
+//!
+//! * a local GEMM ([`EventComm::record_flops`]) advances the clock by
+//!   `compute_time(flops)`;
+//! * a `send` stamps the message with the sender's clock; the transfer costs
+//!   `α + β·words` and is serialized on the *receiver's incoming link* in
+//!   consumption order (one wire per rank, like the plan-level model's
+//!   per-rank comm accounting);
+//! * with **overlap** ([`MachineSpec::overlap`], the default — §7.3's double
+//!   buffering) the transfer proceeds in the background from the moment it
+//!   is posted, so a `recv` completes at `max(recv_ready, arrival)` and
+//!   transfer time hides behind whatever the receiver was doing — a posted
+//!   prefetch costs nothing if the current leaf's compute covers it;
+//!   without overlap the transfer is fully exposed:
+//!   `max(recv_ready, send_time) + α + β·words`;
+//! * a barrier resolves at the **max arrival time** over all ranks, the wait
+//!   counting as exposed communication;
+//! * one-sided `put`/`get`/`accumulate` charge their transfer to the origin
+//!   rank's clock (conservatively exposed; the target stays passive, as in
+//!   RDMA).
+//!
+//! Every stall and every hidden transfer lands in the shared
+//! [`StatsBoard`]'s per-rank
+//! [`TimeBreakdown`](crate::cost::TimeBreakdown), so a finished run reports
+//! *measured* time and %-of-peak the way the paper's Figures 8/10/13/14 do —
+//! next to the word-exact traffic counters.
+//!
+//! Admission is by virtual readiness time with FIFO tie-breaking, so a ready
+//! rank is never starved and untimed workloads (all timestamps equal) keep
+//! the old strict-FIFO order (the property tests assert this on the
+//! scheduler trace). Message matching, delivery order and counter updates
+//! mirror the blocking [`crate::comm::Comm`] exactly, so results are bitwise
+//! identical and the per-rank counters equal across all three backends —
+//! the clock changes *when* ranks are polled, never *what* they compute.
+//! Worlds of 100k+ ranks execute end-to-end with real messages in a few
+//! hundred bytes per rank.
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 
 use crate::comm::{record_rma, window};
-use crate::exec::RunOutput;
+use crate::exec::{ExecError, RunOutput, Waiting};
 use crate::machine::MachineSpec;
 use crate::stats::{Phase, StatsBoard};
 
 /// A tagged in-flight message (the event-world analogue of the blocking
-/// communicator's channel packet).
+/// communicator's channel packet), stamped with its virtual-time envelope.
 #[derive(Debug)]
 struct Packet {
     from: usize,
     tag: u64,
     data: Vec<f64>,
+    /// The sender's virtual clock when the message was posted.
+    sent_at: f64,
+    /// The wire time of this message, `α + β·words`.
+    transfer_s: f64,
 }
 
 /// What a parked rank is waiting for.
@@ -58,14 +95,51 @@ enum Wait {
 }
 
 /// One scheduler decision, for the fairness property tests: ranks enter the
-/// ready queue (`Enqueue`) and are polled (`Poll`) in strictly FIFO order.
+/// ready queue (`Enqueue`) and are polled (`Poll`) in virtual-time order
+/// with FIFO tie-breaking, so on untimed workloads (all timestamps equal)
+/// the two sequences coincide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedEvent {
-    /// The rank became runnable and joined the back of the ready queue.
+    /// The rank became runnable and joined the ready queue.
     Enqueue(usize),
-    /// The rank was popped from the front of the queue and polled.
+    /// The rank was popped (earliest virtual time, then FIFO) and polled.
     Poll(usize),
 }
+
+/// A ready-queue entry: min-heap by `(at, seq)` — earliest virtual
+/// readiness first, admission order on ties.
+#[derive(Debug)]
+struct ReadyEntry {
+    at: f64,
+    seq: u64,
+    rank: usize,
+}
+
+impl Ord for ReadyEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry on
+        // top. Virtual times are finite by construction.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("virtual times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for ReadyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for ReadyEntry {}
 
 /// Mutable world state, behind one mutex (the scheduler is single-threaded;
 /// the lock exists so [`EventComm`] stays `Send` like the other backends'
@@ -76,8 +150,19 @@ struct WorldState {
     mailboxes: Vec<VecDeque<Packet>>,
     /// The matching table: what each rank currently waits for.
     waits: Vec<Wait>,
-    /// FIFO ready queue of runnable ranks.
-    ready: VecDeque<usize>,
+    /// Ready queue of runnable ranks, ordered by virtual readiness time.
+    ready: BinaryHeap<ReadyEntry>,
+    /// Admission counter for FIFO tie-breaking.
+    seq: u64,
+    /// Per-rank virtual clocks (`now`, seconds).
+    clock: Vec<f64>,
+    /// Per-rank incoming-link availability: transfers addressed to a rank
+    /// serialize on its link, like the per-rank comm accounting of the plan
+    /// model (only advanced in overlap mode, where transfers progress in the
+    /// background).
+    link_free: Vec<f64>,
+    /// Max arrival clock of the current barrier epoch.
+    barrier_t: f64,
     /// Ranks whose body future completed.
     finished: Vec<bool>,
     /// Arrivals at the current barrier epoch.
@@ -92,20 +177,55 @@ struct WorldState {
 }
 
 impl WorldState {
-    fn enqueue(&mut self, rank: usize) {
+    fn enqueue(&mut self, rank: usize, at: f64) {
         if let Some(t) = &mut self.trace {
             t.push(SchedEvent::Enqueue(rank));
         }
-        self.ready.push_back(rank);
+        let seq = self.seq;
+        self.seq += 1;
+        self.ready.push(ReadyEntry { at, seq, rank });
     }
 
     /// Remove and return the first message from `from` with `tag` in
     /// `rank`'s mailbox — the same arrival-order matching rule as the
     /// blocking communicator's pending-buffer scan.
-    fn take_match(&mut self, rank: usize, from: usize, tag: u64) -> Option<Vec<f64>> {
+    fn take_match(&mut self, rank: usize, from: usize, tag: u64) -> Option<Packet> {
         let inbox = &mut self.mailboxes[rank];
         let idx = inbox.iter().position(|m| m.from == from && m.tag == tag)?;
-        Some(inbox.remove(idx).expect("indexed message exists").data)
+        inbox.remove(idx)
+    }
+}
+
+impl WorldState {
+    /// When a matched receive of `pkt` by `rank` would complete — the one
+    /// formula behind both the wake-time heap admission and the clock the
+    /// recv poll commits.
+    ///
+    /// With overlap the transfer runs in the background on the receiver's
+    /// incoming link — serialized in *consumption* order (one wire per
+    /// rank), starting no earlier than the send — so the receiver only
+    /// waits out whatever its own activity did not cover. The link is never
+    /// ahead of the receiver's clock at a receive, which makes overlap-on
+    /// at most overlap-off operation for operation. Without overlap the
+    /// wire time starts at the rendezvous of sender and receiver and is
+    /// fully exposed.
+    fn completion_time(&self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let now = self.clock[rank];
+        if overlap {
+            now.max(pkt.sent_at.max(self.link_free[rank]) + pkt.transfer_s)
+        } else {
+            now.max(pkt.sent_at) + pkt.transfer_s
+        }
+    }
+
+    /// [`completion_time`](Self::completion_time), committing the
+    /// receiver's incoming-link occupancy (overlap mode only).
+    fn recv_completion(&mut self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let done = self.completion_time(rank, pkt, overlap);
+        if overlap {
+            self.link_free[rank] = pkt.sent_at.max(self.link_free[rank]) + pkt.transfer_s;
+        }
+        done
     }
 }
 
@@ -113,18 +233,30 @@ impl WorldState {
 pub struct EventWorld {
     p: usize,
     stats: Arc<StatsBoard>,
+    /// The α-β-γ constants driving the virtual clock.
+    model: crate::cost::CostModel,
+    /// Communication–computation overlap (§7.3) — see
+    /// [`MachineSpec::overlap`].
+    overlap: bool,
     st: Mutex<WorldState>,
 }
 
 impl EventWorld {
-    fn new(p: usize, stats: Arc<StatsBoard>, traced: bool) -> Self {
+    fn new(spec: &MachineSpec, stats: Arc<StatsBoard>, traced: bool) -> Self {
+        let p = spec.p;
         EventWorld {
             p,
             stats,
+            model: spec.cost,
+            overlap: spec.overlap,
             st: Mutex::new(WorldState {
                 mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
                 waits: vec![Wait::None; p],
-                ready: VecDeque::new(),
+                ready: BinaryHeap::new(),
+                seq: 0,
+                clock: vec![0.0; p],
+                link_free: vec![0.0; p],
+                barrier_t: 0.0,
                 finished: vec![false; p],
                 barrier_arrived: 0,
                 barrier_gen: 0,
@@ -165,9 +297,14 @@ impl EventComm {
         &self.world.stats
     }
 
-    /// Record `flops` local floating-point operations for this rank.
+    /// Record `flops` local floating-point operations for this rank and
+    /// advance its virtual clock by `compute_time(flops)`.
     pub fn record_flops(&self, flops: u64) {
-        self.world.stats.rank(self.rank).record_flops(flops);
+        let dt = self.world.model.compute_time(flops);
+        self.world.lock().clock[self.rank] += dt;
+        let rs = self.world.stats.rank(self.rank);
+        rs.record_flops(flops);
+        rs.record_compute_time(dt);
     }
 
     /// Record a working-memory allocation (peak-memory accounting).
@@ -181,27 +318,54 @@ impl EventComm {
     }
 
     /// Send `data` to rank `to` with `tag`. Never suspends: the message is
-    /// deposited in the target's mailbox, and if the target is parked on a
-    /// matching `recv` it is moved back onto the ready queue.
+    /// stamped with the sender's virtual clock and deposited in the
+    /// target's mailbox, and if the target is parked on a matching `recv`
+    /// it is moved back onto the ready queue at its virtual completion time
+    /// (the transfer itself is accounted when the target consumes the
+    /// message — see [`WorldState::recv_completion`]).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range, or with a typed
+    /// [`ExecError::WorldTornDown`] payload when the receiving rank already
+    /// exited (the scheduler converts that into a typed error, like the
+    /// blocking backends).
     pub fn send(&self, to: usize, tag: u64, data: Vec<f64>, phase: Phase) {
         assert!(to < self.world.p, "send to rank {to} of {}", self.world.p);
-        self.world.stats.rank(self.rank).record_send(data.len() as u64, phase);
+        let words = data.len() as u64;
+        self.world.stats.rank(self.rank).record_send(words, phase);
+        let transfer_s = self.world.model.comm_time(words, 1);
         let mut st = self.world.lock();
-        assert!(!st.finished[to], "rank {}: send to rank {to}, which already exited", self.rank);
-        st.mailboxes[to].push_back(Packet {
+        if st.finished[to] {
+            // The receiver already exited: typed teardown, as in comm.rs.
+            drop(st);
+            crate::comm::raise(ExecError::WorldTornDown { rank: self.rank });
+        }
+        let pkt = Packet {
             from: self.rank,
             tag,
             data,
-        });
+            sent_at: st.clock[self.rank],
+            transfer_s,
+        };
         if st.waits[to] == (Wait::Recv { from: self.rank, tag }) {
+            // The target is parked on exactly this message: wake it at the
+            // completion time its recv poll will compute (nothing can touch
+            // the target's clock or link between wake and poll).
             st.waits[to] = Wait::None;
-            st.enqueue(to);
+            let at = st.completion_time(to, &pkt, self.world.overlap);
+            st.mailboxes[to].push_back(pkt);
+            st.enqueue(to, at);
+        } else {
+            st.mailboxes[to].push_back(pkt);
         }
     }
 
     /// Receive the next message from `from` with `tag`. A wait-state: with
     /// no matching message buffered, the rank parks in the matching table
-    /// and the scheduler resumes it when the message arrives.
+    /// and the scheduler resumes it when the message arrives. On completion
+    /// the receiver's clock advances to the message's virtual completion
+    /// time; the stall is recorded as exposed communication, the rest of the
+    /// transfer as hidden.
     pub fn recv(&self, from: usize, tag: u64, phase: Phase) -> RecvFuture<'_> {
         RecvFuture {
             comm: self,
@@ -218,8 +382,10 @@ impl EventComm {
         self.recv(from, tag, phase).await
     }
 
-    /// Park until all `p` ranks reach the barrier. The last arrival releases
-    /// every parked rank back onto the ready queue (in rank order) and
+    /// Park until all `p` ranks reach the barrier. The barrier resolves at
+    /// the max arrival time: the last arrival advances everyone's clock to
+    /// it (each rank's wait counted as exposed communication) and releases
+    /// every parked rank back onto the ready queue (in rank order), then
     /// continues without suspending, like `std::sync::Barrier`'s leader.
     pub fn barrier(&self) -> BarrierFuture<'_> {
         BarrierFuture {
@@ -238,6 +404,15 @@ impl EventComm {
     // One-sided (RMA) backend — never suspends except through `fence`.
     // ------------------------------------------------------------------
 
+    /// Charge a one-sided transfer of `words` to this (origin) rank's
+    /// clock: RMA bypasses the remote CPU, so the origin pays the wire time
+    /// as exposed communication and the target stays passive.
+    fn charge_rma(&self, words: u64) {
+        let c = self.world.model.comm_time(words, 1);
+        self.world.lock().clock[self.rank] += c;
+        self.world.stats.rank(self.rank).record_comm_time(c, 0.0);
+    }
+
     /// (Re)size this rank's window to `words` zeroed words.
     pub fn win_resize(&self, words: usize) {
         window::resize(&mut self.world.lock().windows[self.rank], words);
@@ -247,12 +422,14 @@ impl EventComm {
     pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
         window::put(&mut self.world.lock().windows[target], offset, data);
         record_rma(&self.world.stats, self.rank, target, data.len() as u64, phase);
+        self.charge_rma(data.len() as u64);
     }
 
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
         let out = window::get(&self.world.lock().windows[target], offset, len);
         record_rma(&self.world.stats, target, self.rank, len as u64, phase);
+        self.charge_rma(len as u64);
         out
     }
 
@@ -261,6 +438,7 @@ impl EventComm {
     pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
         window::accumulate(&mut self.world.lock().windows[target], offset, data);
         record_rma(&self.world.stats, self.rank, target, data.len() as u64, phase);
+        self.charge_rma(data.len() as u64);
     }
 
     /// Replace this rank's window contents (local, no traffic counted).
@@ -280,7 +458,8 @@ impl EventComm {
 }
 
 /// Wait-state of a pending receive: completes when a message from `from`
-/// with `tag` is in this rank's mailbox.
+/// with `tag` is in this rank's mailbox, advancing the virtual clock to the
+/// message's completion time.
 pub struct RecvFuture<'a> {
     comm: &'a EventComm,
     from: usize,
@@ -293,11 +472,18 @@ impl Future for RecvFuture<'_> {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Vec<f64>> {
         let rank = self.comm.rank;
-        let mut st = self.comm.world.lock();
-        if let Some(data) = st.take_match(rank, self.from, self.tag) {
+        let world = &self.comm.world;
+        let mut st = world.lock();
+        if let Some(pkt) = st.take_match(rank, self.from, self.tag) {
+            let now = st.clock[rank];
+            let done = st.recv_completion(rank, &pkt, world.overlap);
+            st.clock[rank] = done;
             drop(st);
-            self.comm.world.stats.rank(rank).record_recv(data.len() as u64, self.phase);
-            Poll::Ready(data)
+            let stall = done - now;
+            let rs = world.stats.rank(rank);
+            rs.record_recv(pkt.data.len() as u64, self.phase);
+            rs.record_comm_time(stall, (pkt.transfer_s - stall).max(0.0));
+            Poll::Ready(pkt.data)
         } else {
             let wait = Wait::Recv {
                 from: self.from,
@@ -318,7 +504,8 @@ impl Future for RecvFuture<'_> {
     }
 }
 
-/// Wait-state of a barrier arrival: completes when all `p` ranks arrived.
+/// Wait-state of a barrier arrival: completes when all `p` ranks arrived,
+/// at the max arrival time.
 pub struct BarrierFuture<'a> {
     comm: &'a EventComm,
     /// The barrier epoch this rank arrived in (`None` before first poll).
@@ -335,17 +522,26 @@ impl Future for BarrierFuture<'_> {
         match self.arrived_gen {
             None => {
                 st.barrier_arrived += 1;
+                st.barrier_t = st.barrier_t.max(st.clock[rank]);
                 if st.barrier_arrived == world.p {
-                    // Last arrival: open the next epoch and release everyone
-                    // parked at the barrier, in rank order.
+                    // Last arrival: the barrier resolves at the max arrival
+                    // time. Open the next epoch and release everyone parked
+                    // at the barrier, in rank order, each one's wait counted
+                    // as exposed communication.
+                    let tmax = st.barrier_t;
                     st.barrier_arrived = 0;
+                    st.barrier_t = 0.0;
                     st.barrier_gen += 1;
                     for r in 0..world.p {
                         if st.waits[r] == Wait::Barrier {
                             st.waits[r] = Wait::None;
-                            st.enqueue(r);
+                            world.stats.rank(r).record_comm_time(tmax - st.clock[r], 0.0);
+                            st.clock[r] = tmax;
+                            st.enqueue(r, tmax);
                         }
                     }
+                    world.stats.rank(rank).record_comm_time(tmax - st.clock[rank], 0.0);
+                    st.clock[rank] = tmax;
                     Poll::Ready(())
                 } else {
                     assert!(
@@ -374,14 +570,18 @@ impl Future for BarrierFuture<'_> {
 
 /// Run the world to completion on the calling thread; see
 /// [`run_spmd_event`].
-fn run_event_world<R, F, Fut>(spec: &MachineSpec, f: F, traced: bool) -> (RunOutput<R>, Vec<SchedEvent>)
+fn run_event_world<R, F, Fut>(
+    spec: &MachineSpec,
+    f: F,
+    traced: bool,
+) -> Result<(RunOutput<R>, Vec<SchedEvent>), ExecError>
 where
     F: Fn(crate::comm::RankComm) -> Fut,
     Fut: Future<Output = R>,
 {
     let p = spec.p;
     let stats = Arc::new(StatsBoard::new(p));
-    let world = Arc::new(EventWorld::new(p, stats.clone(), traced));
+    let world = Arc::new(EventWorld::new(spec, stats.clone(), traced));
     // One boxed state machine per rank — the entire per-rank footprint.
     let mut tasks: Vec<Option<Pin<Box<Fut>>>> = (0..p)
         .map(|rank| {
@@ -395,7 +595,7 @@ where
     {
         let mut st = world.lock();
         for r in 0..p {
-            st.enqueue(r);
+            st.enqueue(r, 0.0);
         }
     }
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
@@ -404,74 +604,115 @@ where
     while live > 0 {
         let next = {
             let mut st = world.lock();
-            let r = st.ready.pop_front();
+            let r = st.ready.pop().map(|e| e.rank);
             if let (Some(r), Some(t)) = (r, &mut st.trace) {
                 t.push(SchedEvent::Poll(r));
             }
             r
         };
         let Some(r) = next else {
+            // Structural deadlock: unfinished ranks, none runnable. Report
+            // the first parked rank and what it waits on, typed. A live
+            // rank with no registered wait awaited something outside the
+            // communicator (which this scheduler can never re-wake): report
+            // that honestly rather than inventing a barrier.
             let st = world.lock();
-            let parked: Vec<String> = st
+            let (rank, on) = st
                 .waits
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| **w != Wait::None)
-                .take(8)
-                .map(|(r, w)| format!("rank {r}: {w:?}"))
-                .collect();
-            panic!(
-                "event executor deadlocked: {live} of {p} ranks unfinished, none ready \
-                 (barrier arrivals {}; first parked: {})",
-                st.barrier_arrived,
-                parked.join(", ")
-            );
+                .find_map(|(r, w)| match *w {
+                    Wait::Recv { from, tag } => Some((r, Waiting::Message { from, tag })),
+                    Wait::Barrier => Some((r, Waiting::Barrier)),
+                    Wait::None => None,
+                })
+                .unwrap_or_else(|| {
+                    let r = st.finished.iter().position(|f| !f).expect("live ranks exist");
+                    (r, Waiting::Unknown)
+                });
+            return Err(ExecError::DeadlockSuspected { rank, on });
         };
         let task = tasks[r].as_mut().expect("ready rank has a live task");
-        if let Poll::Ready(out) = task.as_mut().poll(&mut cx) {
-            results[r] = Some(out);
-            tasks[r] = None;
-            live -= 1;
-            world.lock().finished[r] = true;
+        // A rank body that hits a typed failure (e.g. a send to an exited
+        // rank) unwinds with an ExecError payload; recover it as a typed
+        // error, like the blocking executors' join loop. Any other panic is
+        // the body's own and propagates unchanged.
+        let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Ready(out)) => {
+                results[r] = Some(out);
+                tasks[r] = None;
+                live -= 1;
+                world.lock().finished[r] = true;
+            }
+            // Pending: the rank registered a wait-state; a matching send or
+            // the closing barrier arrival re-enqueues it.
+            Ok(Poll::Pending) => {}
+            Err(payload) => match payload.downcast::<ExecError>() {
+                Ok(e) => return Err(*e),
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
         }
-        // Pending: the rank registered a wait-state; a matching send or the
-        // closing barrier arrival re-enqueues it.
     }
     let trace = world.lock().trace.take().unwrap_or_default();
-    (
+    Ok((
         RunOutput {
             results: results.into_iter().map(|s| s.expect("missing rank result")).collect(),
             stats: stats.snapshot(),
         },
         trace,
-    )
+    ))
 }
 
 /// Run `f` on every rank of `spec` as an event-driven stackless state
-/// machine, single-threaded. Prefer [`crate::exec::run_spmd_with`] with
-/// [`crate::exec::ExecBackend::Event`], which dispatches here.
+/// machine, single-threaded, returning a typed
+/// [`ExecError::DeadlockSuspected`] when the world wedges. Prefer
+/// [`crate::exec::run_spmd_with`] with [`crate::exec::ExecBackend::Event`],
+/// which dispatches here.
+pub fn try_run_spmd_event<R, F, Fut>(spec: &MachineSpec, f: F) -> Result<RunOutput<R>, ExecError>
+where
+    F: Fn(crate::comm::RankComm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    run_event_world(spec, f, false).map(|(out, _)| out)
+}
+
+/// Legacy panicking form of [`try_run_spmd_event`].
+///
+/// # Panics
+/// Panics on any typed executor error (e.g. a detected deadlock).
 pub fn run_spmd_event<R, F, Fut>(spec: &MachineSpec, f: F) -> RunOutput<R>
 where
     F: Fn(crate::comm::RankComm) -> Fut,
     Fut: Future<Output = R>,
 {
-    run_event_world(spec, f, false).0
+    match try_run_spmd_event(spec, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// [`run_spmd_event`] with the scheduler decision trace, for the fairness
 /// property tests: the returned events record every ready-queue admission
 /// and poll in order.
+///
+/// # Panics
+/// Panics on any typed executor error (e.g. a detected deadlock).
 pub fn run_spmd_event_traced<R, F, Fut>(spec: &MachineSpec, f: F) -> (RunOutput<R>, Vec<SchedEvent>)
 where
     F: Fn(crate::comm::RankComm) -> Fut,
     Fut: Future<Output = R>,
 {
-    run_event_world(spec, f, true)
+    match run_event_world(spec, f, true) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostModel;
 
     #[test]
     fn results_are_rank_ordered() {
@@ -565,20 +806,76 @@ mod tests {
         assert_eq!(out.results[1], vec![0.0, 0.0]);
         assert_eq!(out.stats[0].total_sent(), 5);
         assert_eq!(out.stats[1].total_recv(), 5);
+        // The origin pays RMA wire time as exposed comm: rank 0 put 3 words,
+        // rank 1 got 2 — both clocks advanced.
+        assert!(out.stats[0].time.exposed_comm_s > 0.0);
+        assert!(out.stats[1].time.exposed_comm_s > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "event executor deadlocked")]
     fn deadlock_is_detected_not_hung() {
         let spec = MachineSpec::test_machine(2, 1000);
-        let _ = run_spmd_event(&spec, |mut c| async move {
+        let err = try_run_spmd_event(&spec, |mut c| async move {
             // Nobody ever sends: both ranks park forever.
             c.recv((c.rank() + 1) % 2, 9, Phase::Other).await
-        });
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 0,
+                on: Waiting::Message { from: 1, tag: 9 }
+            }
+        );
     }
 
     #[test]
-    fn scheduler_trace_is_fifo() {
+    #[should_panic(expected = "deadlock suspected")]
+    fn legacy_entry_point_panics_on_deadlock() {
+        let spec = MachineSpec::test_machine(2, 1000);
+        let _ =
+            run_spmd_event(&spec, |mut c| async move { c.recv((c.rank() + 1) % 2, 9, Phase::Other).await });
+    }
+
+    #[test]
+    fn send_to_exited_rank_is_typed_world_torn_down() {
+        // Rank 0 (polled first) exits immediately; rank 1 then sends to it.
+        // A typed teardown, not a process abort — the blocking backends'
+        // contract, kept by the event scheduler's poll recovery.
+        let spec = MachineSpec::test_machine(2, 1000);
+        let err = try_run_spmd_event(&spec, |c| async move {
+            if c.rank() == 1 {
+                c.send(0, 3, vec![1.0], Phase::Other);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, ExecError::WorldTornDown { rank: 1 });
+    }
+
+    #[test]
+    fn foreign_future_deadlock_reports_unknown_wait() {
+        // A rank body that awaits a non-RankComm future: the scheduler can
+        // never re-wake it, and the typed report says so instead of
+        // inventing a barrier.
+        let spec = MachineSpec::test_machine(2, 1000);
+        let err = try_run_spmd_event(&spec, |c| async move {
+            if c.rank() == 1 {
+                std::future::pending::<()>().await;
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 1,
+                on: Waiting::Unknown
+            }
+        );
+        assert!(err.to_string().contains("outside the communicator"), "{err}");
+    }
+
+    #[test]
+    fn scheduler_trace_is_fifo_on_equal_timestamps() {
         let spec = MachineSpec::test_machine(5, 1000);
         let (_, trace) = run_spmd_event_traced(&spec, |mut c| async move {
             c.barrier().await;
@@ -598,7 +895,128 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(enq, polls, "polls must follow enqueue (FIFO) order");
+        assert_eq!(enq, polls, "equal virtual timestamps must keep FIFO order");
+    }
+
+    /// A unit cost model for hand-checkable virtual-clock arithmetic:
+    /// compute = flops seconds, transfer = words seconds, α = 0.
+    fn unit_spec(p: usize) -> MachineSpec {
+        MachineSpec::new(
+            p,
+            1000,
+            CostModel {
+                peak_flops: 1.0,
+                kernel_efficiency: 1.0,
+                alpha_s: 0.0,
+                beta_s_per_word: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn virtual_clock_hides_transfer_behind_compute_with_overlap() {
+        // Rank 0 sends 4 words at t = 0 (arrival 4), then rank 1 computes 10
+        // flops (clock 10) and receives: the transfer is fully hidden.
+        let out = run_spmd_event(&unit_spec(2), |mut c| async move {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0; 4], Phase::Other);
+            } else {
+                c.record_flops(10);
+                c.recv(0, 1, Phase::Other).await;
+            }
+        });
+        let t = out.stats[1].time;
+        assert_eq!(t.compute_s, 10.0);
+        assert_eq!(t.exposed_comm_s, 0.0, "arrival 4 < clock 10: fully hidden");
+        assert_eq!(t.total_comm_s, 4.0);
+        assert_eq!(t.total_s(), 10.0);
+    }
+
+    #[test]
+    fn virtual_clock_exposes_transfer_without_overlap() {
+        // Same exchange, overlap off: the 4-word transfer is fully exposed
+        // after the compute.
+        let out = run_spmd_event(&unit_spec(2).with_overlap(false), |mut c| async move {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0; 4], Phase::Other);
+            } else {
+                c.record_flops(10);
+                c.recv(0, 1, Phase::Other).await;
+            }
+        });
+        let t = out.stats[1].time;
+        assert_eq!(t.compute_s, 10.0);
+        assert_eq!(t.exposed_comm_s, 4.0);
+        assert_eq!(t.total_comm_s, 4.0);
+        assert_eq!(t.total_s(), 14.0);
+    }
+
+    #[test]
+    fn recv_waits_for_late_sender() {
+        // Rank 0 computes 7 s before sending 2 words; rank 1 posts recv at
+        // t = 0 and stalls until arrival 9 (overlap) — all exposed.
+        let out = run_spmd_event(&unit_spec(2), |mut c| async move {
+            if c.rank() == 0 {
+                c.record_flops(7);
+                c.send(1, 1, vec![0.0; 2], Phase::Other);
+            } else {
+                c.recv(0, 1, Phase::Other).await;
+            }
+        });
+        let t = out.stats[1].time;
+        assert_eq!(t.exposed_comm_s, 9.0);
+        assert_eq!(t.total_s(), 9.0);
+    }
+
+    #[test]
+    fn incoming_link_serializes_transfers() {
+        // Two senders, 3 words each, both send at t = 0: the receiver's link
+        // serializes them (arrivals 3 and 6), so the second recv completes
+        // at 6 even though both transfers were posted at 0.
+        let out = run_spmd_event(&unit_spec(3), |mut c| async move {
+            match c.rank() {
+                0 | 1 => c.send(2, 1, vec![0.0; 3], Phase::Other),
+                _ => {
+                    c.recv(0, 1, Phase::Other).await;
+                    c.recv(1, 1, Phase::Other).await;
+                }
+            }
+        });
+        let t = out.stats[2].time;
+        assert_eq!(t.total_comm_s, 6.0);
+        assert_eq!(t.total_s(), 6.0);
+    }
+
+    #[test]
+    fn barrier_resolves_at_max_arrival_time() {
+        // Ranks compute rank * 2 seconds before the barrier: everyone leaves
+        // at the slowest rank's clock (6.0), the waits exposed.
+        let out = run_spmd_event(&unit_spec(4), |mut c| async move {
+            c.record_flops(c.rank() as u64 * 2);
+            c.barrier().await;
+        });
+        for (r, st) in out.stats.iter().enumerate() {
+            assert_eq!(st.time.total_s(), 6.0, "rank {r} must leave the barrier at t = 6");
+            assert_eq!(st.time.compute_s, r as f64 * 2.0);
+            assert_eq!(st.time.exposed_comm_s, 6.0 - r as f64 * 2.0);
+        }
+    }
+
+    #[test]
+    fn timed_runs_are_deterministic() {
+        let spec = MachineSpec::test_machine(16, 1000);
+        let body = |mut c: crate::comm::RankComm| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.sendrecv(right, left, 1, vec![1.0; c.rank() + 1], Phase::Other).await;
+            c.barrier().await;
+            c.rank()
+        };
+        let a = run_spmd_event(&spec, body);
+        let b = run_spmd_event(&spec, body);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats, b.stats, "virtual times must be bit-identical across runs");
+        assert!(a.stats.iter().any(|s| s.time.total_s() > 0.0), "the clock must move");
     }
 
     #[test]

@@ -19,14 +19,17 @@
 //!   to a few thousand ranks.
 //! * **Event** — no per-rank thread at all: every rank body is compiled by
 //!   rustc into a *stackless* resumable state machine, and a single-threaded
-//!   scheduler drives all of them from a FIFO ready queue
+//!   scheduler drives all of them as a discrete-event simulation: the ready
+//!   queue is a min-heap ordered by each rank's virtual α-β-γ timestamp
+//!   (FIFO on ties), so runs also *measure* per-rank virtual time
 //!   ([`crate::event`]). A parked rank costs bytes (its suspended state
 //!   machine plus a matching-table entry), which is what lets 100k+-rank
 //!   worlds execute end-to-end with real messages.
 //!
 //! [`ExecBackend::auto`] escalates Threaded → Sharded → Event by world size.
 //! All three backends are observationally identical: bitwise-equal results
-//! and identical per-rank counters (the conformance suite enforces this).
+//! and identical per-rank counters (the conformance suite enforces this) —
+//! only the event backend additionally fills `RankStats::time`.
 
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
@@ -34,7 +37,7 @@ use std::future::Future;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::comm::{block_on_ready, Comm, RankComm};
-use crate::event::run_spmd_event;
+use crate::event::try_run_spmd_event;
 use crate::machine::MachineSpec;
 use crate::stats::{RankStats, StatsBoard};
 
@@ -105,8 +108,40 @@ impl fmt::Display for ExecBackend {
     }
 }
 
+/// What a deadlock-suspected rank was parked on (see
+/// [`ExecError::DeadlockSuspected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiting {
+    /// A `recv(from, tag)` whose matching message never arrived.
+    Message {
+        /// The awaited sender.
+        from: usize,
+        /// The awaited tag.
+        tag: u64,
+    },
+    /// A world barrier some rank never reached.
+    Barrier,
+    /// Something outside the communicator: the rank returned `Pending`
+    /// without registering a wait (e.g. a rank body awaited a foreign
+    /// future, which the event scheduler can never re-wake).
+    Unknown,
+}
+
+impl fmt::Display for Waiting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Waiting::Message { from, tag } => write!(f, "a message from rank {from} with tag {tag}"),
+            Waiting::Barrier => write!(f, "the world barrier"),
+            Waiting::Unknown => {
+                write!(f, "something outside the communicator (a non-RankComm future can never be re-woken)")
+            }
+        }
+    }
+}
+
 /// Why an executor refused to run a world (before any rank started), or
-/// rejected a finished one (a rank broke the enforced memory budget).
+/// rejected a finished or wedged one — the typed surface that keeps
+/// threaded/sharded deadlocks from aborting the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecError {
     /// The threaded backend's rank cap was exceeded.
@@ -130,6 +165,22 @@ pub enum ExecError {
         /// The enforced budget `S`, in words.
         budget: u64,
     },
+    /// A rank could not make progress: on the event backend, no rank was
+    /// runnable while some were unfinished (structural detection); on the
+    /// blocking backends, a `recv` waited past
+    /// [`MachineSpec::recv_timeout`] (e.g. a mismatched tag).
+    DeadlockSuspected {
+        /// The first stuck rank.
+        rank: usize,
+        /// What it was parked on.
+        on: Waiting,
+    },
+    /// A rank found its world torn down mid-operation — a peer exited (or
+    /// failed) while this rank still had communication in flight with it.
+    WorldTornDown {
+        /// The rank that observed the teardown.
+        rank: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -146,6 +197,14 @@ impl fmt::Display for ExecError {
                 f,
                 "rank {rank} peaked at {need} words of working memory, exceeding the \
                  enforced per-rank budget S = {budget} (MachineSpec::with_mem_budget)"
+            ),
+            ExecError::DeadlockSuspected { rank, on } => {
+                write!(f, "deadlock suspected: rank {rank} waited on {on} that can no longer arrive")
+            }
+            ExecError::WorldTornDown { rank } => write!(
+                f,
+                "rank {rank}: world torn down mid-operation (a peer exited with \
+                 communication still in flight)"
             ),
         }
     }
@@ -301,27 +360,30 @@ where
                     max: MAX_THREADED_RANKS,
                 });
             }
-            run_world(spec, None, f)
+            run_world(spec, None, f)?
         }
         ExecBackend::Sharded { workers } => {
             if workers == 0 {
                 return Err(ExecError::NoWorkers);
             }
-            run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)
+            run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)?
         }
-        ExecBackend::Event => run_spmd_event(spec, f),
+        ExecBackend::Event => try_run_spmd_event(spec, f)?,
     };
     enforce_mem_budget(spec, out)
 }
 
-/// Run `f` on every rank of `spec` concurrently (threaded backend) and
-/// collect results.
+/// Legacy entry point: run `f` on every rank of `spec` concurrently on the
+/// threaded backend and collect results. Prefer [`run_spmd_with`], whose
+/// typed [`ExecError`] distinguishes a world the backend refuses (the
+/// documented threaded rank cap) from a run that wedged
+/// ([`ExecError::DeadlockSuspected`]) — this wrapper can only panic.
 ///
 /// # Panics
-/// Panics if any rank panics (the panic is propagated), or if
-/// `spec.p > MAX_THREADED_RANKS` — use [`run_spmd_with`] with
-/// [`ExecBackend::Sharded`]/[`ExecBackend::Event`] (or
-/// [`ExecBackend::auto`]) for larger worlds.
+/// Panics if any rank panics (the panic is propagated), or on any typed
+/// executor error — most commonly `spec.p > MAX_THREADED_RANKS`; use
+/// [`run_spmd_with`] with [`ExecBackend::Sharded`]/[`ExecBackend::Event`]
+/// (or [`ExecBackend::auto`]) for larger worlds.
 pub fn run_spmd<R, F, Fut>(spec: &MachineSpec, f: F) -> RunOutput<R>
 where
     R: Send,
@@ -340,15 +402,25 @@ where
 /// slot on their own thread before user code; the slot is returned when the
 /// body finishes or panics (the communicator's gate handle releases on
 /// drop). `Comm::gate_enter` is a no-op on ungated (threaded) worlds.
-fn run_world<R, F, Fut>(spec: &MachineSpec, gate: Option<Arc<WorkerGate>>, f: F) -> RunOutput<R>
+///
+/// A rank that fails with a *typed* refusal — the communicator's deadlock
+/// guard or a torn-down world, which unwind with an [`ExecError`] panic
+/// payload — is caught here and surfaced as `Err` instead of aborting the
+/// run; any other rank panic is propagated unchanged.
+fn run_world<R, F, Fut>(
+    spec: &MachineSpec,
+    gate: Option<Arc<WorkerGate>>,
+    f: F,
+) -> Result<RunOutput<R>, ExecError>
 where
     R: Send,
     F: Fn(RankComm) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
     let stats = Arc::new(StatsBoard::new(spec.p));
-    let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone());
+    let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone(), spec.recv_timeout);
     let mut slots: Vec<Option<R>> = (0..spec.p).map(|_| None).collect();
+    let mut failures: Vec<ExecError> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -368,13 +440,29 @@ where
             })
             .collect();
         for (slot, h) in slots.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rank panicked"));
+            match h.join() {
+                Ok(v) => *slot = Some(v),
+                Err(payload) => match payload.downcast::<ExecError>() {
+                    Ok(e) => failures.push(*e),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+            }
         }
     });
-    RunOutput {
+    if !failures.is_empty() {
+        // A deadlock is the root cause; torn-down-world failures on other
+        // ranks are its fallout. Within a kind, report the lowest rank
+        // (failures arrive in join = rank order).
+        let root = failures
+            .iter()
+            .find(|e| matches!(e, ExecError::DeadlockSuspected { .. }))
+            .unwrap_or(&failures[0]);
+        return Err(*root);
+    }
+    Ok(RunOutput {
         results: slots.into_iter().map(|s| s.expect("missing rank result")).collect(),
         stats: stats.snapshot(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -527,13 +615,63 @@ mod tests {
             c.barrier().await;
             c.rank()
         };
+        let counters = |out: &RunOutput<usize>| out.stats.iter().map(|s| s.sans_time()).collect::<Vec<_>>();
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
         let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, pattern).unwrap();
         let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
         assert_eq!(threaded.results, sharded.results);
         assert_eq!(threaded.stats, sharded.stats);
         assert_eq!(threaded.results, event.results);
-        assert_eq!(threaded.stats, event.stats);
+        // Counters are identical; only the event backend drives the virtual
+        // clock, so its time fields are the extra measurement.
+        assert_eq!(counters(&threaded), counters(&event));
+        assert!(event.stats.iter().all(|s| s.time.total_s() > 0.0));
+        assert!(threaded.stats.iter().all(|s| s.time.total_s() == 0.0));
+    }
+
+    #[test]
+    fn mismatched_tag_deadlock_is_typed_on_blocking_backends() {
+        // Rank 0 sends tag 7 but rank 1 waits for tag 8 — a classic
+        // mismatched-tag deadlock. The recv_timeout guard turns it into a
+        // typed error instead of a process abort, on both blocking backends.
+        let spec =
+            MachineSpec::test_machine(2, 1000).with_recv_timeout(std::time::Duration::from_millis(200));
+        for backend in [ExecBackend::Threaded, ExecBackend::Sharded { workers: 2 }] {
+            let err = run_spmd_with(&spec, backend, |mut c| async move {
+                if c.rank() == 0 {
+                    c.send(1, 7, vec![1.0], Phase::Other);
+                }
+                c.recv((c.rank() + 1) % 2, 8, Phase::Other).await
+            })
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ExecError::DeadlockSuspected {
+                        on: Waiting::Message { tag: 8, .. },
+                        ..
+                    }
+                ),
+                "{backend}: {err}"
+            );
+            assert!(err.to_string().contains("deadlock suspected"), "{backend}: {err}");
+        }
+    }
+
+    #[test]
+    fn event_deadlock_is_typed_through_run_spmd_with() {
+        let spec = MachineSpec::test_machine(2, 1000);
+        let err = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+            c.recv((c.rank() + 1) % 2, 9, Phase::Other).await
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 0,
+                on: Waiting::Message { from: 1, tag: 9 }
+            }
+        );
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   message passing, two-sided backend; shared-memory windows with
 //!   put/get/accumulate, one-sided/RMA backend, §7.4 of the paper), over the
 //!   blocking channel implementation used by the threaded/sharded executors.
-//! * [`event`] — the event-driven machine behind `ExecBackend::Event`:
-//!   rank bodies as stackless resumable state machines on one scheduler
-//!   thread with a FIFO ready queue and a message-matching table.
+//! * [`event`] — the event-driven machine behind `ExecBackend::Event`: a
+//!   discrete-event simulator driving rank bodies as stackless resumable
+//!   state machines on one scheduler thread, with a virtual-time-ordered
+//!   ready queue, a message-matching table, and a per-rank α-β-γ virtual
+//!   clock that measures compute / exposed-comm / hidden-comm time.
 //! * [`collectives`] — binomial-tree broadcast and reduce, ring all-gather
 //!   and ring shift, built on the point-to-point layer exactly like the
 //!   paper's hand-rolled broadcast trees (§7.2); all resumable (`async`).
@@ -45,9 +47,10 @@ pub mod stats;
 
 pub use comm::{block_on_ready, Comm, RankComm};
 pub use cost::{CostModel, RoundCost, TimeBreakdown};
-pub use event::{run_spmd_event, run_spmd_event_traced, EventComm, SchedEvent};
+pub use event::{run_spmd_event, run_spmd_event_traced, try_run_spmd_event, EventComm, SchedEvent};
 pub use exec::{
-    run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, MAX_SHARDED_RANKS, MAX_THREADED_RANKS,
+    run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, Waiting, MAX_SHARDED_RANKS,
+    MAX_THREADED_RANKS,
 };
 pub use machine::MachineSpec;
 pub use stats::{Phase, RankStats, StatsBoard};

@@ -1,6 +1,13 @@
 //! Machine descriptions: rank count, per-rank memory, cost constants.
 
+use std::time::Duration;
+
 use crate::cost::CostModel;
+
+/// Default deadlock guard of the blocking backends: how long a blocking
+/// `recv` waits for a matching message before the run is declared
+/// deadlock-suspected (see [`MachineSpec::recv_timeout`]).
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// A distributed machine: `p` ranks, each with `mem_words` words of local
 /// memory (the paper's `S`), and a communication/computation cost model.
@@ -19,6 +26,21 @@ pub struct MachineSpec {
     /// [`ExecError::MemBudgetExceeded`](crate::exec::ExecError) from every
     /// execution backend.
     pub mem_budget: Option<u64>,
+    /// Communication–computation overlap (§7.3) in the event executor's
+    /// virtual clock. `true` (the default, COSMA's double-buffering edge): a
+    /// posted transfer proceeds in the background on the receiver's incoming
+    /// link and can hide behind the receiver's compute. `false`: every
+    /// transfer is fully exposed at the receive, comm and compute strictly
+    /// alternating — the model the paper uses for the non-overlapping
+    /// baselines.
+    pub overlap: bool,
+    /// Deadlock guard of the blocking (threaded/sharded) backends: a
+    /// blocking `recv` that waits longer than this for a matching message
+    /// turns the run into a typed
+    /// [`ExecError::DeadlockSuspected`](crate::exec::ExecError). Tests that
+    /// provoke deadlocks shrink it; the event backend detects deadlocks
+    /// structurally and ignores it.
+    pub recv_timeout: Duration,
 }
 
 impl MachineSpec {
@@ -31,7 +53,23 @@ impl MachineSpec {
             mem_words,
             cost,
             mem_budget: None,
+            overlap: true,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
         }
+    }
+
+    /// Set communication–computation overlap for the event executor's
+    /// virtual clock (see [`MachineSpec::overlap`]).
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Set the blocking backends' deadlock guard (see
+    /// [`MachineSpec::recv_timeout`]).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
     }
 
     /// Enforce `words` as a hard per-rank memory budget (see
@@ -126,5 +164,15 @@ mod tests {
         assert_eq!(m.mem_budget, None);
         assert_eq!(m.clone().enforcing_memory().mem_budget, Some(100));
         assert_eq!(m.with_mem_budget(64).mem_budget, Some(64));
+    }
+
+    #[test]
+    fn overlap_and_timeout_knobs() {
+        let m = MachineSpec::test_machine(4, 100);
+        assert!(m.overlap, "overlap (double buffering) is the default");
+        assert_eq!(m.recv_timeout, DEFAULT_RECV_TIMEOUT);
+        let m = m.with_overlap(false).with_recv_timeout(Duration::from_millis(50));
+        assert!(!m.overlap);
+        assert_eq!(m.recv_timeout, Duration::from_millis(50));
     }
 }

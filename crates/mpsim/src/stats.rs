@@ -1,12 +1,25 @@
-//! Per-rank traffic, flop and memory counters — the mpiP substitute.
+//! Per-rank traffic, flop, memory and virtual-time counters — the mpiP
+//! substitute.
 //!
 //! The paper measures "total communication volume per MPI rank" with the
 //! mpiP profiler (Figures 6–7, Table 4). Here every point-to-point and
 //! one-sided operation updates atomic per-rank counters, bucketed by
 //! [`Phase`] so that Figure 12's breakdown (A-input vs B-input vs C-output
 //! traffic) can be regenerated from an actual execution.
+//!
+//! The event-driven executor additionally accumulates each rank's *virtual*
+//! α-β-γ time here (see [`crate::event`]): seconds of compute, seconds of
+//! exposed communication (stalls the rank actually waited through) and
+//! seconds of hidden communication (transfer time that proceeded behind
+//! other activity). A snapshot surfaces them as a
+//! [`TimeBreakdown`](crate::cost::TimeBreakdown) per rank — the measured
+//! analogue of the plan-level `simulate_rounds` numbers. The blocking
+//! backends do not drive a virtual clock; their time fields stay zero
+//! (compare counters with [`RankStats::sans_time`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cost::TimeBreakdown;
 
 /// Communication phase buckets used for the Figure-12 style breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +74,24 @@ pub struct RankCounters {
     flops: AtomicU64,
     cur_mem_words: AtomicU64,
     peak_mem_words: AtomicU64,
+    /// Virtual seconds, stored as `f64` bit patterns (the event scheduler is
+    /// the only writer; atomics keep the board `Sync` like the other fields).
+    compute_s_bits: AtomicU64,
+    exposed_comm_s_bits: AtomicU64,
+    hidden_comm_s_bits: AtomicU64,
+}
+
+/// Add `dt` seconds into an `f64`-bits atomic accumulator.
+fn add_seconds(cell: &AtomicU64, dt: f64) {
+    debug_assert!(dt >= 0.0, "virtual time only moves forward (dt = {dt})");
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + dt).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
 }
 
 impl RankCounters {
@@ -91,10 +122,23 @@ impl RankCounters {
     pub fn record_free(&self, words: u64) {
         self.cur_mem_words.fetch_sub(words, Ordering::Relaxed);
     }
+
+    /// Record `dt` virtual seconds of local compute (the γ term).
+    pub fn record_compute_time(&self, dt: f64) {
+        add_seconds(&self.compute_s_bits, dt);
+    }
+
+    /// Record communication time: `exposed` seconds the rank actually
+    /// stalled and `hidden` seconds of transfer that proceeded behind other
+    /// activity (double buffering, §7.3).
+    pub fn record_comm_time(&self, exposed: f64, hidden: f64) {
+        add_seconds(&self.exposed_comm_s_bits, exposed);
+        add_seconds(&self.hidden_comm_s_bits, hidden);
+    }
 }
 
 /// Immutable snapshot of one rank's counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankStats {
     /// Words sent, by phase index.
     pub words_sent: [u64; NUM_PHASES],
@@ -108,6 +152,10 @@ pub struct RankStats {
     pub flops: u64,
     /// Peak tracked memory, in words.
     pub peak_mem_words: u64,
+    /// Virtual α-β-γ time of this rank, measured by the event executor's
+    /// discrete-event clock (all-zero on the blocking backends, which have no
+    /// virtual clock). `time.total_s()` is the rank's virtual finish time.
+    pub time: TimeBreakdown,
 }
 
 impl RankStats {
@@ -131,6 +179,14 @@ impl RankStats {
     /// Received words of one phase.
     pub fn recv_in(&self, phase: Phase) -> u64 {
         self.words_recv[phase.index()]
+    }
+
+    /// A copy with the virtual-time fields zeroed — for comparing the
+    /// *counters* of runs whose executors disagree on whether they keep a
+    /// virtual clock (the event backend does, the blocking backends do not).
+    pub fn sans_time(mut self) -> RankStats {
+        self.time = TimeBreakdown::default();
+        self
     }
 }
 
@@ -174,6 +230,15 @@ impl StatsBoard {
                 msgs_recv: c.msgs_recv.load(Ordering::Relaxed),
                 flops: c.flops.load(Ordering::Relaxed),
                 peak_mem_words: c.peak_mem_words.load(Ordering::Relaxed),
+                time: {
+                    let exposed = f64::from_bits(c.exposed_comm_s_bits.load(Ordering::Relaxed));
+                    let hidden = f64::from_bits(c.hidden_comm_s_bits.load(Ordering::Relaxed));
+                    TimeBreakdown {
+                        compute_s: f64::from_bits(c.compute_s_bits.load(Ordering::Relaxed)),
+                        exposed_comm_s: exposed,
+                        total_comm_s: exposed + hidden,
+                    }
+                },
             })
             .collect()
     }
@@ -211,6 +276,28 @@ pub mod aggregate {
     /// a memory-budgeted run holds against the paper's `S`.
     pub fn max_peak_mem(stats: &[RankStats]) -> u64 {
         stats.iter().map(|s| s.peak_mem_words).max().unwrap_or(0)
+    }
+
+    /// Measured machine time: the slowest rank's virtual finish time, in
+    /// seconds — the executed analogue of `SimReport::time_s` (zero on
+    /// blocking-backend runs, which keep no virtual clock).
+    pub fn machine_time_s(stats: &[RankStats]) -> f64 {
+        stats.iter().map(|s| s.time.total_s()).fold(0.0, f64::max)
+    }
+
+    /// The slowest rank's [`TimeBreakdown`](crate::cost::TimeBreakdown) —
+    /// the executed analogue of `SimReport::critical`.
+    pub fn critical_time(stats: &[RankStats]) -> crate::cost::TimeBreakdown {
+        stats
+            .iter()
+            .map(|s| s.time)
+            .fold(crate::cost::TimeBreakdown::default(), |worst, t| {
+                if t.total_s() > worst.total_s() {
+                    t
+                } else {
+                    worst
+                }
+            })
     }
 }
 
@@ -275,6 +362,26 @@ mod tests {
         let snap = board.snapshot();
         assert_eq!(snap[0].words_sent[Phase::Other.index()], 8000);
         assert_eq!(snap[0].msgs_sent, 8000);
+    }
+
+    #[test]
+    fn virtual_time_accumulates_and_snapshots() {
+        let board = StatsBoard::new(2);
+        board.rank(0).record_compute_time(1.5);
+        board.rank(0).record_compute_time(0.25);
+        board.rank(0).record_comm_time(0.5, 2.0);
+        board.rank(1).record_comm_time(0.125, 0.0);
+        let snap = board.snapshot();
+        assert_eq!(snap[0].time.compute_s, 1.75);
+        assert_eq!(snap[0].time.exposed_comm_s, 0.5);
+        assert_eq!(snap[0].time.total_comm_s, 2.5);
+        assert_eq!(snap[0].time.total_s(), 2.25);
+        assert_eq!(aggregate::machine_time_s(&snap), 2.25);
+        assert_eq!(aggregate::critical_time(&snap), snap[0].time);
+        assert_eq!(snap[0].sans_time().time, TimeBreakdown::default());
+        // Counters are untouched by the clock: both ranks moved zero words.
+        assert_eq!(snap[0].sans_time(), snap[1].sans_time());
+        assert_eq!(aggregate::machine_time_s(&[]), 0.0);
     }
 
     #[test]

@@ -215,3 +215,41 @@ fn session_surfaces_constraint_errors_as_values() {
         }
     ));
 }
+
+#[test]
+fn planned_time_predicts_measured_virtual_time() {
+    // The time axis of the central contract: an event-backend run's virtual
+    // clock against the plan's alpha-beta-gamma simulation. Compute time is
+    // *exact* per rank (flops counters are plan-exact and gamma is shared);
+    // the comm side carries the real dependency structure, so the machine
+    // total is held to the stated agreement band instead.
+    use mpsim::exec::ExecBackend;
+    let model = CostModel::piz_daint_two_sided();
+    for id in [AlgoId::Cosma, AlgoId::Summa, AlgoId::P25d, AlgoId::Carma] {
+        let prob = MmmProblem::new(48, 48, 48, 16, 1 << 13);
+        let session = RunSession::new(prob)
+            .machine(model)
+            .registry(baselines::registry())
+            .algorithm(id)
+            .exec_backend(ExecBackend::Event);
+        let plan = session.plan().unwrap_or_else(|e| panic!("{id}: {e}"));
+        let (a, b) = inputs(&prob);
+        let report = session.execute(&a, &b).unwrap_or_else(|e| panic!("{id}: {e}"));
+        for (r, st) in report.stats.iter().enumerate() {
+            let planned = plan.ranks[r].time_breakdown(&model, true);
+            assert!(
+                (st.time.compute_s - planned.compute_s).abs() <= 1e-12 * planned.compute_s.max(1.0),
+                "{id}: rank {r} measured compute {} s vs planned {} s",
+                st.time.compute_s,
+                planned.compute_s
+            );
+        }
+        let measured = report.measured_time_s();
+        let planned = plan.simulate(&model, true).time_s;
+        let f = bench::runner::TIME_AGREEMENT_FACTOR;
+        assert!(
+            measured <= planned * f && measured >= planned / f,
+            "{id}: measured {measured} s vs planned {planned} s breaks the x{f} band"
+        );
+    }
+}
