@@ -25,6 +25,8 @@
 //! rank-count constraints are reported through the unified
 //! [`cosma::api::PlanError`] (the former `BaselineError` is gone).
 
+use std::sync::OnceLock;
+
 use cosma::api::AlgorithmRegistry;
 
 pub mod analysis;
@@ -41,6 +43,12 @@ pub use summa::SummaAlgorithm;
 /// The full algorithm registry of the paper's evaluation: COSMA plus the
 /// four baselines, each with its default configuration.
 ///
+/// Built once per process and shared: [`AlgorithmRegistry`] is `Arc`-backed,
+/// so every call returns an O(1) handle to the same algorithm list instead
+/// of re-instantiating the five algorithms. Callers that `register` onto
+/// their copy split off privately (copy-on-write) without affecting anyone
+/// else.
+///
 /// ```
 /// use cosma::api::AlgoId;
 /// let reg = baselines::registry();
@@ -48,12 +56,17 @@ pub use summa::SummaAlgorithm;
 /// assert!(reg.by_id(AlgoId::Carma).is_ok());
 /// ```
 pub fn registry() -> AlgorithmRegistry {
-    let mut r = AlgorithmRegistry::core();
-    r.register(SummaAlgorithm);
-    r.register(CannonAlgorithm);
-    r.register(P25dAlgorithm::default());
-    r.register(CarmaAlgorithm);
-    r
+    static REGISTRY: OnceLock<AlgorithmRegistry> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            let mut r = AlgorithmRegistry::core();
+            r.register(SummaAlgorithm);
+            r.register(CannonAlgorithm);
+            r.register(P25dAlgorithm::default());
+            r.register(CarmaAlgorithm);
+            r
+        })
+        .clone()
 }
 
 #[cfg(test)]

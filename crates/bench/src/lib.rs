@@ -10,7 +10,12 @@
 //! table/figure to a subcommand; see `EXPERIMENTS.md` for the index and the
 //! recorded paper-vs-measured comparison.
 
+//! [`serve_bench`] measures the serving layer (`crates/serve`): cold vs
+//! cached planning throughput and executed-jobs/s under a mixed concurrent
+//! stream.
+
 pub mod micro;
 pub mod output;
 pub mod runner;
 pub mod scenarios;
+pub mod serve_bench;

@@ -50,7 +50,7 @@ use densemat::gemm::matmul;
 use densemat::matrix::Matrix;
 use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
-use mpsim::exec::{run_spmd_with, ExecBackend, ExecError};
+use mpsim::exec::{run_spmd_pooled, run_spmd_with, ExecBackend, ExecError, SchedulerPool};
 use mpsim::machine::MachineSpec;
 use mpsim::stats::RankStats;
 
@@ -331,7 +331,7 @@ impl From<ExecError> for PlanError {
 /// event backend additionally carry each rank's *virtual* α-β-γ time
 /// (`RankStats::time`), measured by the discrete-event scheduler — the
 /// executed analogue of [`SimReport`]'s planned numbers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExecReport {
     /// The assembled `m × n` product.
     pub c: Matrix,
@@ -498,6 +498,36 @@ pub fn execute_boxed_with(
     Ok(ExecReport { c, stats: out.stats })
 }
 
+/// [`execute_boxed`] over a *shared* [`SchedulerPool`]: the world's ranks
+/// take their runnable slots from `pool` instead of a private per-run gate,
+/// so many independent executions (a serving layer's concurrent tenants)
+/// jointly respect one machine-wide worker cap. Results and per-rank
+/// counters are identical to a solo [`execute_boxed_with`] run — admission
+/// order never changes what a rank computes or how many words it moves.
+pub fn execute_boxed_pooled(
+    algo: &(impl MmmAlgorithm + ?Sized),
+    plan: &DistPlan,
+    machine: &MachineSpec,
+    pool: &SchedulerPool,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<ExecReport, PlanError> {
+    if plan.problem.p != machine.p {
+        return Err(PlanError::WorldSizeMismatch {
+            plan_ranks: plan.problem.p,
+            world_ranks: machine.p,
+        });
+    }
+    let out =
+        run_spmd_pooled(
+            machine,
+            pool,
+            |mut comm| async move { algo.execute_rank(&mut comm, plan, a, b).await },
+        )?;
+    let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
+    Ok(ExecReport { c, stats: out.stats })
+}
+
 // ---------------------------------------------------------------------------
 // COSMA's implementation
 // ---------------------------------------------------------------------------
@@ -552,15 +582,22 @@ impl MmmAlgorithm for CosmaAlgorithm {
 /// The core crate only knows COSMA ([`AlgorithmRegistry::core`]); the
 /// `baselines` crate's `registry()` returns the full five-algorithm set used
 /// by the bench harness, the examples and the conformance tests.
+///
+/// The algorithm list is `Arc`-backed with copy-on-write mutation, so
+/// `Clone` is O(1) and clones share storage until one of them registers —
+/// the serving layer hands one registry to every request without rebuilding
+/// it.
 #[derive(Clone, Default)]
 pub struct AlgorithmRegistry {
-    algos: Vec<Arc<dyn MmmAlgorithm>>,
+    algos: Arc<Vec<Arc<dyn MmmAlgorithm>>>,
 }
 
 impl AlgorithmRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        AlgorithmRegistry { algos: Vec::new() }
+        AlgorithmRegistry {
+            algos: Arc::new(Vec::new()),
+        }
     }
 
     /// The registry of the core crate: COSMA with its default configuration.
@@ -572,14 +609,17 @@ impl AlgorithmRegistry {
 
     /// Add (or replace) an algorithm. Later registrations of the same
     /// [`AlgoId`] win, so callers can override a default configuration.
+    /// Copy-on-write: a registry sharing storage with clones splits off its
+    /// own copy first; the clones are unaffected.
     pub fn register(&mut self, algo: impl MmmAlgorithm + 'static) -> &mut Self {
         self.register_arc(Arc::new(algo))
     }
 
     /// [`register`](Self::register) for an already-shared implementation.
     pub fn register_arc(&mut self, algo: Arc<dyn MmmAlgorithm>) -> &mut Self {
-        self.algos.retain(|a| a.id() != algo.id());
-        self.algos.push(algo);
+        let algos = Arc::make_mut(&mut self.algos);
+        algos.retain(|a| a.id() != algo.id());
+        algos.push(algo);
         self
     }
 
@@ -800,6 +840,57 @@ impl RunSession {
         self.resolved_plan().map(|(_, plan)| plan)
     }
 
+    /// [`plan`](Self::plan) behind an [`Arc`], ready for a plan cache:
+    /// planning is pure — fully determined by the problem, the algorithm and
+    /// the cost model — so the returned plan can be memoized and shared
+    /// across sessions with the same inputs.
+    pub fn plan_arc(&self) -> Result<Arc<DistPlan>, PlanError> {
+        self.plan().map(Arc::new)
+    }
+
+    /// Execute an *already-made* plan (e.g. a plan-cache hit) on the
+    /// session's machine, skipping the planning step entirely. The plan must
+    /// be for this session's resolved algorithm and world size — a cached
+    /// plan keyed by the same problem + cost model satisfies both by
+    /// construction.
+    ///
+    /// # Errors
+    /// [`PlanError::UnknownAlgorithm`]-family errors from resolution;
+    /// [`PlanError::InvalidConfig`] when `plan.algo` is not the session's
+    /// algorithm; [`PlanError::WorldSizeMismatch`] when the plan's world
+    /// does not match; execution errors as [`execute`](Self::execute).
+    pub fn execute_planned(&self, plan: &DistPlan, a: &Matrix, b: &Matrix) -> Result<ExecReport, PlanError> {
+        let algo = self.resolve()?;
+        if plan.algo != algo.id() {
+            return Err(PlanError::InvalidConfig {
+                algo: plan.algo,
+                reason: "plan was made for a different algorithm than the session resolves",
+            });
+        }
+        execute_boxed_with(algo.as_ref(), plan, &self.machine_spec(), self.effective_exec_backend(), a, b)
+    }
+
+    /// [`execute_planned`](Self::execute_planned) over a shared
+    /// [`SchedulerPool`] (see [`execute_boxed_pooled`]): the serving layer's
+    /// path for running many cached-plan jobs concurrently under one
+    /// machine-wide worker cap.
+    pub fn execute_planned_pooled(
+        &self,
+        plan: &DistPlan,
+        pool: &SchedulerPool,
+        a: &Matrix,
+        b: &Matrix,
+    ) -> Result<ExecReport, PlanError> {
+        let algo = self.resolve()?;
+        if plan.algo != algo.id() {
+            return Err(PlanError::InvalidConfig {
+                algo: plan.algo,
+                reason: "plan was made for a different algorithm than the session resolves",
+            });
+        }
+        execute_boxed_pooled(algo.as_ref(), plan, &self.machine_spec(), pool, a, b)
+    }
+
     /// Plan and evaluate under the cost model.
     pub fn run(&self) -> Result<RunOutcome, PlanError> {
         let plan = self.plan()?;
@@ -889,6 +980,69 @@ mod tests {
             backend: Backend::OneSided,
         }));
         assert_eq!(reg.all().len(), 1, "replaced, not duplicated");
+    }
+
+    #[test]
+    fn registry_clone_is_shared_until_written() {
+        let original = AlgorithmRegistry::core();
+        let mut clone = original.clone();
+        assert!(Arc::ptr_eq(&original.algos, &clone.algos), "clones share the algorithm list");
+        clone.register(CosmaAlgorithm::with_config(CosmaConfig {
+            delta: 0.5,
+            backend: Backend::OneSided,
+        }));
+        // Copy-on-write: the clone split off; the original still holds the
+        // default COSMA configuration.
+        assert!(!Arc::ptr_eq(&original.algos, &clone.algos));
+        let base = original.by_id(AlgoId::Cosma).unwrap();
+        let base = base.as_any().downcast_ref::<CosmaAlgorithm>().unwrap();
+        assert_eq!(base.cfg, CosmaConfig::default());
+    }
+
+    #[test]
+    fn execute_planned_matches_execute_and_checks_the_plan() {
+        let prob = MmmProblem::new(24, 20, 28, 6, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 5);
+        let b = Matrix::deterministic(prob.k, prob.n, 6);
+        let session = RunSession::new(prob);
+        let plan = session.plan_arc().unwrap();
+        let cold = session.execute(&a, &b).unwrap();
+        let cached = session.execute_planned(&plan, &a, &b).unwrap();
+        assert_eq!(cached.c, cold.c, "bitwise-identical product");
+        assert_eq!(cached.stats, cold.stats);
+        // A plan made for another algorithm is refused, not executed.
+        let mut foreign = (*plan).clone();
+        foreign.algo = AlgoId::Cannon;
+        assert!(matches!(
+            session.execute_planned(&foreign, &a, &b),
+            Err(PlanError::InvalidConfig {
+                algo: AlgoId::Cannon,
+                ..
+            })
+        ));
+        // A plan for a different world size is refused.
+        let other = RunSession::new(MmmProblem::new(24, 20, 28, 12, 4096)).plan().unwrap();
+        assert!(matches!(
+            session.execute_planned(&other, &a, &b),
+            Err(PlanError::WorldSizeMismatch {
+                plan_ranks: 12,
+                world_ranks: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn execute_planned_pooled_matches_private_run() {
+        let prob = MmmProblem::new(24, 20, 28, 6, 4096);
+        let a = Matrix::deterministic(prob.m, prob.k, 5);
+        let b = Matrix::deterministic(prob.k, prob.n, 6);
+        let session = RunSession::new(prob).exec_backend(ExecBackend::Sharded { workers: 2 });
+        let plan = session.plan_arc().unwrap();
+        let pool = SchedulerPool::new(2).unwrap();
+        let pooled = session.execute_planned_pooled(&plan, &pool, &a, &b).unwrap();
+        let private = session.execute(&a, &b).unwrap();
+        assert_eq!(pooled.c, private.c);
+        assert_eq!(pooled.stats, private.stats);
     }
 
     #[test]

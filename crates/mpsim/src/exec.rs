@@ -108,6 +108,56 @@ impl fmt::Display for ExecBackend {
     }
 }
 
+/// A backend name failed to parse (see [`ExecBackend::from_str`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    /// The unparsable name.
+    pub name: String,
+}
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown execution backend {:?} (want threaded | sharded | sharded(N) | event)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = ParseBackendError;
+
+    /// Parse the [`Display`](ExecBackend::fmt) form back: `threaded`,
+    /// `event`, `sharded(N)` — plus bare `sharded`, which takes
+    /// [`ExecBackend::default_workers`]. (`auto` is not a backend: it needs
+    /// a world size — callers resolve it with [`ExecBackend::auto`].)
+    fn from_str(s: &str) -> Result<Self, ParseBackendError> {
+        let err = || ParseBackendError { name: s.to_string() };
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" => Ok(ExecBackend::Threaded),
+            "event" => Ok(ExecBackend::Event),
+            "sharded" => Ok(ExecBackend::Sharded {
+                workers: Self::default_workers(),
+            }),
+            lower => {
+                let inner = lower
+                    .strip_prefix("sharded(")
+                    .and_then(|r| r.strip_suffix(')'))
+                    .or_else(|| lower.strip_prefix("sharded:"))
+                    .ok_or_else(err)?;
+                let workers: usize = inner.parse().map_err(|_| err())?;
+                if workers == 0 {
+                    return Err(err());
+                }
+                Ok(ExecBackend::Sharded { workers })
+            }
+        }
+    }
+}
+
 /// What a deadlock-suspected rank was parked on (see
 /// [`ExecError::DeadlockSuspected`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -370,6 +420,75 @@ where
         }
         ExecBackend::Event => try_run_spmd_event(spec, f)?,
     };
+    enforce_mem_budget(spec, out)
+}
+
+/// A shareable admission pool for the sharded executor: many *independent*
+/// worlds run over one [`WorkerGate`], so their combined runnable ranks —
+/// not each world's separately — are capped at the pool's worker count.
+///
+/// [`run_spmd_with`] builds a private gate per run, which is right for one
+/// world at a time but lets `k` concurrent runs oversubscribe the machine
+/// `k`-fold. A serving layer executing many tenants concurrently clones one
+/// `SchedulerPool` (cheap: it is an [`Arc`] handle) into every run instead.
+#[derive(Clone)]
+pub struct SchedulerPool {
+    gate: Arc<WorkerGate>,
+    workers: usize,
+}
+
+impl SchedulerPool {
+    /// A pool admitting `workers` concurrently runnable ranks across all
+    /// worlds that share it.
+    ///
+    /// # Errors
+    /// [`ExecError::NoWorkers`] when `workers` is zero.
+    pub fn new(workers: usize) -> Result<Self, ExecError> {
+        if workers == 0 {
+            return Err(ExecError::NoWorkers);
+        }
+        Ok(SchedulerPool {
+            gate: Arc::new(WorkerGate::new(workers)),
+            workers,
+        })
+    }
+
+    /// The pool's total runnable-rank slots.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl fmt::Debug for SchedulerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerPool").field("workers", &self.workers).finish()
+    }
+}
+
+/// Run the rank body `f` on every rank of `spec` with admission control from
+/// a *shared* [`SchedulerPool`] instead of a per-run gate: the sharded-
+/// backend counterpart of [`run_spmd_with`] for concurrent independent
+/// worlds. Unlike the per-run path, the pool's worker count is **not**
+/// capped at `spec.p` — the spare slots belong to the other worlds sharing
+/// the pool.
+///
+/// # Errors
+/// As [`run_spmd_with`] on the sharded backend: a deadlocked or budget-
+/// breaking world surfaces as a typed [`ExecError`].
+///
+/// # Panics
+/// Panics if any rank panics (the panic is propagated).
+pub fn run_spmd_pooled<R, F, Fut>(
+    spec: &MachineSpec,
+    pool: &SchedulerPool,
+    f: F,
+) -> Result<RunOutput<R>, ExecError>
+where
+    R: Send,
+    F: Fn(RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    let out = run_world(spec, Some(pool.gate.clone()), f)?;
     enforce_mem_budget(spec, out)
 }
 
@@ -793,5 +912,111 @@ mod tests {
         assert_eq!(ExecBackend::Threaded.to_string(), "threaded");
         assert_eq!(ExecBackend::Sharded { workers: 6 }.to_string(), "sharded(6)");
         assert_eq!(ExecBackend::Event.to_string(), "event");
+    }
+
+    #[test]
+    fn backend_from_str_round_trips_display() {
+        for backend in [
+            ExecBackend::Threaded,
+            ExecBackend::Sharded { workers: 6 },
+            ExecBackend::Event,
+        ] {
+            assert_eq!(backend.to_string().parse::<ExecBackend>().unwrap(), backend);
+        }
+    }
+
+    #[test]
+    fn backend_from_str_accepts_aliases() {
+        assert_eq!("THREADED".parse::<ExecBackend>().unwrap(), ExecBackend::Threaded);
+        assert_eq!("sharded:4".parse::<ExecBackend>().unwrap(), ExecBackend::Sharded { workers: 4 });
+        assert_eq!(
+            "sharded".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Sharded {
+                workers: ExecBackend::default_workers()
+            }
+        );
+    }
+
+    #[test]
+    fn backend_from_str_rejects_garbage() {
+        for bad in ["", "auto", "sharded(0)", "sharded(x)", "sharded(", "evented"] {
+            let err = bad.parse::<ExecBackend>().unwrap_err();
+            assert_eq!(err.name, bad);
+            assert!(err.to_string().contains("unknown execution backend"), "{err}");
+        }
+    }
+
+    #[test]
+    fn scheduler_pool_rejects_zero_workers() {
+        assert!(matches!(SchedulerPool::new(0), Err(ExecError::NoWorkers)));
+        assert_eq!(SchedulerPool::new(3).unwrap().workers(), 3);
+    }
+
+    #[test]
+    fn pooled_run_matches_private_gate_run() {
+        let spec = MachineSpec::test_machine(8, 1000);
+        let pool = SchedulerPool::new(2).unwrap();
+        let body = |mut c: RankComm| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other).await;
+            got[0] as usize
+        };
+        let pooled = run_spmd_pooled(&spec, &pool, body).unwrap();
+        let private = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, body).unwrap();
+        assert_eq!(pooled.results, private.results);
+        assert_eq!(pooled.stats, private.stats);
+    }
+
+    #[test]
+    fn one_pool_runs_many_concurrent_worlds() {
+        // Four 8-rank worlds share 3 runnable slots; each world's ring
+        // exchange must still complete and count traffic exactly as a solo
+        // run over a same-sized private gate.
+        let body = |mut c: RankComm| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other).await;
+            got[0] as usize
+        };
+        let pool = SchedulerPool::new(3).unwrap();
+        let solo = {
+            let spec = MachineSpec::test_machine(8, 1000);
+            run_spmd_with(&spec, ExecBackend::Sharded { workers: 3 }, body).unwrap()
+        };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = pool.clone();
+                    s.spawn(move || {
+                        let spec = MachineSpec::test_machine(8, 1000);
+                        run_spmd_pooled(&spec, &pool, body).unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let out = h.join().unwrap();
+                assert_eq!(out.results, solo.results);
+                assert_eq!(out.stats, solo.stats);
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_run_enforces_mem_budget() {
+        let spec = MachineSpec::test_machine(2, 1000).with_mem_budget(1);
+        let pool = SchedulerPool::new(2).unwrap();
+        let err = run_spmd_pooled(&spec, &pool, |c| async move {
+            c.track_alloc(5);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::MemBudgetExceeded {
+                need: 5,
+                budget: 1,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,291 @@
+//! The sharded, bounded, LRU plan cache.
+//!
+//! Keys are canonical [`PlanKey`]s; values are [`CachedPlan`]s — the
+//! auto-planner's [`Selection`] plus the winning `Arc<DistPlan>`, so a hit
+//! skips both planning *and* selection. The map is split into shards, each
+//! behind its own `RwLock`: concurrent driver threads hitting different
+//! shards never contend, and hits on the same shard share a read lock.
+//! Recency is tracked with a lock-free global tick — a hit bumps the
+//! entry's `last_used` atomically *under the read lock* — and eviction
+//! (only on insert into a full shard) removes the least-recently-used entry
+//! of that shard. Hit/miss/insert/eviction counters are atomic and
+//! readable at any time via [`PlanCache::stats`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cosma::api::PlanError;
+
+use crate::auto::Planned;
+use crate::key::PlanKey;
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted to make room (LRU within the full shard).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<Planned>,
+    last_used: AtomicU64,
+}
+
+type Shard = HashMap<PlanKey, Entry>;
+
+/// A sharded `PlanKey → Arc<Planned>` map with bounded LRU shards and
+/// atomic hit/miss/eviction counters. See the module docs for the locking
+/// discipline.
+pub struct PlanCache {
+    shards: Vec<RwLock<Shard>>,
+    per_shard_cap: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache of at most `capacity` plans spread over `shards` shards
+    /// (each shard holds at most `ceil(capacity / shards)` entries).
+    ///
+    /// # Panics
+    /// Panics when `shards` or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "the plan cache needs at least one shard");
+        assert!(capacity > 0, "the plan cache needs room for at least one plan");
+        PlanCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard_cap: capacity.div_ceil(shards),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A 16-shard cache of 1024 plans — roomy for a serving mix.
+    pub fn with_default_shape() -> Self {
+        PlanCache::new(16, 1024)
+    }
+
+    fn shard_of(&self, key: &PlanKey) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn read(&self, key: &PlanKey) -> Option<Arc<Planned>> {
+        let shard = self.shard_of(key).read().unwrap_or_else(|e| e.into_inner());
+        shard.get(key).map(|entry| {
+            entry
+                .last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            entry.value.clone()
+        })
+    }
+
+    /// Look up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<Planned>> {
+        match self.read(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The memoization entry point: return the cached plan for `key`, or
+    /// run `plan` (outside any lock — planning is pure, so a concurrent
+    /// duplicate is wasted work, never wrong) and cache its result. The
+    /// boolean is `true` on a hit.
+    ///
+    /// # Errors
+    /// `plan`'s error, verbatim; failures are not cached (the next request
+    /// with the same key retries).
+    pub fn get_or_try_insert_with(
+        &self,
+        key: PlanKey,
+        plan: impl FnOnce() -> Result<Planned, PlanError>,
+    ) -> Result<(Arc<Planned>, bool), PlanError> {
+        if let Some(hit) = self.get(&key) {
+            return Ok((hit, true));
+        }
+        let value = Arc::new(plan()?);
+        let mut shard = self.shard_of(&key).write().unwrap_or_else(|e| e.into_inner());
+        // A racing thread may have planned the same key meanwhile; its
+        // entry is identical (planning is pure) — keep ours out.
+        if let Some(existing) = shard.get(&key) {
+            return Ok((existing.value.clone(), false));
+        }
+        if shard.len() >= self.per_shard_cap {
+            let lru = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            if let Some(lru) = lru {
+                shard.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(
+            key,
+            Entry {
+                value: value.clone(),
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok((value, false))
+    }
+
+    /// Current counter values and resident-entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+                .sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_cap", &self.per_shard_cap)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auto::{AlgoChoice, AutoPlanner};
+    use cosma::problem::MmmProblem;
+    use mpsim::cost::CostModel;
+
+    fn planned_for(p: usize) -> (PlanKey, Planned) {
+        let prob = MmmProblem::new(64, 64, 64, p, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let key = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let planned = AutoPlanner::new(baselines::registry())
+            .select(&prob, &model, true, &AlgoChoice::Auto)
+            .unwrap();
+        (key, planned)
+    }
+
+    #[test]
+    fn miss_then_hit_returns_the_identical_plan() {
+        let cache = PlanCache::new(4, 64);
+        let (key, planned) = planned_for(16);
+        let (cold, hit) = cache.get_or_try_insert_with(key, || Ok(planned)).unwrap();
+        assert!(!hit);
+        let (warm, hit) = cache
+            .get_or_try_insert_with(key, || panic!("must not replan on a hit"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&cold, &warm), "the very same allocation");
+        assert_eq!(*cold.plan, *warm.plan, "bitwise-identical plan");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planning_errors_are_not_cached() {
+        let cache = PlanCache::new(1, 4);
+        let (key, planned) = planned_for(16);
+        let err = cache
+            .get_or_try_insert_with(key, || {
+                Err(PlanError::UnknownAlgorithm {
+                    name: "transient".into(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, PlanError::UnknownAlgorithm { .. }));
+        assert_eq!(cache.stats().entries, 0);
+        // The key is retried, not poisoned.
+        let (_, hit) = cache.get_or_try_insert_with(key, || Ok(planned)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn full_shard_evicts_the_least_recently_used() {
+        // One shard of capacity 2: insert a, b; touch a; insert c → b out.
+        let cache = PlanCache::new(1, 2);
+        let keys: Vec<(PlanKey, Planned)> = [4, 8, 16].iter().map(|&p| planned_for(p)).collect();
+        for (key, planned) in &keys[..2] {
+            cache.get_or_try_insert_with(*key, || Ok(planned.clone())).unwrap();
+        }
+        assert!(cache.get(&keys[0].0).is_some(), "touch a");
+        cache.get_or_try_insert_with(keys[2].0, || Ok(keys[2].1.clone())).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&keys[0].0).is_some(), "a survived");
+        assert!(cache.get(&keys[1].0).is_none(), "b was the LRU");
+        assert!(cache.get(&keys[2].0).is_some(), "c resident");
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_converge_to_one_entry() {
+        let cache = Arc::new(PlanCache::new(4, 64));
+        let (key, planned) = planned_for(16);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = cache.clone();
+                let planned = planned.clone();
+                s.spawn(move || {
+                    let (got, _) = cache.get_or_try_insert_with(key, || Ok(planned)).unwrap();
+                    assert_eq!(got.selection.algo, got.plan.algo);
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "one resident entry regardless of racing");
+        assert_eq!(stats.hits + stats.misses, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = PlanCache::new(0, 4);
+    }
+}

@@ -1,0 +1,434 @@
+//! The multi-tenant execution driver.
+//!
+//! A [`Server`] owns the serving stack — an [`AutoPlanner`] over a shared
+//! registry, a [`PlanCache`], and a [`SchedulerPool`] — plus a team of
+//! driver threads consuming a job queue. Each [`JobRequest`] is an
+//! independent SPMD world; many of them run concurrently:
+//!
+//! * **blocking backends** (threaded/sharded) execute over the *shared*
+//!   [`SchedulerPool`], so the combined runnable ranks of all concurrent
+//!   jobs — not each job's separately — respect one machine-wide worker
+//!   cap;
+//! * **event-backend** worlds are single-threaded discrete-event
+//!   simulations, so the driver threads simply interleave them.
+//!
+//! The pipeline per job is admission → cached planning (auto-selection on
+//! a miss) → execution → a [`JobResult`] carrying the [`Selection`], the
+//! plan and the per-rank [`ExecReport`]. Every step is deterministic, so a
+//! job's result is bitwise-identical to the same job run serially through
+//! `RunSession` — concurrency changes throughput, never answers.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cosma::api::{AlgorithmRegistry, ExecReport, PlanError, RunSession};
+use cosma::plan::DistPlan;
+use cosma::problem::MmmProblem;
+use densemat::matrix::Matrix;
+use mpsim::cost::CostModel;
+use mpsim::exec::{ExecBackend, ExecError, SchedulerPool};
+
+use crate::auto::{AlgoChoice, AutoPlanner, Selection};
+use crate::cache::{CacheStats, PlanCache};
+use crate::key::PlanKey;
+
+/// One tenant request: a problem, its inputs, and the per-request knobs.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen id, echoed in the [`JobResult`].
+    pub id: u64,
+    /// The multiplication to run.
+    pub prob: MmmProblem,
+    /// Left operand (`m × k`).
+    pub a: Matrix,
+    /// Right operand (`k × n`).
+    pub b: Matrix,
+    /// Which algorithms may serve the request (default: all of them).
+    pub choice: AlgoChoice,
+    /// Cost model override (default: the Piz-Daint-like two-sided model).
+    pub model: Option<CostModel>,
+    /// Communication–computation overlap mode (default: on).
+    pub overlap: bool,
+    /// Enforced per-rank memory budget, if any.
+    pub mem_budget: Option<u64>,
+    /// Execution backend override (default: [`ExecBackend::auto`] for the
+    /// problem's world size). On blocking backends the *shared* scheduler
+    /// pool supplies the worker slots, so a `Sharded { workers }` count is
+    /// superseded by the pool's.
+    pub backend: Option<ExecBackend>,
+}
+
+impl JobRequest {
+    /// A job with default knobs: auto algorithm selection, default cost
+    /// model, overlap on, auto backend.
+    pub fn new(id: u64, prob: MmmProblem, a: Matrix, b: Matrix) -> Self {
+        JobRequest {
+            id,
+            prob,
+            a,
+            b,
+            choice: AlgoChoice::Auto,
+            model: None,
+            overlap: true,
+            mem_budget: None,
+            backend: None,
+        }
+    }
+
+    /// Restrict the algorithm choice.
+    pub fn choice(mut self, choice: AlgoChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Pin the execution backend.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+}
+
+/// What a successfully served job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The auto-planner's verdict (memoized across identical requests).
+    pub selection: Selection,
+    /// The executed plan (shared with the cache entry).
+    pub plan: Arc<DistPlan>,
+    /// The assembled product and per-rank measured statistics.
+    pub report: ExecReport,
+    /// Whether planning was answered from the cache.
+    pub cache_hit: bool,
+    /// The backend the world executed on.
+    pub backend: ExecBackend,
+}
+
+/// The server's answer to one [`JobRequest`].
+#[derive(Debug)]
+pub struct JobResult {
+    /// The request's id.
+    pub id: u64,
+    /// The served output, or the typed planning/execution failure.
+    pub outcome: Result<JobOutput, PlanError>,
+}
+
+/// Sizing knobs of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Driver threads consuming the job queue (concurrent jobs in flight).
+    pub drivers: usize,
+    /// Runnable-rank slots of the shared [`SchedulerPool`].
+    pub pool_workers: usize,
+    /// Plan-cache shard count.
+    pub cache_shards: usize,
+    /// Plan-cache capacity (plans, across all shards).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        ServerConfig {
+            drivers: cores.div_ceil(2).max(2),
+            pool_workers: cores,
+            cache_shards: 16,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+struct Shared {
+    planner: AutoPlanner,
+    cache: PlanCache,
+    pool: SchedulerPool,
+}
+
+/// The serving front door: submit [`JobRequest`]s, receive [`JobResult`]s.
+///
+/// ```
+/// use cosma::problem::MmmProblem;
+/// use densemat::matrix::Matrix;
+/// use serve::{JobRequest, Server, ServerConfig};
+///
+/// let config = ServerConfig { drivers: 1, ..ServerConfig::default() };
+/// let server = Server::new(baselines::registry(), config).unwrap();
+/// let prob = MmmProblem::new(32, 32, 32, 4, 1 << 12);
+/// let a = Matrix::deterministic(prob.m, prob.k, 1);
+/// let b = Matrix::deterministic(prob.k, prob.n, 2);
+/// let results = server.run_batch(vec![
+///     JobRequest::new(0, prob, a.clone(), b.clone()),
+///     JobRequest::new(1, prob, a, b), // same key: plans once
+/// ]);
+/// assert!(results.iter().all(|r| r.outcome.is_ok()));
+/// assert_eq!(server.cache_stats().hits, 1);
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    jobs_tx: Option<Sender<JobRequest>>,
+    results_rx: Mutex<Receiver<JobResult>>,
+    drivers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn a server over `registry` with `config.drivers` driver threads.
+    ///
+    /// # Errors
+    /// [`ExecError::NoWorkers`] when `config.pool_workers` is zero.
+    ///
+    /// # Panics
+    /// Panics when `config.drivers`, `config.cache_shards` or
+    /// `config.cache_capacity` is zero.
+    pub fn new(registry: AlgorithmRegistry, config: ServerConfig) -> Result<Self, ExecError> {
+        assert!(config.drivers > 0, "the server needs at least one driver thread");
+        let shared = Arc::new(Shared {
+            planner: AutoPlanner::new(registry),
+            cache: PlanCache::new(config.cache_shards, config.cache_capacity),
+            pool: SchedulerPool::new(config.pool_workers)?,
+        });
+        let (jobs_tx, jobs_rx) = mpsc::channel::<JobRequest>();
+        let (results_tx, results_rx) = mpsc::channel::<JobResult>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let drivers = (0..config.drivers)
+            .map(|i| {
+                let shared = shared.clone();
+                let jobs_rx = jobs_rx.clone();
+                let results_tx = results_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-driver-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the dequeue; waiting
+                        // drivers queue up on the mutex, which is the same
+                        // as waiting for a job.
+                        let job = match jobs_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // queue closed: server shut down
+                        };
+                        let result = serve_job(&shared, job);
+                        if results_tx.send(result).is_err() {
+                            break; // receiver gone: server dropped mid-flight
+                        }
+                    })
+                    .expect("spawn serve driver")
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            jobs_tx: Some(jobs_tx),
+            results_rx: Mutex::new(results_rx),
+            drivers,
+        })
+    }
+
+    /// Enqueue a job; some driver thread will pick it up. Results arrive in
+    /// *completion* order via [`recv`](Self::recv), not submission order.
+    pub fn submit(&self, job: JobRequest) {
+        self.jobs_tx
+            .as_ref()
+            .expect("server accepts jobs until shutdown")
+            .send(job)
+            .expect("driver threads outlive the server handle");
+    }
+
+    /// Block for the next finished job. `None` only after
+    /// [`shutdown`](Self::shutdown) semantics kick in (never while the
+    /// server can still produce results).
+    pub fn recv(&self) -> Option<JobResult> {
+        self.results_rx.lock().unwrap_or_else(|e| e.into_inner()).recv().ok()
+    }
+
+    /// Submit `jobs` and collect exactly one result per job, returned in
+    /// ascending id order (execution itself is concurrent and completes in
+    /// arbitrary order).
+    pub fn run_batch(&self, jobs: Vec<JobRequest>) -> Vec<JobResult> {
+        let n = jobs.len();
+        for job in jobs {
+            self.submit(job);
+        }
+        let mut results: Vec<JobResult> = (0..n)
+            .map(|_| self.recv().expect("drivers return one result per job"))
+            .collect();
+        results.sort_by_key(|r| r.id);
+        results
+    }
+
+    /// Serve one job synchronously on the caller's thread (same pipeline,
+    /// no queue) — the serial reference path.
+    pub fn run_sync(&self, job: JobRequest) -> JobResult {
+        serve_job(&self.shared, job)
+    }
+
+    /// Plan-cache counters at this instant.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The shared scheduler pool (e.g. to co-schedule work outside the
+    /// server under the same worker cap).
+    pub fn pool(&self) -> &SchedulerPool {
+        &self.shared.pool
+    }
+
+    /// Stop accepting jobs, drain the driver threads, and report the final
+    /// cache counters. Undelivered results are discarded.
+    pub fn shutdown(mut self) -> CacheStats {
+        self.close();
+        self.shared.cache.stats()
+    }
+
+    fn close(&mut self) {
+        drop(self.jobs_tx.take()); // closes the queue: drivers drain and exit
+        for h in self.drivers.drain(..) {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The serving pipeline for one job: cached planning, then execution.
+fn serve_job(shared: &Shared, job: JobRequest) -> JobResult {
+    let id = job.id;
+    let outcome = (|| {
+        let model = job.model.unwrap_or_else(CostModel::piz_daint_two_sided);
+        let key = PlanKey::new(&job.prob, &model, job.overlap, job.mem_budget, &job.choice);
+        let (planned, cache_hit) = shared.cache.get_or_try_insert_with(key, || {
+            shared.planner.select(&job.prob, &model, job.overlap, &job.choice)
+        })?;
+        let backend = job.backend.unwrap_or_else(|| ExecBackend::auto(job.prob.p));
+        let mut session = RunSession::new(job.prob)
+            .registry(shared.planner.registry().clone())
+            .algorithm(planned.selection.algo)
+            .machine(model)
+            .overlap(job.overlap)
+            .exec_backend(backend);
+        if let Some(words) = job.mem_budget {
+            session = session.mem_budget(words);
+        }
+        let report = match backend {
+            // An event world is one single-threaded simulation; driver
+            // threads interleave many of them.
+            ExecBackend::Event => session.execute_planned(&planned.plan, &job.a, &job.b)?,
+            // Blocking worlds take their runnable slots from the shared
+            // pool, so concurrent jobs respect one machine-wide cap.
+            ExecBackend::Threaded | ExecBackend::Sharded { .. } => {
+                session.execute_planned_pooled(&planned.plan, &shared.pool, &job.a, &job.b)?
+            }
+        };
+        Ok(JobOutput {
+            selection: planned.selection.clone(),
+            plan: planned.plan.clone(),
+            report,
+            cache_hit,
+            backend,
+        })
+    })();
+    JobResult { id, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma::api::AlgoId;
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            drivers: 3,
+            pool_workers: 4,
+            cache_shards: 4,
+            cache_capacity: 64,
+        }
+    }
+
+    fn job(id: u64, p: usize, seed: u64) -> JobRequest {
+        let prob = MmmProblem::new(24, 20, 28, p, 1 << 12);
+        let a = Matrix::deterministic(prob.m, prob.k, seed);
+        let b = Matrix::deterministic(prob.k, prob.n, seed + 1);
+        JobRequest::new(id, prob, a, b)
+    }
+
+    #[test]
+    fn batch_results_match_sync_runs_bitwise() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        let jobs: Vec<JobRequest> = (0..12).map(|i| job(i, [4, 6, 8][i as usize % 3], i)).collect();
+        let results = server.run_batch(jobs.clone());
+        assert_eq!(results.len(), jobs.len());
+        for (job, result) in jobs.into_iter().zip(results) {
+            assert_eq!(job.id, result.id);
+            let concurrent = result.outcome.unwrap();
+            let serial = server.run_sync(job).outcome.unwrap();
+            assert_eq!(concurrent.report.c, serial.report.c, "bitwise product");
+            assert_eq!(concurrent.report.stats, serial.report.stats);
+            assert_eq!(concurrent.selection, serial.selection);
+            assert_eq!(*concurrent.plan, *serial.plan);
+        }
+    }
+
+    #[test]
+    fn repeat_keys_hit_the_cache() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        // 9 jobs over 3 distinct keys (ids differ, keys repeat).
+        let jobs: Vec<JobRequest> = (0..9).map(|i| job(i, [4, 6, 8][i as usize % 3], i % 3)).collect();
+        let results = server.run_batch(jobs);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        let stats = server.shutdown();
+        assert_eq!(stats.inserts, 3);
+        assert_eq!(stats.hits + stats.misses, 9);
+        assert!(stats.hits >= 6, "at least the 6 repeats hit; got {stats:?}");
+    }
+
+    #[test]
+    fn infeasible_job_fails_typed_while_others_succeed() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        // p = 6 cannot serve Cannon (not a perfect square).
+        let bad = job(0, 6, 0).choice(AlgoChoice::Fixed(AlgoId::Cannon));
+        let good = job(1, 6, 1);
+        let results = server.run_batch(vec![bad, good]);
+        assert!(matches!(
+            results[0].outcome,
+            Err(PlanError::UnsupportedRanks {
+                algo: AlgoId::Cannon,
+                ..
+            })
+        ));
+        let out = results[1].outcome.as_ref().unwrap();
+        assert!(!matches!(out.selection.algo, AlgoId::Cannon | AlgoId::Carma));
+    }
+
+    #[test]
+    fn event_and_blocking_jobs_interleave_and_agree() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        let blocking = job(0, 8, 3);
+        let event = job(1, 8, 3).backend(ExecBackend::Event);
+        let results = server.run_batch(vec![blocking, event]);
+        let a = results[0].outcome.as_ref().unwrap();
+        let b = results[1].outcome.as_ref().unwrap();
+        assert_eq!(a.backend, ExecBackend::Threaded, "auto for p = 8");
+        assert_eq!(b.backend, ExecBackend::Event);
+        assert_eq!(a.report.c, b.report.c, "backends agree bitwise");
+        // Counters agree too; only the event backend measures virtual time.
+        for (x, y) in a.report.stats.iter().zip(&b.report.stats) {
+            assert_eq!(x.sans_time(), y.sans_time());
+        }
+    }
+
+    #[test]
+    fn mem_budget_violations_surface_per_job() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        let mut strict = job(0, 4, 0);
+        strict.mem_budget = Some(1);
+        let results = server.run_batch(vec![strict]);
+        assert!(matches!(
+            results[0].outcome,
+            Err(PlanError::Execution {
+                source: ExecError::MemBudgetExceeded { .. }
+            })
+        ));
+    }
+}

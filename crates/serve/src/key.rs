@@ -1,0 +1,138 @@
+//! Canonical cache keys for memoized planning.
+//!
+//! Planning is pure: a `DistPlan` is fully determined by the problem
+//! `(m, n, k, p, S)`, the α-β-γ cost model, the overlap mode and — through
+//! the auto-planner — the candidate set. A [`PlanKey`] is that tuple in
+//! canonical form. Float fields are keyed by **bit pattern**
+//! ([`f64::to_bits`]): two cost models are the same key exactly when they
+//! are the same floats, with no epsilon fuzz and no NaN/−0.0 ambiguity in
+//! `Eq`/`Hash`.
+
+use cosma::problem::MmmProblem;
+use mpsim::cost::CostModel;
+
+use crate::auto::AlgoChoice;
+
+/// Canonical identity of one planning request. `Eq + Hash`, so it keys the
+/// [`PlanCache`](crate::cache::PlanCache) map directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Rows of A and C.
+    pub m: u64,
+    /// Columns of B and C.
+    pub n: u64,
+    /// Columns of A / rows of B.
+    pub k: u64,
+    /// World size.
+    pub p: u64,
+    /// Per-rank memory S, in words.
+    pub mem_words: u64,
+    /// [`CostModel::peak_flops`] as its IEEE-754 bit pattern.
+    pub peak_flops_bits: u64,
+    /// [`CostModel::kernel_efficiency`] as its bit pattern.
+    pub kernel_efficiency_bits: u64,
+    /// [`CostModel::alpha_s`] as its bit pattern.
+    pub alpha_bits: u64,
+    /// [`CostModel::beta_s_per_word`] as its bit pattern.
+    pub beta_bits: u64,
+    /// Communication–computation overlap mode (changes the planned-time
+    /// objective the auto-planner minimizes).
+    pub overlap: bool,
+    /// Enforced per-rank memory budget, when set.
+    pub mem_budget: Option<u64>,
+    /// The allowed algorithms as a bitmask over
+    /// [`AlgoId::ALL`](cosma::api::AlgoId::ALL) positions
+    /// ([`AlgoChoice::mask`]).
+    pub candidates: u8,
+}
+
+impl PlanKey {
+    /// The canonical key of a planning request.
+    pub fn new(
+        prob: &MmmProblem,
+        model: &CostModel,
+        overlap: bool,
+        mem_budget: Option<u64>,
+        choice: &AlgoChoice,
+    ) -> Self {
+        PlanKey {
+            m: prob.m as u64,
+            n: prob.n as u64,
+            k: prob.k as u64,
+            p: prob.p as u64,
+            mem_words: prob.mem_words as u64,
+            peak_flops_bits: model.peak_flops.to_bits(),
+            kernel_efficiency_bits: model.kernel_efficiency.to_bits(),
+            alpha_bits: model.alpha_s.to_bits(),
+            beta_bits: model.beta_s_per_word.to_bits(),
+            overlap,
+            mem_budget,
+            candidates: choice.mask(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma::api::AlgoId;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(key: &PlanKey) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn same_request_same_key() {
+        let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let a = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let b = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn every_field_distinguishes() {
+        let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let base = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let variants = [
+            PlanKey::new(&MmmProblem::new(97, 80, 112, 16, 1 << 14), &model, true, None, &AlgoChoice::Auto),
+            PlanKey::new(&MmmProblem::new(96, 80, 112, 32, 1 << 14), &model, true, None, &AlgoChoice::Auto),
+            PlanKey::new(&MmmProblem::new(96, 80, 112, 16, 1 << 15), &model, true, None, &AlgoChoice::Auto),
+            PlanKey::new(&prob, &CostModel::piz_daint_one_sided(), true, None, &AlgoChoice::Auto),
+            PlanKey::new(&prob, &model, false, None, &AlgoChoice::Auto),
+            PlanKey::new(&prob, &model, true, Some(1 << 14), &AlgoChoice::Auto),
+            PlanKey::new(&prob, &model, true, None, &AlgoChoice::Fixed(AlgoId::Cosma)),
+        ];
+        for v in variants {
+            assert_ne!(base, v);
+        }
+    }
+
+    #[test]
+    fn floats_key_by_bit_pattern_not_value_fuzz() {
+        let prob = MmmProblem::new(64, 64, 64, 16, 1 << 14);
+        let mut warm = CostModel::piz_daint_two_sided();
+        warm.alpha_s += f64::EPSILON * warm.alpha_s;
+        let a = PlanKey::new(&prob, &CostModel::piz_daint_two_sided(), true, None, &AlgoChoice::Auto);
+        let b = PlanKey::new(&prob, &warm, true, None, &AlgoChoice::Auto);
+        assert_ne!(a, b, "one-ulp difference is a different key");
+    }
+
+    #[test]
+    fn equivalent_choices_share_a_key() {
+        let prob = MmmProblem::new(64, 64, 64, 16, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let spelled = AlgoChoice::Among(vec![AlgoId::Carma, AlgoId::Cosma, AlgoId::Carma]);
+        let canonical = AlgoChoice::Among(vec![AlgoId::Cosma, AlgoId::Carma]);
+        assert_eq!(
+            PlanKey::new(&prob, &model, true, None, &spelled),
+            PlanKey::new(&prob, &model, true, None, &canonical),
+        );
+    }
+}

@@ -15,6 +15,11 @@
 //! * [`baselines`] — ScaLAPACK-style SUMMA, Cannon, 2.5D/3D (CTF-style) and
 //!   CARMA comparison algorithms (§2.4), plus [`baselines::registry`], the
 //!   full five-algorithm [`cosma::api::AlgorithmRegistry`].
+//! * [`serve`] — planning-as-a-service: a sharded LRU plan cache keyed by
+//!   canonical [`serve::PlanKey`]s, a cost-model auto-planner selecting the
+//!   cheapest feasible algorithm per request, and a multi-tenant
+//!   [`serve::Server`] executing many independent worlds concurrently over
+//!   a shared scheduler pool.
 //!
 //! The front door is [`cosma::api::RunSession`]: pick a problem, a cost
 //! model and an [`cosma::api::AlgoId`], then `.plan()`, `.run()` (cost-model
@@ -41,3 +46,4 @@ pub use cosma;
 pub use densemat;
 pub use mpsim;
 pub use pebbles;
+pub use serve;

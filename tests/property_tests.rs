@@ -554,6 +554,126 @@ fn virtual_clock_monotone_deterministic_and_overlap_bounded() {
     }
 }
 
+/// The auto-planner against brute force: for random problems and random
+/// candidate subsets, [`serve::AutoPlanner::select`] must return exactly the
+/// exhaustive argmin of planned α-β-γ time over the feasible candidates —
+/// same winner, bitwise-same planned time, same plan — and must report an
+/// error exactly when no candidate is feasible.
+#[test]
+fn auto_planner_selection_is_the_exhaustive_argmin() {
+    use serve::{AlgoChoice, AutoPlanner};
+    let reg = baselines::registry();
+    let planner = AutoPlanner::new(reg.clone());
+    let model = CostModel::piz_daint_two_sided();
+    let mut rng = Rng::new(17);
+    let mut feasible_cases = 0usize;
+    for _ in 0..CASES {
+        let m = rng.range(4, 96);
+        let n = rng.range(4, 96);
+        let k = rng.range(4, 96);
+        let p = rng.range(1, 33);
+        let s = m * n + 2 * (m + n) + 16 + rng.range(0, 1 << 14);
+        let prob = MmmProblem::new(m, n, k, p, s);
+        // Random candidate subset (sometimes empty, sometimes everything).
+        let subset: Vec<AlgoId> = AlgoId::ALL.into_iter().filter(|_| rng.next().is_multiple_of(2)).collect();
+        let choice = if rng.next().is_multiple_of(4) {
+            AlgoChoice::Auto
+        } else {
+            AlgoChoice::Among(subset)
+        };
+
+        // Brute force: plan every candidate through the same gauntlet
+        // RunSession applies, score with the cost model, keep the strict
+        // argmin (earliest candidate wins ties).
+        let mut best: Option<(AlgoId, f64, cosma::plan::DistPlan)> = None;
+        for id in choice.candidates() {
+            let Ok(algo) = reg.by_id(id) else { continue };
+            if algo.supports(&prob).is_err() {
+                continue;
+            }
+            let Ok(plan) = algo.plan(&prob, &model) else {
+                continue;
+            };
+            if plan.validate_coverage().is_err() {
+                continue;
+            }
+            let t = plan.simulate(&model, true).time_s;
+            if best.as_ref().is_none_or(|(_, bt, _)| t < *bt) {
+                best = Some((id, t, plan));
+            }
+        }
+
+        match (planner.select(&prob, &model, true, &choice), best) {
+            (Ok(planned), Some((algo, t, plan))) => {
+                feasible_cases += 1;
+                assert_eq!(planned.selection.algo, algo, "{m}x{n}x{k} p={p} {choice:?}");
+                assert_eq!(
+                    planned.selection.planned_time_s.to_bits(),
+                    t.to_bits(),
+                    "{m}x{n}x{k} p={p}: planned time must be bitwise-reproducible"
+                );
+                assert_eq!(*planned.plan, plan, "{m}x{n}x{k} p={p}: plan diverged");
+                if let Some(ru) = planned.selection.runner_up {
+                    assert!(ru.planned_time_s >= planned.selection.planned_time_s);
+                    assert_ne!(ru.algo, planned.selection.algo);
+                }
+            }
+            (Err(_), None) => {}
+            (got, want) => panic!(
+                "{m}x{n}x{k} p={p} {choice:?}: planner and brute force disagree on \
+                 feasibility (planner: {}, brute force: {})",
+                if got.is_ok() { "Ok" } else { "Err" },
+                if want.is_some() { "Some" } else { "None" },
+            ),
+        }
+    }
+    assert!(feasible_cases >= CASES as usize / 2, "only {feasible_cases} feasible — weak sample");
+}
+
+/// Plan-cache exactness: for random requests, a cache hit returns a plan and
+/// selection bitwise-identical to planning cold — planning is a pure
+/// function of the [`serve::PlanKey`], so caching may never change what a
+/// request gets back.
+#[test]
+fn plan_cache_hits_are_bitwise_identical_to_cold_planning() {
+    use serve::{AlgoChoice, AutoPlanner, PlanCache, PlanKey};
+    let planner = AutoPlanner::new(baselines::registry());
+    let model = CostModel::piz_daint_two_sided();
+    let cache = PlanCache::new(4, 64);
+    let mut rng = Rng::new(18);
+    for _ in 0..CASES {
+        let m = rng.range(4, 80);
+        let n = rng.range(4, 80);
+        let k = rng.range(4, 80);
+        let p = 1usize << rng.range(0, 6);
+        let s = m * n + 2 * (m + n) + 16 + rng.range(0, 1 << 13);
+        let prob = MmmProblem::new(m, n, k, p, s);
+        let choice = AlgoChoice::Auto;
+        let key = PlanKey::new(&prob, &model, true, None, &choice);
+
+        // Cold: a private selection, no cache involved.
+        let cold = planner.select(&prob, &model, true, &choice).expect("ample memory");
+        // Through the cache: first call may insert, second must hit.
+        let (first, _) = cache
+            .get_or_try_insert_with(key, || planner.select(&prob, &model, true, &choice))
+            .expect("ample memory");
+        let hit = cache.get(&key).expect("just inserted");
+
+        // The hit is the same allocation as the insert, and both are
+        // bitwise-identical to the cold plan.
+        assert!(std::sync::Arc::ptr_eq(&first, &hit), "{m}x{n}x{k} p={p}: hit reallocated");
+        assert_eq!(hit.selection, cold.selection, "{m}x{n}x{k} p={p}: selection diverged");
+        assert_eq!(*hit.plan, *cold.plan, "{m}x{n}x{k} p={p}: cached plan diverged from cold");
+        assert_eq!(
+            hit.selection.planned_time_s.to_bits(),
+            cold.selection.planned_time_s.to_bits(),
+            "{m}x{n}x{k} p={p}: planned time not bitwise-stable"
+        );
+    }
+    let stats = cache.stats();
+    assert!(stats.hits >= CASES, "every case must hit at least once: {stats:?}");
+}
+
 #[test]
 fn theorem2_bound_monotone_in_memory() {
     use pebbles::bounds::theorem2_parallel_bound;

@@ -1,0 +1,100 @@
+//! Conformance of the serving layer (`crates/serve`) against direct
+//! `RunSession` execution: a mixed multi-tenant stream served concurrently
+//! must be observationally identical — bit for bit — to planning and
+//! executing each job by hand, one at a time.
+//!
+//! This is the end-to-end guarantee the serve crate rests on: planning is a
+//! pure function of the request (so cached plans are exact), and the three
+//! executors are conformant (so a world run on the shared scheduler pool
+//! among many tenants computes exactly what it computes alone).
+
+use bench::serve_bench::{mixed_stream, unique_combos};
+use cosma::api::{AlgoId, RunSession};
+use mpsim::cost::CostModel;
+use mpsim::exec::ExecBackend;
+use serve::{AutoPlanner, Server, ServerConfig};
+
+/// A ≥64-job mixed stream (repeat + unique plan keys) through a concurrent
+/// [`Server`]: every `JobResult` matches a serial [`RunSession`] run of the
+/// same job bitwise, at least three different algorithms are auto-selected,
+/// and the plan cache absorbs the key repeats.
+#[test]
+fn concurrent_stream_matches_serial_run_sessions_bitwise() {
+    let n_jobs = 64;
+    let jobs = mixed_stream(n_jobs, None);
+    assert!(unique_combos().len() < n_jobs, "the stream must repeat plan keys");
+
+    let config = ServerConfig {
+        drivers: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(baselines::registry(), config).unwrap();
+    let served = server.run_batch(jobs.clone());
+    assert_eq!(served.len(), n_jobs);
+
+    // The serial reference: plan and execute every job by hand with a fresh
+    // auto-planner and a private RunSession — no serve crate on this path
+    // beyond the selection rule itself.
+    let model = CostModel::piz_daint_two_sided();
+    let planner = AutoPlanner::new(baselines::registry());
+    let mut selected: Vec<AlgoId> = Vec::new();
+    for (job, result) in jobs.iter().zip(&served) {
+        assert_eq!(job.id, result.id, "run_batch must return results in id order");
+        let out = result.outcome.as_ref().expect("the mixed stream is feasible by construction");
+
+        let reference = planner.select(&job.prob, &model, job.overlap, &job.choice).expect("feasible");
+        assert_eq!(out.selection, reference.selection, "job {}: selection diverged", job.id);
+        assert_eq!(*out.plan, *reference.plan, "job {}: plan diverged", job.id);
+
+        let report = RunSession::new(job.prob)
+            .registry(baselines::registry())
+            .algorithm(reference.selection.algo)
+            .machine(model)
+            .overlap(job.overlap)
+            .exec_backend(ExecBackend::auto(job.prob.p))
+            .execute(&job.a, &job.b)
+            .expect("serial reference run");
+        assert_eq!(out.report.c, report.c, "job {}: product diverged from serial", job.id);
+        assert_eq!(out.report.stats, report.stats, "job {}: counters diverged from serial", job.id);
+
+        if !selected.contains(&out.selection.algo) {
+            selected.push(out.selection.algo);
+        }
+    }
+
+    assert!(selected.len() >= 3, "want >= 3 algorithms auto-selected, got {selected:?}");
+    let stats = server.shutdown();
+    assert!(stats.hit_rate() > 0.0, "key repeats must hit the cache: {stats:?}");
+    assert_eq!(stats.hits + stats.misses, n_jobs as u64);
+}
+
+/// The same stream pinned to the event backend: virtual-clock execution
+/// through the server agrees with private event runs, including the
+/// per-rank α-β-γ times (event worlds interleave on the driver threads but
+/// never share scheduler state).
+#[test]
+fn event_backend_stream_matches_serial_including_virtual_time() {
+    let n_jobs = 24;
+    let jobs = mixed_stream(n_jobs, Some(ExecBackend::Event));
+    let server = Server::new(baselines::registry(), ServerConfig::default()).unwrap();
+    let served = server.run_batch(jobs.clone());
+
+    let model = CostModel::piz_daint_two_sided();
+    let planner = AutoPlanner::new(baselines::registry());
+    for (job, result) in jobs.iter().zip(&served) {
+        let out = result.outcome.as_ref().expect("feasible stream");
+        let reference = planner.select(&job.prob, &model, job.overlap, &job.choice).expect("feasible");
+        let report = RunSession::new(job.prob)
+            .registry(baselines::registry())
+            .algorithm(reference.selection.algo)
+            .machine(model)
+            .overlap(job.overlap)
+            .exec_backend(ExecBackend::Event)
+            .execute(&job.a, &job.b)
+            .expect("serial event run");
+        assert_eq!(out.report.c, report.c, "job {}: product diverged", job.id);
+        // Full stats equality: the event backend's virtual clock is part of
+        // the contract, not stripped.
+        assert_eq!(out.report.stats, report.stats, "job {}: stats diverged", job.id);
+    }
+}
