@@ -18,11 +18,10 @@ use cosma::algorithm::{even_range, CPart};
 use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
-use cosma::treecount;
 use densemat::gemm::gemm_tiled;
 use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
-use mpsim::collectives::bcast;
+use mpsim::collectives::{bcast_pipelined, bcast_pipelined_recv_msgs};
 use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::stats::Phase;
@@ -150,8 +149,8 @@ pub fn plan(prob: &MmmProblem) -> Result<DistPlan, PlanError> {
                 if i != b_root {
                     acc.b_words += (w * ln) as u64;
                 }
-                acc.msgs += treecount::bcast_recv_count(rel(j, a_root, grid.gn), grid.gn)
-                    + treecount::bcast_recv_count(rel(i, b_root, grid.gm), grid.gm);
+                acc.msgs += bcast_pipelined_recv_msgs(rel(j, a_root, grid.gn), grid.gn, lm * w)
+                    + bcast_pipelined_recv_msgs(rel(i, b_root, grid.gm), grid.gm, w * ln);
                 acc.flops += 2 * (lm * ln * w) as u64;
             }
             rounds.push(acc);
@@ -209,20 +208,27 @@ pub async fn execute(
         let w = panel.len();
         let a_root = k_owner(prob.k, grid.gn, panel.start);
         let b_root = k_owner(prob.k, grid.gm, panel.start);
-        // A panel broadcast along my row.
+        // Panel broadcasts use the §7.2 pipelined binomial trees: serialized
+        // whole-panel forwarding was what held PR 5's measured SUMMA time at
+        // 2.1–2.4× plan. Segments are tagged `base + s`, so round bases are
+        // spaced far apart (and A/B separated) to keep tags disjoint.
+        let a_tag = (round as u64) << 33;
+        let b_tag = ((round as u64) << 33) | (1 << 32);
+        // A panel broadcast along my row (every member shares `rows`, so the
+        // payload length lm·w is known group-wide).
         let mut a_panel = if j == a_root {
             a.block(rows.clone(), panel.clone()).into_vec()
         } else {
             Vec::new()
         };
-        bcast(comm, &grid.row_group(i), a_root, &mut a_panel, 2 * round as u64, Phase::InputA).await;
+        bcast_pipelined(comm, &grid.row_group(i), a_root, &mut a_panel, lm * w, a_tag, Phase::InputA).await;
         // B panel broadcast along my column.
         let mut b_panel = if i == b_root {
             b.block(panel.clone(), cols.clone()).into_vec()
         } else {
             Vec::new()
         };
-        bcast(comm, &grid.col_group(j), b_root, &mut b_panel, 2 * round as u64 + 1, Phase::InputB).await;
+        bcast_pipelined(comm, &grid.col_group(j), b_root, &mut b_panel, w * ln, b_tag, Phase::InputB).await;
         let ap = Matrix::from_vec(lm, w, a_panel);
         let bp = Matrix::from_vec(w, ln, b_panel);
         gemm_tiled(&ap, &bp, &mut c_local);

@@ -229,6 +229,19 @@ pub fn comm_core_counts() -> Vec<usize> {
     vec![128, 256, 512, 1024, 2048]
 }
 
+/// Realistic allocation sizes for the topology experiment: whole Piz Daint
+/// XC40 nodes (36 cores each — 2×18-core Xeons, the machine behind
+/// [`mpsim::cost::CostModel::piz_daint_two_sided`]) at natural node counts.
+/// None is a power of two or a perfect `g²·c`, which is the paper's §1
+/// point: real allocations rarely match the baselines' rank-count
+/// requirements, so CARMA pads down to a power of two (idling up to half
+/// the machine) and 2.5D pads to its nearest grid, while COSMA decomposes
+/// any `p` exactly.
+pub fn allocation_core_counts() -> Vec<usize> {
+    // 6, 12, 24, 48 and 96 nodes of 36 cores.
+    vec![216, 432, 864, 1728, 3456]
+}
+
 /// End-to-end executable instances of the four shape classes: the same
 /// shapes as the paper scenarios, scaled so the full matrices fit in one
 /// test process while `p` still reaches paper-like rank counts. Used by the

@@ -122,7 +122,18 @@ pub fn measure(n_jobs: usize, backend: Option<ExecBackend>) -> ServeMetrics {
     let cache = PlanCache::new(8, 256);
     let keys: Vec<PlanKey> = combos
         .iter()
-        .map(|(prob, choice)| PlanKey::new(prob, &model, true, None, choice))
+        .map(|(prob, choice)| {
+            PlanKey::try_new(
+                prob,
+                &model,
+                true,
+                None,
+                choice,
+                &mpsim::machine::Topology::Flat,
+                mpsim::machine::Placement::Block,
+            )
+            .expect("finite model")
+        })
         .collect();
     for (key, (prob, choice)) in keys.iter().zip(&combos) {
         cache
@@ -224,7 +235,18 @@ mod tests {
         let model = CostModel::piz_daint_two_sided();
         let keys: HashSet<PlanKey> = jobs
             .iter()
-            .map(|j| PlanKey::new(&j.prob, &model, j.overlap, j.mem_budget, &j.choice))
+            .map(|j| {
+                PlanKey::try_new(
+                    &j.prob,
+                    &model,
+                    j.overlap,
+                    j.mem_budget,
+                    &j.choice,
+                    &j.topology,
+                    j.placement,
+                )
+                .expect("finite model")
+            })
             .collect();
         assert_eq!(keys.len(), unique_combos().len());
         assert!(keys.len() < 64, "64 jobs over {} keys repeat", keys.len());

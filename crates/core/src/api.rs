@@ -51,7 +51,7 @@ use densemat::matrix::Matrix;
 use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::exec::{run_spmd_pooled, run_spmd_with, ExecBackend, ExecError, SchedulerPool};
-use mpsim::machine::MachineSpec;
+use mpsim::machine::{MachineSpec, Placement, Topology};
 use mpsim::stats::RankStats;
 
 use crate::algorithm::{self, assemble_c, Backend, CPart, CosmaConfig};
@@ -263,6 +263,13 @@ pub enum PlanError {
         /// The executor's typed refusal.
         source: ExecError,
     },
+    /// A machine parameter (cost-model constant or topology factor) is NaN —
+    /// it cannot be canonicalized into a cache key, and no plan objective
+    /// could order candidates under it.
+    NonFiniteCostModel {
+        /// Which parameter was NaN.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -299,6 +306,9 @@ impl fmt::Display for PlanError {
                 write!(f, "invalid configuration for {algo}: {reason}")
             }
             PlanError::Execution { source } => write!(f, "execution backend refused: {source}"),
+            PlanError::NonFiniteCostModel { field } => {
+                write!(f, "machine parameter {field} is NaN and cannot be canonicalized")
+            }
         }
     }
 }
@@ -337,6 +347,10 @@ pub struct ExecReport {
     pub c: Matrix,
     /// Per-rank measured statistics, indexed by rank.
     pub stats: Vec<RankStats>,
+    /// The network topology the run was measured under — [`Topology::Flat`]
+    /// unless the machine was built with one, so callers comparing measured
+    /// times know which contention model produced them.
+    pub topology: Topology,
 }
 
 impl ExecReport {
@@ -495,7 +509,11 @@ pub fn execute_boxed_with(
             |mut comm| async move { algo.execute_rank(&mut comm, plan, a, b).await },
         )?;
     let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
-    Ok(ExecReport { c, stats: out.stats })
+    Ok(ExecReport {
+        c,
+        stats: out.stats,
+        topology: machine.topology.clone(),
+    })
 }
 
 /// [`execute_boxed`] over a *shared* [`SchedulerPool`]: the world's ranks
@@ -525,7 +543,11 @@ pub fn execute_boxed_pooled(
             |mut comm| async move { algo.execute_rank(&mut comm, plan, a, b).await },
         )?;
     let c = assemble_c(out.results.into_iter().flatten(), plan.problem.m, plan.problem.n);
-    Ok(ExecReport { c, stats: out.stats })
+    Ok(ExecReport {
+        c,
+        stats: out.stats,
+        topology: machine.topology.clone(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +708,8 @@ pub struct RunSession {
     overlap: bool,
     exec: Option<ExecBackend>,
     mem_budget: Option<u64>,
+    topology: Option<Topology>,
+    placement: Option<Placement>,
 }
 
 impl RunSession {
@@ -702,6 +726,8 @@ impl RunSession {
             overlap: true,
             exec: None,
             mem_budget: None,
+            topology: None,
+            placement: None,
         }
     }
 
@@ -773,6 +799,29 @@ impl RunSession {
         self
     }
 
+    /// Measure executions under `topology`'s contention model (default:
+    /// [`Topology::Flat`], the historical per-receiver-link clock). Only the
+    /// event backend's virtual clock sees it — word counters and results are
+    /// topology-independent.
+    ///
+    /// # Panics
+    /// Panics when the topology's parameters are invalid
+    /// ([`Topology::validate`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        if let Err(why) = topology.validate() {
+            panic!("invalid topology: {why}");
+        }
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Choose the rank→node [`Placement`] for the session's
+    /// [`topology`](Self::topology) (default: [`Placement::Block`]).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
     /// The execution backend the session will use: the explicit
     /// [`exec_backend`](Self::exec_backend) choice, or [`ExecBackend::auto`]
     /// for the problem's world size.
@@ -790,12 +839,18 @@ impl RunSession {
     /// [`overlap`](Self::overlap) mode, enforcing the session's
     /// [`mem_budget`](Self::mem_budget) when one is set.
     pub fn machine_spec(&self) -> MachineSpec {
-        let spec =
+        let mut spec =
             MachineSpec::new(self.prob.p, self.prob.mem_words, self.cost_model()).with_overlap(self.overlap);
-        match self.mem_budget {
-            Some(words) => spec.with_mem_budget(words),
-            None => spec,
+        if let Some(words) = self.mem_budget {
+            spec = spec.with_mem_budget(words);
         }
+        if let Some(topology) = &self.topology {
+            spec = spec.with_topology(topology.clone());
+        }
+        if let Some(placement) = self.placement {
+            spec = spec.with_placement(placement);
+        }
+        spec
     }
 
     /// Resolve the configured algorithm instance.

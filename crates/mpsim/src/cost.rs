@@ -44,6 +44,18 @@ impl CostModel {
         }
     }
 
+    /// This model with β scaled by a topology contention multiplier
+    /// (`Network::mean_contention`): the plan-level mean-field view of the
+    /// event executor's shared-link serialization. α and γ are per-rank
+    /// resources and stay untouched; a multiplier of exactly `1.0` (the
+    /// flat topology) returns the model bitwise-unchanged.
+    pub fn with_contention(&self, multiplier: f64) -> CostModel {
+        CostModel {
+            beta_s_per_word: self.beta_s_per_word * multiplier,
+            ..*self
+        }
+    }
+
     /// Time to execute `flops` floating-point operations locally.
     pub fn compute_time(&self, flops: u64) -> f64 {
         flops as f64 / (self.peak_flops * self.kernel_efficiency)
@@ -245,6 +257,16 @@ mod tests {
         assert!((percent_peak(50, 1, 100.0, &m) - 50.0).abs() < 1e-12);
         assert_eq!(percent_peak(50, 0, 100.0, &m), 0.0);
         assert_eq!(percent_peak(50, 1, 0.0, &m), 0.0);
+    }
+
+    #[test]
+    fn contention_scales_beta_only_and_one_is_identity() {
+        let m = CostModel::piz_daint_two_sided();
+        assert_eq!(m.with_contention(1.0), m, "1.0 must be the bitwise identity");
+        let worse = m.with_contention(8.0);
+        assert_eq!(worse.alpha_s, m.alpha_s);
+        assert_eq!(worse.peak_flops, m.peak_flops);
+        assert_eq!(worse.beta_s_per_word, m.beta_s_per_word * 8.0);
     }
 
     #[test]

@@ -27,9 +27,14 @@
 //! * a local GEMM ([`EventComm::record_flops`]) advances the clock by
 //!   `compute_time(flops)`;
 //! * a `send` stamps the message with the sender's clock; the transfer costs
-//!   `α + β·words` and is serialized on the *receiver's incoming link* in
-//!   consumption order (one wire per rank, like the plan-level model's
-//!   per-rank comm accounting);
+//!   `α + β·words` and is routed over the machine's
+//!   [`Topology`](crate::machine::Topology) by a compiled
+//!   [`Network`](crate::topo::Network): every link on the path (sender NIC,
+//!   switch uplinks, the receiver's injection wire) is charged its share of
+//!   the wire time in virtual-time *consumption* order, store-and-forward,
+//!   so congestion compounds exactly where traffic concentrates. The default
+//!   flat topology routes only the receiver's injection link, which is
+//!   bitwise-identical to the historical per-receiver-link model;
 //! * with **overlap** ([`MachineSpec::overlap`], the default — §7.3's double
 //!   buffering) the transfer proceeds in the background from the moment it
 //!   is posted, so a `recv` completes at `max(recv_ready, arrival)` and
@@ -69,6 +74,7 @@ use crate::comm::{record_rma, window};
 use crate::exec::{ExecError, RunOutput, Waiting};
 use crate::machine::MachineSpec;
 use crate::stats::{Phase, StatsBoard};
+use crate::topo::Network;
 
 /// A tagged in-flight message (the event-world analogue of the blocking
 /// communicator's channel packet), stamped with its virtual-time envelope.
@@ -141,6 +147,42 @@ impl PartialEq for ReadyEntry {
 
 impl Eq for ReadyEntry {}
 
+/// A parked receive's virtual-time deadline (`clock + recv_timeout` at park
+/// time): min-heap by `at`, lazily invalidated through the park epoch (see
+/// [`WorldState::deadlines`]). Ties break by rank then epoch so draining is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+struct DeadlineEntry {
+    at: f64,
+    rank: usize,
+    epoch: u64,
+}
+
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("virtual times are finite")
+            .then(other.rank.cmp(&self.rank))
+            .then(other.epoch.cmp(&self.epoch))
+    }
+}
+
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for DeadlineEntry {}
+
 /// Mutable world state, behind one mutex (the scheduler is single-threaded;
 /// the lock exists so [`EventComm`] stays `Send` like the other backends'
 /// communicators).
@@ -156,11 +198,19 @@ struct WorldState {
     seq: u64,
     /// Per-rank virtual clocks (`now`, seconds).
     clock: Vec<f64>,
-    /// Per-rank incoming-link availability: transfers addressed to a rank
-    /// serialize on its link, like the per-rank comm accounting of the plan
-    /// model (only advanced in overlap mode, where transfers progress in the
-    /// background).
+    /// Per-*link* availability time, indexed by the [`Network`]'s dense link
+    /// ids (`0..p` are the per-rank injection wires; node NICs, switch
+    /// uplinks and torus links follow). Transfers serialize on every link of
+    /// their route in consumption order; committed when the receiver
+    /// consumes the message.
     link_free: Vec<f64>,
+    /// Virtual deadlines of parked receives, lazily invalidated: an entry
+    /// only fires if its rank is still parked on a recv from the same park
+    /// epoch. Barrier waits carry no deadline (a barrier involves every
+    /// rank, so a wedged barrier is caught structurally).
+    deadlines: BinaryHeap<DeadlineEntry>,
+    /// Per-rank park counter, invalidating stale deadline entries.
+    park_epoch: Vec<u64>,
     /// Max arrival clock of the current barrier epoch.
     barrier_t: f64,
     /// Ranks whose body future completed.
@@ -201,31 +251,52 @@ impl WorldState {
     /// formula behind both the wake-time heap admission and the clock the
     /// recv poll commits.
     ///
-    /// With overlap the transfer runs in the background on the receiver's
-    /// incoming link — serialized in *consumption* order (one wire per
-    /// rank), starting no earlier than the send — so the receiver only
-    /// waits out whatever its own activity did not cover. The link is never
-    /// ahead of the receiver's clock at a receive, which makes overlap-on
-    /// at most overlap-off operation for operation. Without overlap the
-    /// wire time starts at the rendezvous of sender and receiver and is
-    /// fully exposed.
-    fn completion_time(&self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
-        let now = self.clock[rank];
-        if overlap {
-            now.max(pkt.sent_at.max(self.link_free[rank]) + pkt.transfer_s)
+    /// The message crosses every link of its route ([`Network::for_each_hop`])
+    /// store-and-forward: each hop waits for the link to free, then occupies
+    /// it for `factor × transfer_s`. With overlap the route is walked from
+    /// the send time and runs in the background, so the receiver only waits
+    /// out whatever its own activity did not cover; without overlap it is
+    /// walked from the rendezvous of sender and receiver and fully exposed.
+    /// On the flat topology the route is the single injection link with
+    /// factor 1.0, which reproduces the historical per-receiver-link clock
+    /// bitwise in both modes (without overlap the link is only ever
+    /// committed at the receiver's resulting clock, and clocks are
+    /// monotone, so the extra `max` is a no-op).
+    fn completion_time(&self, net: &Network, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let mut t = if overlap {
+            pkt.sent_at
         } else {
-            now.max(pkt.sent_at) + pkt.transfer_s
+            self.clock[rank].max(pkt.sent_at)
+        };
+        net.for_each_hop(pkt.from, rank, |link, factor| {
+            t = t.max(self.link_free[link]) + factor * pkt.transfer_s;
+        });
+        if overlap {
+            self.clock[rank].max(t)
+        } else {
+            t
         }
     }
 
-    /// [`completion_time`](Self::completion_time), committing the
-    /// receiver's incoming-link occupancy (overlap mode only).
-    fn recv_completion(&mut self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
-        let done = self.completion_time(rank, pkt, overlap);
+    /// [`completion_time`](Self::completion_time), committing every link's
+    /// occupancy along the route — links are charged in virtual-time
+    /// consumption order (the deterministic heap order of the receiving
+    /// polls), never at wake time.
+    fn recv_completion(&mut self, net: &Network, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let mut t = if overlap {
+            pkt.sent_at
+        } else {
+            self.clock[rank].max(pkt.sent_at)
+        };
+        net.for_each_hop(pkt.from, rank, |link, factor| {
+            t = t.max(self.link_free[link]) + factor * pkt.transfer_s;
+            self.link_free[link] = t;
+        });
         if overlap {
-            self.link_free[rank] = pkt.sent_at.max(self.link_free[rank]) + pkt.transfer_s;
+            self.clock[rank].max(t)
+        } else {
+            t
         }
-        done
     }
 }
 
@@ -238,24 +309,36 @@ pub struct EventWorld {
     /// Communication–computation overlap (§7.3) — see
     /// [`MachineSpec::overlap`].
     overlap: bool,
+    /// The compiled topology + placement: per-transfer routes and link ids.
+    net: Network,
+    /// [`MachineSpec::recv_timeout`] as virtual seconds: a parked recv whose
+    /// deadline passes while other ranks keep making virtual progress is a
+    /// suspected deadlock.
+    timeout_s: f64,
     st: Mutex<WorldState>,
 }
 
 impl EventWorld {
     fn new(spec: &MachineSpec, stats: Arc<StatsBoard>, traced: bool) -> Self {
         let p = spec.p;
+        let net = Network::new(spec);
+        let n_links = net.n_links();
         EventWorld {
             p,
             stats,
             model: spec.cost,
             overlap: spec.overlap,
+            net,
+            timeout_s: spec.recv_timeout.as_secs_f64(),
             st: Mutex::new(WorldState {
                 mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
                 waits: vec![Wait::None; p],
                 ready: BinaryHeap::new(),
                 seq: 0,
                 clock: vec![0.0; p],
-                link_free: vec![0.0; p],
+                link_free: vec![0.0; n_links],
+                deadlines: BinaryHeap::new(),
+                park_epoch: vec![0; p],
                 barrier_t: 0.0,
                 finished: vec![false; p],
                 barrier_arrived: 0,
@@ -349,10 +432,11 @@ impl EventComm {
         };
         if st.waits[to] == (Wait::Recv { from: self.rank, tag }) {
             // The target is parked on exactly this message: wake it at the
-            // completion time its recv poll will compute (nothing can touch
-            // the target's clock or link between wake and poll).
+            // estimated completion time. The wake time is only a heap
+            // priority — the recv poll recomputes (and commits) against the
+            // link states of its actual consumption order.
             st.waits[to] = Wait::None;
-            let at = st.completion_time(to, &pkt, self.world.overlap);
+            let at = st.completion_time(&self.world.net, to, &pkt, self.world.overlap);
             st.mailboxes[to].push_back(pkt);
             st.enqueue(to, at);
         } else {
@@ -476,7 +560,7 @@ impl Future for RecvFuture<'_> {
         let mut st = world.lock();
         if let Some(pkt) = st.take_match(rank, self.from, self.tag) {
             let now = st.clock[rank];
-            let done = st.recv_completion(rank, &pkt, world.overlap);
+            let done = st.recv_completion(&world.net, rank, &pkt, world.overlap);
             st.clock[rank] = done;
             drop(st);
             let stall = done - now;
@@ -499,6 +583,16 @@ impl Future for RecvFuture<'_> {
                 st.waits[rank]
             );
             st.waits[rank] = wait;
+            // Arm the virtual recv deadline: if the world's virtual time
+            // outruns it while this rank is still parked, the scheduler
+            // reports a suspected deadlock instead of simulating on.
+            st.park_epoch[rank] += 1;
+            let entry = DeadlineEntry {
+                at: st.clock[rank] + world.timeout_s,
+                rank,
+                epoch: st.park_epoch[rank],
+            };
+            st.deadlines.push(entry);
             Poll::Pending
         }
     }
@@ -604,11 +698,36 @@ where
     while live > 0 {
         let next = {
             let mut st = world.lock();
-            let r = st.ready.pop().map(|e| e.rank);
-            if let (Some(r), Some(t)) = (r, &mut st.trace) {
-                t.push(SchedEvent::Poll(r));
+            let entry = st.ready.pop();
+            if let Some(e) = &entry {
+                // The recv-timeout deadline, in virtual time: before
+                // advancing to the earliest runnable rank, check whether a
+                // parked recv's deadline already passed — the world has
+                // outrun it, so the message it waits for can no longer make
+                // it in time. Stale entries (the rank was woken, or parked
+                // anew) are drained lazily.
+                while let Some(&DeadlineEntry { at, rank, epoch }) = st.deadlines.peek() {
+                    let valid = st.park_epoch[rank] == epoch && matches!(st.waits[rank], Wait::Recv { .. });
+                    if !valid {
+                        st.deadlines.pop();
+                        continue;
+                    }
+                    if at < e.at {
+                        let Wait::Recv { from, tag } = st.waits[rank] else {
+                            unreachable!("validated above")
+                        };
+                        return Err(ExecError::DeadlockSuspected {
+                            rank,
+                            on: Waiting::Message { from, tag },
+                        });
+                    }
+                    break;
+                }
+                if let Some(t) = &mut st.trace {
+                    t.push(SchedEvent::Poll(e.rank));
+                }
             }
-            r
+            entry.map(|e| e.rank)
         };
         let Some(r) = next else {
             // Structural deadlock: unfinished ranks, none runnable. Report
@@ -1033,5 +1152,132 @@ mod tests {
         for (r, &got) in out.results.iter().enumerate() {
             assert_eq!(got, (r + p - 1) % p);
         }
+    }
+
+    #[test]
+    fn explicit_flat_topology_is_bitwise_identical_to_default() {
+        use crate::machine::{Placement, Topology};
+        let body = |mut c: crate::comm::RankComm| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.record_flops(c.rank() as u64);
+            c.sendrecv(right, left, 1, vec![1.0; 5], Phase::Other).await;
+            c.barrier().await;
+        };
+        let base = run_spmd_event(&unit_spec(8), body);
+        let flat = run_spmd_event(
+            &unit_spec(8).with_topology(Topology::Flat).with_placement(Placement::RoundRobin),
+            body,
+        );
+        assert_eq!(base.stats, flat.stats, "flat topology must not perturb the clock");
+    }
+
+    #[test]
+    fn nic_contention_serializes_cross_node_transfers() {
+        use crate::machine::Topology;
+        // Two nodes of two ranks. Ranks 0 and 1 (node 0) each send 3 words
+        // to ranks 2 and 3 (node 1) at t = 0. Flat would deliver both at 3
+        // (distinct receivers); the shared node links store-and-forward:
+        //   0→2: up [0,3], down [3,6], injection [6,9]   → rank 2 done at 9
+        //   1→3: up [3,6], down [6,9], injection [9,12]  → rank 3 done at 12
+        let topo = Topology::NodeNic {
+            ranks_per_node: 2,
+            nic_factor: 1.0,
+        };
+        let out = run_spmd_event(&unit_spec(4).with_topology(topo), |mut c| async move {
+            match c.rank() {
+                0 => c.send(2, 1, vec![0.0; 3], Phase::Other),
+                1 => c.send(3, 1, vec![0.0; 3], Phase::Other),
+                r => {
+                    c.recv(r - 2, 1, Phase::Other).await;
+                }
+            }
+        });
+        assert_eq!(out.stats[2].time.total_s(), 9.0);
+        assert_eq!(out.stats[3].time.total_s(), 12.0);
+        // Word counters are untouched by the topology.
+        assert_eq!(out.stats[2].total_recv(), 3);
+        assert_eq!(out.stats[3].total_recv(), 3);
+    }
+
+    #[test]
+    fn intra_node_transfers_skip_the_nic() {
+        use crate::machine::Topology;
+        // Same exchange but both pairs placed on one node each (block
+        // placement puts {0,1} and {2,3} together): rank 0 → 1 stays on-node
+        // and costs exactly the flat wire time.
+        let topo = Topology::NodeNic {
+            ranks_per_node: 2,
+            nic_factor: 1.0,
+        };
+        let out = run_spmd_event(&unit_spec(4).with_topology(topo), |mut c| async move {
+            match c.rank() {
+                0 => c.send(1, 1, vec![0.0; 3], Phase::Other),
+                1 => {
+                    c.recv(0, 1, Phase::Other).await;
+                }
+                _ => {}
+            }
+        });
+        assert_eq!(out.stats[1].time.total_s(), 3.0, "on-node transfer is one injection hop");
+    }
+
+    #[test]
+    fn recv_timeout_fires_as_virtual_deadline() {
+        // Rank 0 parks on a recv that rank 1 satisfies at t ≈ 7; rank 2
+        // parks on a recv nobody ever sends. With a 1-virtual-second
+        // timeout, popping the t = 7 wake trips rank 2's deadline — the
+        // deadline path, not the empty-heap structural path.
+        let spec = unit_spec(3).with_recv_timeout(std::time::Duration::from_secs(1));
+        let err = try_run_spmd_event(&spec, |mut c| async move {
+            match c.rank() {
+                0 => {
+                    c.recv(1, 1, Phase::Other).await;
+                }
+                1 => {
+                    c.record_flops(5);
+                    c.send(0, 1, vec![0.0; 2], Phase::Other);
+                }
+                _ => {
+                    c.recv(0, 9, Phase::Other).await;
+                }
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 2,
+                on: Waiting::Message { from: 0, tag: 9 }
+            }
+        );
+    }
+
+    #[test]
+    fn generous_recv_timeout_does_not_false_positive() {
+        // The same world with the default (120 virtual seconds) timeout
+        // completes the satisfied recv and reports the orphan structurally.
+        let err = try_run_spmd_event(&unit_spec(3), |mut c| async move {
+            match c.rank() {
+                0 => {
+                    c.recv(1, 1, Phase::Other).await;
+                }
+                1 => {
+                    c.record_flops(5);
+                    c.send(0, 1, vec![0.0; 2], Phase::Other);
+                }
+                _ => {
+                    c.recv(0, 9, Phase::Other).await;
+                }
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 2,
+                on: Waiting::Message { from: 0, tag: 9 }
+            }
+        );
     }
 }

@@ -216,9 +216,11 @@ pub enum ExecError {
         budget: u64,
     },
     /// A rank could not make progress: on the event backend, no rank was
-    /// runnable while some were unfinished (structural detection); on the
-    /// blocking backends, a `recv` waited past
-    /// [`MachineSpec::recv_timeout`] (e.g. a mismatched tag).
+    /// runnable while some were unfinished (structural detection), or a
+    /// parked `recv` outlived [`MachineSpec::recv_timeout`] in *virtual*
+    /// time while other ranks kept advancing; on the blocking backends, a
+    /// `recv` waited past the same timeout in wall-clock time (e.g. a
+    /// mismatched tag).
     DeadlockSuspected {
         /// The first stuck rank.
         rank: usize,

@@ -44,6 +44,7 @@ pub mod event;
 pub mod exec;
 pub mod machine;
 pub mod stats;
+pub mod topo;
 
 pub use comm::{block_on_ready, Comm, RankComm};
 pub use cost::{CostModel, RoundCost, TimeBreakdown};
@@ -52,5 +53,6 @@ pub use exec::{
     run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, Waiting, MAX_SHARDED_RANKS,
     MAX_THREADED_RANKS,
 };
-pub use machine::MachineSpec;
+pub use machine::{MachineSpec, Placement, Topology};
 pub use stats::{Phase, RankStats, StatsBoard};
+pub use topo::Network;

@@ -204,7 +204,16 @@ mod tests {
     fn planned_for(p: usize) -> (PlanKey, Planned) {
         let prob = MmmProblem::new(64, 64, 64, p, 1 << 14);
         let model = CostModel::piz_daint_two_sided();
-        let key = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let key = PlanKey::try_new(
+            &prob,
+            &model,
+            true,
+            None,
+            &AlgoChoice::Auto,
+            &mpsim::machine::Topology::Flat,
+            mpsim::machine::Placement::Block,
+        )
+        .unwrap();
         let planned = AutoPlanner::new(baselines::registry())
             .select(&prob, &model, true, &AlgoChoice::Auto)
             .unwrap();

@@ -28,6 +28,7 @@ use cosma::problem::MmmProblem;
 use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
 use mpsim::exec::{ExecBackend, ExecError, SchedulerPool};
+use mpsim::machine::{Placement, Topology};
 
 use crate::auto::{AlgoChoice, AutoPlanner, Selection};
 use crate::cache::{CacheStats, PlanCache};
@@ -57,6 +58,13 @@ pub struct JobRequest {
     /// pool supplies the worker slots, so a `Sharded { workers }` count is
     /// superseded by the pool's.
     pub backend: Option<ExecBackend>,
+    /// Network topology the job's machine is measured under (default:
+    /// [`Topology::Flat`]). Part of the plan-cache key: cached plans never
+    /// cross machine shapes.
+    pub topology: Topology,
+    /// Rank→node placement under [`topology`](Self::topology) (default:
+    /// [`Placement::Block`]).
+    pub placement: Placement,
 }
 
 impl JobRequest {
@@ -73,6 +81,8 @@ impl JobRequest {
             overlap: true,
             mem_budget: None,
             backend: None,
+            topology: Topology::Flat,
+            placement: Placement::Block,
         }
     }
 
@@ -85,6 +95,19 @@ impl JobRequest {
     /// Pin the execution backend.
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Measure under `topology`'s contention model (event backend only —
+    /// word counters and results are topology-independent).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Choose the rank→node placement for the job's topology.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -297,7 +320,15 @@ fn serve_job(shared: &Shared, job: JobRequest) -> JobResult {
     let id = job.id;
     let outcome = (|| {
         let model = job.model.unwrap_or_else(CostModel::piz_daint_two_sided);
-        let key = PlanKey::new(&job.prob, &model, job.overlap, job.mem_budget, &job.choice);
+        let key = PlanKey::try_new(
+            &job.prob,
+            &model,
+            job.overlap,
+            job.mem_budget,
+            &job.choice,
+            &job.topology,
+            job.placement,
+        )?;
         let (planned, cache_hit) = shared.cache.get_or_try_insert_with(key, || {
             shared.planner.select(&job.prob, &model, job.overlap, &job.choice)
         })?;
@@ -307,6 +338,8 @@ fn serve_job(shared: &Shared, job: JobRequest) -> JobResult {
             .algorithm(planned.selection.algo)
             .machine(model)
             .overlap(job.overlap)
+            .topology(job.topology.clone())
+            .placement(job.placement)
             .exec_backend(backend);
         if let Some(words) = job.mem_budget {
             session = session.mem_budget(words);

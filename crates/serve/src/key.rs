@@ -1,17 +1,86 @@
 //! Canonical cache keys for memoized planning.
 //!
 //! Planning is pure: a `DistPlan` is fully determined by the problem
-//! `(m, n, k, p, S)`, the α-β-γ cost model, the overlap mode and — through
-//! the auto-planner — the candidate set. A [`PlanKey`] is that tuple in
-//! canonical form. Float fields are keyed by **bit pattern**
-//! ([`f64::to_bits`]): two cost models are the same key exactly when they
-//! are the same floats, with no epsilon fuzz and no NaN/−0.0 ambiguity in
-//! `Eq`/`Hash`.
+//! `(m, n, k, p, S)`, the α-β-γ cost model, the overlap mode, the machine's
+//! topology/placement and — through the auto-planner — the candidate set. A
+//! [`PlanKey`] is that tuple in canonical form. Float fields are keyed by
+//! **bit pattern** ([`f64::to_bits`]) after canonicalization: `-0.0`
+//! normalizes to `0.0` (they plan identically, so they must share a cache
+//! slot) and NaN parameters are rejected with a typed
+//! [`PlanError::NonFiniteCostModel`] — a NaN would otherwise silently key a
+//! cache entry no equal-looking request could ever hit again.
 
+use cosma::api::PlanError;
 use cosma::problem::MmmProblem;
 use mpsim::cost::CostModel;
+use mpsim::machine::{Placement, Topology};
 
 use crate::auto::AlgoChoice;
+
+/// The canonical bit pattern of one machine parameter: `-0.0` folds into
+/// `0.0`, NaN is a typed error naming the parameter. Infinities keep their
+/// bit patterns — they are well-ordered, so two infinite-β requests
+/// legitimately share a key.
+fn canonical_bits(v: f64, field: &'static str) -> Result<u64, PlanError> {
+    if v.is_nan() {
+        return Err(PlanError::NonFiniteCostModel { field });
+    }
+    Ok(if v == 0.0 { 0.0f64.to_bits() } else { v.to_bits() })
+}
+
+/// Fixed-width encoding of a [`Topology`]: discriminant + packed parameters.
+/// Dims of a torus pack 16 bits each (validation caps them at 4 dims; a
+/// dimension above 65535 nodes is beyond any plan this crate serves).
+fn encode_topology(t: &Topology) -> Result<(u8, [u64; 4]), PlanError> {
+    Ok(match t {
+        Topology::Flat => (0, [0; 4]),
+        Topology::NodeNic {
+            ranks_per_node,
+            nic_factor,
+        } => (
+            1,
+            [
+                *ranks_per_node as u64,
+                canonical_bits(*nic_factor, "nic_factor")?,
+                0,
+                0,
+            ],
+        ),
+        Topology::FatTree {
+            ranks_per_node,
+            nodes_per_switch,
+            nic_factor,
+            up_factor,
+        } => (
+            2,
+            [
+                ((*ranks_per_node as u64) << 32) | *nodes_per_switch as u64,
+                canonical_bits(*nic_factor, "nic_factor")?,
+                canonical_bits(*up_factor, "up_factor")?,
+                0,
+            ],
+        ),
+        Topology::Torus {
+            ranks_per_node,
+            dims,
+            link_factor,
+        } => {
+            let mut packed = 0u64;
+            for (i, &d) in dims.iter().enumerate() {
+                packed |= (d.min(0xFFFF) as u64) << (16 * i);
+            }
+            (
+                3,
+                [
+                    *ranks_per_node as u64,
+                    packed,
+                    canonical_bits(*link_factor, "link_factor")?,
+                    dims.len() as u64,
+                ],
+            )
+        }
+    })
+}
 
 /// Canonical identity of one planning request. `Eq + Hash`, so it keys the
 /// [`PlanCache`](crate::cache::PlanCache) map directly.
@@ -27,13 +96,13 @@ pub struct PlanKey {
     pub p: u64,
     /// Per-rank memory S, in words.
     pub mem_words: u64,
-    /// [`CostModel::peak_flops`] as its IEEE-754 bit pattern.
+    /// [`CostModel::peak_flops`] as its canonical bit pattern.
     pub peak_flops_bits: u64,
-    /// [`CostModel::kernel_efficiency`] as its bit pattern.
+    /// [`CostModel::kernel_efficiency`] as its canonical bit pattern.
     pub kernel_efficiency_bits: u64,
-    /// [`CostModel::alpha_s`] as its bit pattern.
+    /// [`CostModel::alpha_s`] as its canonical bit pattern.
     pub alpha_bits: u64,
-    /// [`CostModel::beta_s_per_word`] as its bit pattern.
+    /// [`CostModel::beta_s_per_word`] as its canonical bit pattern.
     pub beta_bits: u64,
     /// Communication–computation overlap mode (changes the planned-time
     /// objective the auto-planner minimizes).
@@ -44,31 +113,49 @@ pub struct PlanKey {
     /// [`AlgoId::ALL`](cosma::api::AlgoId::ALL) positions
     /// ([`AlgoChoice::mask`]).
     pub candidates: u8,
+    /// [`Topology`] discriminant (0 = flat, 1 = node/NIC, 2 = fat-tree,
+    /// 3 = torus) — cached plans must never cross machine shapes.
+    pub topology_tag: u8,
+    /// The topology's packed parameters (counts and canonical factor bits).
+    pub topology_bits: [u64; 4],
+    /// Rank→node [`Placement`] discriminant (0 = block, 1 = round-robin).
+    pub placement: u8,
 }
 
 impl PlanKey {
-    /// The canonical key of a planning request.
-    pub fn new(
+    /// The canonical key of a planning request, or
+    /// [`PlanError::NonFiniteCostModel`] when a cost-model constant or
+    /// topology factor is NaN.
+    pub fn try_new(
         prob: &MmmProblem,
         model: &CostModel,
         overlap: bool,
         mem_budget: Option<u64>,
         choice: &AlgoChoice,
-    ) -> Self {
-        PlanKey {
+        topology: &Topology,
+        placement: Placement,
+    ) -> Result<Self, PlanError> {
+        let (topology_tag, topology_bits) = encode_topology(topology)?;
+        Ok(PlanKey {
             m: prob.m as u64,
             n: prob.n as u64,
             k: prob.k as u64,
             p: prob.p as u64,
             mem_words: prob.mem_words as u64,
-            peak_flops_bits: model.peak_flops.to_bits(),
-            kernel_efficiency_bits: model.kernel_efficiency.to_bits(),
-            alpha_bits: model.alpha_s.to_bits(),
-            beta_bits: model.beta_s_per_word.to_bits(),
+            peak_flops_bits: canonical_bits(model.peak_flops, "peak_flops")?,
+            kernel_efficiency_bits: canonical_bits(model.kernel_efficiency, "kernel_efficiency")?,
+            alpha_bits: canonical_bits(model.alpha_s, "alpha_s")?,
+            beta_bits: canonical_bits(model.beta_s_per_word, "beta_s_per_word")?,
             overlap,
             mem_budget,
             candidates: choice.mask(),
-        }
+            topology_tag,
+            topology_bits,
+            placement: match placement {
+                Placement::Block => 0,
+                Placement::RoundRobin => 1,
+            },
+        })
     }
 }
 
@@ -78,6 +165,17 @@ mod tests {
     use cosma::api::AlgoId;
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
+
+    fn key(
+        prob: &MmmProblem,
+        model: &CostModel,
+        overlap: bool,
+        mem_budget: Option<u64>,
+        choice: &AlgoChoice,
+    ) -> PlanKey {
+        PlanKey::try_new(prob, model, overlap, mem_budget, choice, &Topology::Flat, Placement::Block)
+            .expect("finite model")
+    }
 
     fn hash_of(key: &PlanKey) -> u64 {
         let mut h = DefaultHasher::new();
@@ -89,8 +187,8 @@ mod tests {
     fn same_request_same_key() {
         let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
         let model = CostModel::piz_daint_two_sided();
-        let a = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
-        let b = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let a = key(&prob, &model, true, None, &AlgoChoice::Auto);
+        let b = key(&prob, &model, true, None, &AlgoChoice::Auto);
         assert_eq!(a, b);
         assert_eq!(hash_of(&a), hash_of(&b));
     }
@@ -99,15 +197,15 @@ mod tests {
     fn every_field_distinguishes() {
         let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
         let model = CostModel::piz_daint_two_sided();
-        let base = PlanKey::new(&prob, &model, true, None, &AlgoChoice::Auto);
+        let base = key(&prob, &model, true, None, &AlgoChoice::Auto);
         let variants = [
-            PlanKey::new(&MmmProblem::new(97, 80, 112, 16, 1 << 14), &model, true, None, &AlgoChoice::Auto),
-            PlanKey::new(&MmmProblem::new(96, 80, 112, 32, 1 << 14), &model, true, None, &AlgoChoice::Auto),
-            PlanKey::new(&MmmProblem::new(96, 80, 112, 16, 1 << 15), &model, true, None, &AlgoChoice::Auto),
-            PlanKey::new(&prob, &CostModel::piz_daint_one_sided(), true, None, &AlgoChoice::Auto),
-            PlanKey::new(&prob, &model, false, None, &AlgoChoice::Auto),
-            PlanKey::new(&prob, &model, true, Some(1 << 14), &AlgoChoice::Auto),
-            PlanKey::new(&prob, &model, true, None, &AlgoChoice::Fixed(AlgoId::Cosma)),
+            key(&MmmProblem::new(97, 80, 112, 16, 1 << 14), &model, true, None, &AlgoChoice::Auto),
+            key(&MmmProblem::new(96, 80, 112, 32, 1 << 14), &model, true, None, &AlgoChoice::Auto),
+            key(&MmmProblem::new(96, 80, 112, 16, 1 << 15), &model, true, None, &AlgoChoice::Auto),
+            key(&prob, &CostModel::piz_daint_one_sided(), true, None, &AlgoChoice::Auto),
+            key(&prob, &model, false, None, &AlgoChoice::Auto),
+            key(&prob, &model, true, Some(1 << 14), &AlgoChoice::Auto),
+            key(&prob, &model, true, None, &AlgoChoice::Fixed(AlgoId::Cosma)),
         ];
         for v in variants {
             assert_ne!(base, v);
@@ -119,8 +217,8 @@ mod tests {
         let prob = MmmProblem::new(64, 64, 64, 16, 1 << 14);
         let mut warm = CostModel::piz_daint_two_sided();
         warm.alpha_s += f64::EPSILON * warm.alpha_s;
-        let a = PlanKey::new(&prob, &CostModel::piz_daint_two_sided(), true, None, &AlgoChoice::Auto);
-        let b = PlanKey::new(&prob, &warm, true, None, &AlgoChoice::Auto);
+        let a = key(&prob, &CostModel::piz_daint_two_sided(), true, None, &AlgoChoice::Auto);
+        let b = key(&prob, &warm, true, None, &AlgoChoice::Auto);
         assert_ne!(a, b, "one-ulp difference is a different key");
     }
 
@@ -130,9 +228,102 @@ mod tests {
         let model = CostModel::piz_daint_two_sided();
         let spelled = AlgoChoice::Among(vec![AlgoId::Carma, AlgoId::Cosma, AlgoId::Carma]);
         let canonical = AlgoChoice::Among(vec![AlgoId::Cosma, AlgoId::Carma]);
+        assert_eq!(key(&prob, &model, true, None, &spelled), key(&prob, &model, true, None, &canonical),);
+    }
+
+    #[test]
+    fn negative_zero_canonicalizes_to_zero() {
+        let prob = MmmProblem::new(64, 64, 64, 16, 1 << 14);
+        let mut pos = CostModel::piz_daint_two_sided();
+        pos.alpha_s = 0.0;
+        let mut neg = pos;
+        neg.alpha_s = -0.0;
+        assert_ne!((-0.0f64).to_bits(), 0.0f64.to_bits(), "raw bits would fragment");
         assert_eq!(
-            PlanKey::new(&prob, &model, true, None, &spelled),
-            PlanKey::new(&prob, &model, true, None, &canonical),
+            key(&prob, &pos, true, None, &AlgoChoice::Auto),
+            key(&prob, &neg, true, None, &AlgoChoice::Auto),
+            "-0.0 and 0.0 plan identically, so they must share a cache slot"
         );
+    }
+
+    #[test]
+    fn nan_machine_parameter_is_a_typed_error() {
+        let prob = MmmProblem::new(64, 64, 64, 16, 1 << 14);
+        let mut bad = CostModel::piz_daint_two_sided();
+        bad.beta_s_per_word = f64::NAN;
+        let err =
+            PlanKey::try_new(&prob, &bad, true, None, &AlgoChoice::Auto, &Topology::Flat, Placement::Block)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NonFiniteCostModel {
+                field: "beta_s_per_word"
+            }
+        );
+    }
+
+    #[test]
+    fn topology_and_placement_distinguish_keys() {
+        let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let flat = key(&prob, &model, true, None, &AlgoChoice::Auto);
+        let mk = |t: &Topology, pl: Placement| {
+            PlanKey::try_new(&prob, &model, true, None, &AlgoChoice::Auto, t, pl).unwrap()
+        };
+        let fat = mk(&Topology::congested_fat_tree(), Placement::Block);
+        let fat_rr = mk(&Topology::congested_fat_tree(), Placement::RoundRobin);
+        let nic = mk(
+            &Topology::NodeNic {
+                ranks_per_node: 4,
+                nic_factor: 1.0,
+            },
+            Placement::Block,
+        );
+        let torus = mk(
+            &Topology::Torus {
+                ranks_per_node: 4,
+                dims: vec![2, 2],
+                link_factor: 1.0,
+            },
+            Placement::Block,
+        );
+        assert_ne!(flat, fat, "cached plans must never cross machine shapes");
+        assert_ne!(fat, fat_rr, "placement is part of the machine shape");
+        assert_ne!(fat, nic);
+        assert_ne!(nic, torus);
+        // Distinct fat-tree factors are distinct shapes.
+        let fat_tuned = mk(
+            &Topology::FatTree {
+                ranks_per_node: 4,
+                nodes_per_switch: 4,
+                nic_factor: 1.0,
+                up_factor: 4.0,
+            },
+            Placement::Block,
+        );
+        assert_ne!(fat, fat_tuned);
+    }
+
+    #[test]
+    fn torus_dims_order_matters() {
+        let prob = MmmProblem::new(96, 80, 112, 16, 1 << 14);
+        let model = CostModel::piz_daint_two_sided();
+        let mk = |dims: Vec<usize>| {
+            PlanKey::try_new(
+                &prob,
+                &model,
+                true,
+                None,
+                &AlgoChoice::Auto,
+                &Topology::Torus {
+                    ranks_per_node: 1,
+                    dims,
+                    link_factor: 1.0,
+                },
+                Placement::Block,
+            )
+            .unwrap()
+        };
+        assert_ne!(mk(vec![4, 2]), mk(vec![2, 4]), "routing differs, so the key must");
     }
 }

@@ -649,7 +649,16 @@ fn plan_cache_hits_are_bitwise_identical_to_cold_planning() {
         let s = m * n + 2 * (m + n) + 16 + rng.range(0, 1 << 13);
         let prob = MmmProblem::new(m, n, k, p, s);
         let choice = AlgoChoice::Auto;
-        let key = PlanKey::new(&prob, &model, true, None, &choice);
+        let key = PlanKey::try_new(
+            &prob,
+            &model,
+            true,
+            None,
+            &choice,
+            &mpsim::Topology::Flat,
+            mpsim::Placement::Block,
+        )
+        .expect("finite model");
 
         // Cold: a private selection, no cache involved.
         let cold = planner.select(&prob, &model, true, &choice).expect("ample memory");
@@ -672,6 +681,70 @@ fn plan_cache_hits_are_bitwise_identical_to_cold_planning() {
     }
     let stats = cache.stats();
     assert!(stats.hits >= CASES, "every case must hit at least once: {stats:?}");
+}
+
+/// Topology-aware contention under random exchange patterns, three
+/// properties at once:
+///
+/// 1. The default machine (no topology set) is *bitwise* the explicit
+///    `Flat`/`Block` machine — adding the topology layer must not move the
+///    virtual clock of existing flat-world users by even one ulp.
+/// 2. A congested fat tree never decreases any rank's virtual time relative
+///    to flat, component by component, while leaving every non-time counter
+///    (words, messages, flops, results) untouched — contention reprices
+///    transfers, it never reroutes or drops them.
+/// 3. Shared-link charges are deterministic: two identical fat-tree runs
+///    (including a scattered round-robin placement) agree bitwise on every
+///    rank's stats, times included.
+#[test]
+fn contention_prices_flat_bitwise_and_fat_monotone_deterministic() {
+    use mpsim::machine::{Placement, Topology};
+    let mut rng = Rng::new(21);
+    for _ in 0..12 {
+        let p = rng.range(2, 32);
+        let words = rng.range(1, 48);
+        let rounds = rng.range(1, 5);
+        let flops = rng.range(0, 30_000) as u64;
+        let body = move |mut c: mpsim::RankComm| async move {
+            let p = c.size();
+            for r in 0..rounds {
+                let dst = (c.rank() + r + 1) % p;
+                let src = (c.rank() + p - ((r + 1) % p)) % p;
+                c.sendrecv(dst, src, r as u64, vec![1.0; words], Phase::Other).await;
+                c.record_flops(flops);
+            }
+            c.barrier().await;
+            c.rank()
+        };
+        let spec = MachineSpec::test_machine(p, 1000);
+        let default = run_spmd_with(&spec, ExecBackend::Event, body).unwrap();
+        let explicit_flat = spec.clone().with_topology(Topology::Flat).with_placement(Placement::Block);
+        let flat = run_spmd_with(&explicit_flat, ExecBackend::Event, body).unwrap();
+        assert_eq!(default.results, flat.results, "p={p}");
+        assert_eq!(
+            default.stats, flat.stats,
+            "p={p}: explicit Flat/Block must be bitwise the default machine"
+        );
+        let fat_spec = spec.clone().with_topology(Topology::congested_fat_tree());
+        let fat = run_spmd_with(&fat_spec, ExecBackend::Event, body).unwrap();
+        assert_eq!(fat.results, flat.results, "p={p}: topology changed a computed result");
+        for (r, (ff, tt)) in flat.stats.iter().zip(&fat.stats).enumerate() {
+            assert_eq!(ff.sans_time(), tt.sans_time(), "p={p} rank {r}: topology changed a traffic counter");
+            assert!(
+                tt.time.total_comm_s >= ff.time.total_comm_s - 1e-15
+                    && tt.time.exposed_comm_s >= ff.time.exposed_comm_s - 1e-15
+                    && tt.time.total_s() >= ff.time.total_s() - 1e-15,
+                "p={p} rank {r}: contention decreased a time (flat {:?}, fat {:?})",
+                ff.time,
+                tt.time
+            );
+        }
+        let fat_rr = fat_spec.clone().with_placement(Placement::RoundRobin);
+        let a = run_spmd_with(&fat_rr, ExecBackend::Event, body).unwrap();
+        let b = run_spmd_with(&fat_rr, ExecBackend::Event, body).unwrap();
+        assert_eq!(a.results, b.results, "p={p}");
+        assert_eq!(a.stats, b.stats, "p={p}: fat-tree link charges must be deterministic");
+    }
 }
 
 #[test]
