@@ -15,7 +15,7 @@
 //! At the leaf (`g = 1`) the rank multiplies its `m_l × n_l × k_l` brick.
 //! When that leaf working set exceeds `S`, memory-aware CARMA prepends
 //! *sequential DFS steps*: the whole machine processes one half of the
-//! iteration space after the other ([`dfs_leaves`]), paying the full BFS
+//! iteration space after the other (`dfs_leaves`), paying the full BFS
 //! communication per DFS leaf — the re-fetching cost behind the `√3` factor
 //! of §6.2.
 //!

@@ -59,7 +59,7 @@ fn main() {
     // collectives park in the matching table instead of on threads.
     let event_group = Group::new("collectives-p16-event");
     event_group.bench("bcast", || {
-        run_spmd_with(&spec, ExecBackend::Event, |mut comm| async move {
+        run_spmd_with(&spec, ExecBackend::event(), |mut comm| async move {
             let group: Vec<usize> = (0..comm.size()).collect();
             let mut data = if comm.rank() == 0 {
                 vec![1.0; words]

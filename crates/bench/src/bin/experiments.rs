@@ -557,8 +557,8 @@ fn exec_experiment() {
                 continue;
             }
             push_executed_rows(&mut t, name, p, &runner::execute_all(&prob, &m, auto));
-            if auto != ExecBackend::Event && backend_override().is_none() {
-                push_executed_rows(&mut t, name, p, &runner::execute_all(&prob, &m, ExecBackend::Event));
+            if !matches!(auto, ExecBackend::Event { .. }) && backend_override().is_none() {
+                push_executed_rows(&mut t, name, p, &runner::execute_all(&prob, &m, ExecBackend::event()));
             }
         }
     }
@@ -582,12 +582,55 @@ fn exec_xl() {
     let mut t = executed_table();
     for &p in &scenarios::exec_xl_core_counts() {
         let prob = scenarios::exec_xl_problem(p);
-        let rows = runner::execute_with(std::slice::from_ref(&cosma), &prob, &m, ExecBackend::Event);
+        let rows = runner::execute_with(std::slice::from_ref(&cosma), &prob, &m, ExecBackend::event());
         push_executed_rows(&mut t, "square", p, &rows);
     }
     t.print();
     t.write_csv("exec-xl").expect("write csv");
     println!("\nexpectation: every row exact, wall-time bounded — the stackless executor scales.\n");
+}
+
+// ---------------------------------------------------------------------------
+// exec-xxl: million-rank worlds on the parallel event scheduler
+// ---------------------------------------------------------------------------
+
+fn exec_xxl() {
+    println!("== exec-xxl: parallel event scheduler at 262144-1048576 ranks ==\n");
+    println!(
+        "(COSMA only: the event scheduler sharded across 1/2/4/8 OS threads — \
+         rank regions advance conservative virtual-time windows bounded by the \
+         link latency alpha, exchanging cross-region messages at window \
+         boundaries; every thread count must measure bitwise-identically, so \
+         the interesting column is wall s)\n"
+    );
+    let m = model();
+    let cosma = runner::registry().by_id(AlgoId::Cosma).expect("registry has COSMA");
+    let mut t = executed_table();
+    for &p in &scenarios::exec_xxl_core_counts() {
+        let prob = scenarios::exec_xl_problem(p);
+        let mut reference: Option<(f64, f64)> = None;
+        for &threads in &scenarios::exec_xxl_thread_counts() {
+            let rows =
+                runner::execute_with(std::slice::from_ref(&cosma), &prob, &m, ExecBackend::Event { threads });
+            for row in &rows {
+                // The determinism contract, asserted on the spot: whatever
+                // the thread count, measured traffic and the virtual clock
+                // must equal the single-threaded run bit for bit.
+                let (ref_mb, ref_time) = *reference.get_or_insert((row.measured_mb, row.measured_time_s));
+                assert!(
+                    row.measured_mb == ref_mb && row.measured_time_s == ref_time,
+                    "p={p} threads={threads}: parallel run diverged from the single-threaded scheduler"
+                );
+            }
+            push_executed_rows(&mut t, "square", p, &rows);
+        }
+    }
+    t.print();
+    t.write_csv("exec-xxl").expect("write csv");
+    println!(
+        "\nexpectation: every row exact and bitwise-stable across thread counts — \
+         only wall s may vary.\n"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -953,7 +996,7 @@ fn smoke_rows() -> Vec<(String, usize, runner::ExecutedRow)> {
         ("square", 64, ExecBackend::Threaded),
         ("square", 512, ExecBackend::Threaded),
         ("square", 1024, ExecBackend::Sharded { workers: 2 }),
-        ("square", 1024, ExecBackend::Event),
+        ("square", 1024, ExecBackend::event()),
     ] {
         let prob = scenarios::exec_problem(Shape::Square, p);
         for row in runner::execute_all(&prob, &m, backend) {
@@ -966,6 +1009,18 @@ fn smoke_rows() -> Vec<(String, usize, runner::ExecutedRow)> {
     let tight = scenarios::mem_starved_problem(64, 1 << 10);
     for row in runner::execute_budgeted(&tight, &m, ExecBackend::Threaded) {
         out.push(("square-tight".to_string(), 64, row));
+    }
+    // The exec-xxl proxy rows: COSMA on the exec-xl shape at a CI-sized
+    // world, once on the single-threaded event scheduler and once sharded
+    // across 4 regions. bench_smoke holds the pair bitwise-identical on
+    // measured MB *and* the virtual clock — the parallel scheduler's
+    // determinism contract, gated on every CI run.
+    let cosma = runner::registry().by_id(AlgoId::Cosma).expect("registry has COSMA");
+    let xxl = scenarios::exec_xl_problem(4096);
+    for backend in [ExecBackend::event(), ExecBackend::Event { threads: 4 }] {
+        for row in runner::execute_with(std::slice::from_ref(&cosma), &xxl, &m, backend) {
+            out.push(("square-xxl".to_string(), 4096, row));
+        }
     }
     out
 }
@@ -1230,6 +1285,37 @@ fn bench_smoke() {
             }
         }
     }
+    // Gate 1d: the parallel scheduler's determinism contract — the
+    // square-xxl pair (event vs event(4)) must agree *bitwise* on measured
+    // traffic and the measured virtual clock. Not a tolerance band: region
+    // sharding is an implementation detail of wall-clock, so any divergence
+    // is a scheduler-semantics bug.
+    {
+        let xxl: Vec<_> = rows.iter().filter(|(name, _, _)| name == "square-xxl").collect();
+        let single = xxl
+            .iter()
+            .find(|(_, _, r)| matches!(r.backend, ExecBackend::Event { threads: 1 }));
+        for (name, p, row) in &xxl {
+            let Some((_, _, base)) = single else {
+                failures.push("square-xxl: no single-threaded reference row produced".into());
+                break;
+            };
+            if row.measured_mb != base.measured_mb || row.measured_time_s != base.measured_time_s {
+                failures.push(format!(
+                    "{}: measured {} MB / {:.17e} ms diverges bitwise from the single-threaded \
+                     scheduler's {} MB / {:.17e} ms — parallel determinism broken",
+                    smoke_key(name, *p, row),
+                    fmt(row.measured_mb, 6),
+                    row.measured_time_s * 1e3,
+                    fmt(base.measured_mb, 6),
+                    base.measured_time_s * 1e3
+                ));
+            }
+        }
+        if xxl.len() < 2 {
+            failures.push("square-xxl: expected both the event and event(4) rows".into());
+        }
+    }
     // Gate 1b: overlap semantics on the event scenario — double buffering
     // may only help: measured overlap-on <= overlap-off for every compared
     // algorithm, and both modes inside the agreement band.
@@ -1450,7 +1536,7 @@ fn exec_rss(backend_name: &str) {
         "sharded" => ExecBackend::Sharded {
             workers: ExecBackend::default_workers(),
         },
-        "event" => ExecBackend::Event,
+        "event" => ExecBackend::event(),
         other => {
             eprintln!("unknown backend {other:?} (want sharded | event)");
             std::process::exit(2);
@@ -1494,6 +1580,7 @@ fn run(id: &str) {
         "table4" => table4(),
         "exec" => exec_experiment(),
         "exec-xl" => exec_xl(),
+        "exec-xxl" => exec_xxl(),
         "timed" => timed(),
         "topo" => topo(),
         "mem-sweep" => mem_sweep(),
@@ -1531,11 +1618,13 @@ fn main() {
         eprintln!(
             "usage: experiments [--backend <name>] <id>...  (ids: fig1 fig3 fig5 fig6 fig7 \
              fig7m fig7f fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl \
-             timed topo mem-sweep serve | all | bench-smoke | bench-smoke-baseline | \
+             exec-xxl timed topo mem-sweep serve | all | bench-smoke | bench-smoke-baseline | \
              exec-rss <sharded|event>)"
         );
         std::process::exit(2);
     }
+    // exec-xxl is deliberately not in `all`: its million-rank worlds take
+    // tens of minutes per row — run it explicitly.
     let all_ids = [
         "fig3",
         "fig5",

@@ -409,7 +409,7 @@ pub fn time_all_topo(
                     .with_overlap(overlap)
                     .with_topology(topology.clone())
                     .with_placement(placement);
-                let report = execute_boxed_with(algo.as_ref(), &plan, &spec, ExecBackend::Event, &a, &b)
+                let report = execute_boxed_with(algo.as_ref(), &plan, &spec, ExecBackend::event(), &a, &b)
                     .unwrap_or_else(|e| panic!("{} on p={}: {e}", algo.id(), prob.p));
                 measured[i] = aggregate::machine_time_s(&report.stats);
                 if overlap {
@@ -548,7 +548,7 @@ mod tests {
     #[test]
     fn executed_rows_measure_time_on_the_event_backend() {
         let prob = MmmProblem::new(48, 48, 48, 16, 1 << 14);
-        for row in execute_all(&prob, &model(), ExecBackend::Event) {
+        for row in execute_all(&prob, &model(), ExecBackend::event()) {
             assert!(row.measured_time_s > 0.0, "{}: no virtual time measured", row.algo);
             assert!(row.measured_percent_peak > 0.0, "{}", row.algo);
             assert!(row.planned_time_s > 0.0, "{}", row.algo);

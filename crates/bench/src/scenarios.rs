@@ -282,6 +282,20 @@ pub fn exec_xl_problem(p: usize) -> MmmProblem {
     MmmProblem::new(256, 256, 256, p, 1 << 12)
 }
 
+/// The core counts of the `exec_xxl` experiment: the million-rank regime of
+/// the parallel event scheduler. The largest is the acceptance criterion of
+/// the scheduler shard-up: p = 2^20 end-to-end with plan-exact traffic.
+pub fn exec_xxl_core_counts() -> Vec<usize> {
+    vec![262_144, 1_048_576]
+}
+
+/// The scheduler thread counts swept by the `exec_xxl` experiment. Thread
+/// count 1 is the single-threaded reference every parallel run must match
+/// bitwise on counters and virtual times.
+pub fn exec_xxl_thread_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
 /// A memory-starved executable instance: the square shape with a per-rank
 /// `S` small enough that pure-BFS CARMA's leaf working set no longer fits,
 /// forcing the sequential DFS prefix. Used by the `mem-sweep` experiment

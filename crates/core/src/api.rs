@@ -707,6 +707,7 @@ pub struct RunSession {
     delta: Option<f64>,
     overlap: bool,
     exec: Option<ExecBackend>,
+    sched_threads: Option<usize>,
     mem_budget: Option<u64>,
     topology: Option<Topology>,
     placement: Option<Placement>,
@@ -725,6 +726,7 @@ impl RunSession {
             delta: None,
             overlap: true,
             exec: None,
+            sched_threads: None,
             mem_budget: None,
             topology: None,
             placement: None,
@@ -799,6 +801,21 @@ impl RunSession {
         self
     }
 
+    /// Run the event scheduler on `threads` OS threads (rank regions with
+    /// conservative virtual-time windows; see `mpsim::event`).
+    ///
+    /// Selects [`ExecBackend::Event`]`{ threads }` when no explicit
+    /// [`exec_backend`](Self::exec_backend) was chosen, and upgrades an
+    /// explicit `Event` backend's thread count. Explicit blocking backends
+    /// (threaded/sharded) have no scheduler to parallelize, so the setting
+    /// is ignored for them. Counters and virtual times are bitwise-identical
+    /// at every thread count — the scheduler falls back to a single thread
+    /// whenever it cannot prove that (shared-link topologies, α = 0).
+    pub fn scheduler_threads(mut self, threads: usize) -> Self {
+        self.sched_threads = Some(threads.max(1));
+        self
+    }
+
     /// Measure executions under `topology`'s contention model (default:
     /// [`Topology::Flat`], the historical per-receiver-link clock). Only the
     /// event backend's virtual clock sees it — word counters and results are
@@ -824,9 +841,18 @@ impl RunSession {
 
     /// The execution backend the session will use: the explicit
     /// [`exec_backend`](Self::exec_backend) choice, or [`ExecBackend::auto`]
-    /// for the problem's world size.
+    /// for the problem's world size. A
+    /// [`scheduler_threads`](Self::scheduler_threads) setting forces the
+    /// event backend (and sets its thread count) unless an explicit blocking
+    /// backend was chosen.
     pub fn effective_exec_backend(&self) -> ExecBackend {
-        self.exec.unwrap_or_else(|| ExecBackend::auto(self.prob.p))
+        match (self.exec, self.sched_threads) {
+            (Some(ExecBackend::Event { .. }), Some(threads)) | (None, Some(threads)) => {
+                ExecBackend::Event { threads }
+            }
+            (Some(explicit), _) => explicit,
+            (None, None) => ExecBackend::auto(self.prob.p),
+        }
     }
 
     /// The effective cost model.
@@ -1238,7 +1264,7 @@ mod tests {
         let prob = MmmProblem::new(24, 20, 28, 6, 4096);
         let a = Matrix::deterministic(prob.m, prob.k, 5);
         let b = Matrix::deterministic(prob.k, prob.n, 6);
-        let session = RunSession::new(prob).exec_backend(ExecBackend::Event);
+        let session = RunSession::new(prob).exec_backend(ExecBackend::event());
         let report = session.execute(&a, &b).unwrap();
         assert!(report.measured_time_s() > 0.0, "the event backend must measure time");
         let peak = report.measured_percent_peak(prob.p, &session.cost_model());
@@ -1249,7 +1275,7 @@ mod tests {
         // disabling double buffering can only slow the measured run down.
         let off = RunSession::new(prob)
             .overlap(false)
-            .exec_backend(ExecBackend::Event)
+            .exec_backend(ExecBackend::event())
             .execute(&a, &b)
             .unwrap();
         assert!(!RunSession::new(prob).overlap(false).machine_spec().overlap);
@@ -1310,6 +1336,37 @@ mod tests {
         assert!(matches!(session.effective_exec_backend(), ExecBackend::Sharded { .. }));
         let small = RunSession::new(MmmProblem::new(16, 16, 16, 4, 4096));
         assert_eq!(small.effective_exec_backend(), ExecBackend::Threaded);
+    }
+
+    #[test]
+    fn scheduler_threads_selects_and_upgrades_the_event_backend() {
+        let prob = MmmProblem::new(64, 64, 64, 8, 1 << 12);
+        // No explicit backend: scheduler_threads forces the event backend.
+        let s = RunSession::new(prob).scheduler_threads(4);
+        assert_eq!(s.effective_exec_backend(), ExecBackend::Event { threads: 4 });
+        // Explicit event backend: the thread count is upgraded.
+        let s = RunSession::new(prob).exec_backend(ExecBackend::event()).scheduler_threads(2);
+        assert_eq!(s.effective_exec_backend(), ExecBackend::Event { threads: 2 });
+        // Explicit blocking backend: nothing to parallelize, setting ignored.
+        let s = RunSession::new(prob).exec_backend(ExecBackend::Threaded).scheduler_threads(8);
+        assert_eq!(s.effective_exec_backend(), ExecBackend::Threaded);
+        // 0 clamps to 1 and Displays as the plain event backend.
+        let s = RunSession::new(prob).scheduler_threads(0);
+        assert_eq!(s.effective_exec_backend().to_string(), "event");
+    }
+
+    #[test]
+    fn scheduler_threads_execution_matches_single_thread_bitwise() {
+        let prob = MmmProblem::new(48, 48, 48, 8, 1 << 12);
+        let a = Matrix::deterministic(48, 48, 7);
+        let b = Matrix::deterministic(48, 48, 11);
+        let (_, base) = RunSession::new(prob)
+            .exec_backend(ExecBackend::event())
+            .execute_verified(&a, &b)
+            .unwrap();
+        let (_, par) = RunSession::new(prob).scheduler_threads(4).execute_verified(&a, &b).unwrap();
+        assert_eq!(base.c, par.c);
+        assert_eq!(base.stats, par.stats);
     }
 
     #[test]

@@ -510,13 +510,13 @@ mod tests {
             beta_s_per_word: 1.0,
         };
         let spec = MachineSpec::new(p, 1 << 20, cost);
-        let plain = run_spmd_with(&spec, ExecBackend::Event, move |mut c| async move {
+        let plain = run_spmd_with(&spec, ExecBackend::event(), move |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut data = if c.rank() == 0 { vec![1.0; words] } else { vec![] };
             bcast(&mut c, &group, 0, &mut data, 1, Phase::InputA).await;
         })
         .unwrap();
-        let piped = run_spmd_with(&spec, ExecBackend::Event, move |mut c| async move {
+        let piped = run_spmd_with(&spec, ExecBackend::event(), move |mut c| async move {
             let group: Vec<usize> = (0..c.size()).collect();
             let mut data = if c.rank() == 0 { vec![1.0; words] } else { vec![] };
             bcast_pipelined(&mut c, &group, 0, &mut data, words, 1, Phase::InputA).await;
@@ -737,7 +737,7 @@ mod tests {
         let spec = MachineSpec::test_machine(p, 1000);
         let threaded = run_spmd(&spec, collective_workload);
         let event =
-            run_spmd_with(&spec, ExecBackend::Event, collective_workload).expect("event run accepted");
+            run_spmd_with(&spec, ExecBackend::event(), collective_workload).expect("event run accepted");
         assert_eq!(threaded.results, event.results);
         // Counters match bit for bit; the event run additionally carries the
         // virtual clock, which the threaded baseline does not have.

@@ -450,7 +450,7 @@ impl Comm {
 /// use mpsim::stats::Phase;
 ///
 /// let spec = MachineSpec::test_machine(4, 1000);
-/// let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+/// let out = run_spmd_with(&spec, ExecBackend::event(), |mut c| async move {
 ///     let right = (c.rank() + 1) % c.size();
 ///     let left = (c.rank() + c.size() - 1) % c.size();
 ///     c.sendrecv(right, left, 0, vec![c.rank() as f64], Phase::Other).await[0]

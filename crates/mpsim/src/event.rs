@@ -1,4 +1,5 @@
-//! The event-driven stackless executor behind [`ExecBackend::Event`] — a
+//! The event-driven stackless executor behind
+//! [`ExecBackend::Event`](crate::exec::ExecBackend::Event) — a
 //! true discrete-event simulator with a per-rank **virtual clock**.
 //!
 //! The sharded executor multiplexes ranks over a worker pool, but every rank
@@ -13,7 +14,7 @@
 //! * one scheduler thread drives all `p` state machines from a ready queue
 //!   that is a **min-heap ordered by virtual timestamp** (FIFO on ties); a
 //!   rank that cannot make progress (a `recv` with no matching message, a
-//!   `barrier`/`fence` waiting for peers) registers a [`Wait`] in the
+//!   `barrier`/`fence` waiting for peers) registers a `Wait` in the
 //!   world's matching table and returns `Poll::Pending`;
 //! * a `send` that satisfies a registered `Recv` wait — or the last arrival
 //!   at a barrier — clears the wait and moves the rank back onto the ready
@@ -29,7 +30,7 @@
 //! * a `send` stamps the message with the sender's clock; the transfer costs
 //!   `α + β·words` and is routed over the machine's
 //!   [`Topology`](crate::machine::Topology) by a compiled
-//!   [`Network`](crate::topo::Network): every link on the path (sender NIC,
+//!   [`Network`]: every link on the path (sender NIC,
 //!   switch uplinks, the receiver's injection wire) is charged its share of
 //!   the wire time in virtual-time *consumption* order, store-and-forward,
 //!   so congestion compounds exactly where traffic concentrates. The default
@@ -63,10 +64,43 @@
 //! the clock changes *when* ranks are polled, never *what* they compute.
 //! Worlds of 100k+ ranks execute end-to-end with real messages in a few
 //! hundred bytes per rank.
+//!
+//! # The parallel scheduler
+//!
+//! `ExecBackend::Event { threads: N }` with `N > 1` shards the scheduler
+//! across `N` OS threads ([`try_run_spmd_event_threads`]): ranks are
+//! partitioned into `N` contiguous **regions**, each owning a slab of
+//! per-rank state (mailbox, wait slot, clock, injection link, deadlines) and
+//! a region-local ready heap. The regions advance in *conservative windows*
+//! of virtual time, classic bounded-lag discrete-event style: with the cost
+//! model's per-message latency α as the **lookahead**, every window spans
+//! `[floor, floor + α)` where `floor` is the earliest pending event anywhere;
+//! each worker drains its own heap up to the window bound, polling rank
+//! bodies (user compute runs concurrently across regions, outside any lock).
+//! Cross-region sends are deposited into the target region's bounded inbox
+//! and drained at the window boundary — safe, because a message posted at
+//! `sent_at ≥ floor` cannot complete before `sent_at + α ≥ floor + α`, i.e.
+//! never inside the window that posted it. At each boundary one leader
+//! thread delivers inboxes (stable-sorted by sender, preserving per-sender
+//! FIFO), resolves a fully-arrived world barrier, checks recv deadlines and
+//! structural deadlock, and opens the next window.
+//!
+//! The multi-region path only engages where its determinism contract is
+//! provable: on the **flat topology** every virtual quantity a rank commits
+//! (its clock, its receiver-private injection link, its share of the
+//! commutative barrier max) depends on rank-local state and on message
+//! envelopes fixed by the sender's program order — never on the global
+//! interleaving — so counters *and* virtual times are bitwise-identical to
+//! the single-threaded engine. Shared-link topologies charge links in global
+//! consumption order, and a zero α gives zero lookahead, so those worlds
+//! (and `threads: 1`) run the single-threaded engine unchanged. Message
+//! payloads are shared `Arc` buffers either way: delivery moves a pointer,
+//! and the (sole) receiver recovers the owned vector without copying.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 
@@ -76,13 +110,24 @@ use crate::machine::MachineSpec;
 use crate::stats::{Phase, StatsBoard};
 use crate::topo::Network;
 
+/// A message payload: shared so schedulers pass packets around by pointer.
+/// The single receiver recovers the owned `Vec` copy-free via
+/// [`Arc::try_unwrap`] (see [`take_payload`]).
+type Payload = Arc<Vec<f64>>;
+
+/// Recover an owned payload: zero-copy when this is the only reference (the
+/// common point-to-point case), a clone otherwise.
+fn take_payload(data: Payload) -> Vec<f64> {
+    Arc::try_unwrap(data).unwrap_or_else(|shared| (*shared).clone())
+}
+
 /// A tagged in-flight message (the event-world analogue of the blocking
 /// communicator's channel packet), stamped with its virtual-time envelope.
 #[derive(Debug)]
 struct Packet {
     from: usize,
     tag: u64,
-    data: Vec<f64>,
+    data: Payload,
     /// The sender's virtual clock when the message was posted.
     sent_at: f64,
     /// The wire time of this message, `α + β·words`.
@@ -90,9 +135,10 @@ struct Packet {
 }
 
 /// What a parked rank is waiting for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 enum Wait {
     /// Runnable (or currently being polled) — not in the matching table.
+    #[default]
     None,
     /// Parked on a `recv(from, tag)` with no matching message buffered.
     Recv { from: usize, tag: u64 },
@@ -300,6 +346,16 @@ impl WorldState {
     }
 }
 
+/// The scheduling engine behind an [`EventWorld`]: the single-threaded
+/// global-heap simulator, or the multi-region parallel one.
+enum Engine {
+    /// One scheduler thread, one global state block — any topology.
+    Seq(Mutex<WorldState>),
+    /// Region-sharded scheduler threads over conservative virtual-time
+    /// windows — flat topology with α > 0 only (see [`ParWorld`]).
+    Par(ParWorld),
+}
+
 /// State shared by all ranks of one event-driven machine.
 pub struct EventWorld {
     p: usize,
@@ -315,7 +371,7 @@ pub struct EventWorld {
     /// deadline passes while other ranks keep making virtual progress is a
     /// suspected deadlock.
     timeout_s: f64,
-    st: Mutex<WorldState>,
+    engine: Engine,
 }
 
 impl EventWorld {
@@ -330,7 +386,7 @@ impl EventWorld {
             overlap: spec.overlap,
             net,
             timeout_s: spec.recv_timeout.as_secs_f64(),
-            st: Mutex::new(WorldState {
+            engine: Engine::Seq(Mutex::new(WorldState {
                 mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
                 waits: vec![Wait::None; p],
                 ready: BinaryHeap::new(),
@@ -345,14 +401,221 @@ impl EventWorld {
                 barrier_gen: 0,
                 windows: (0..p).map(|_| Vec::new()).collect(),
                 trace: traced.then(Vec::new),
-            }),
+            })),
+        }
+    }
+
+    /// A world on the multi-region parallel engine (`regions` ≥ 2; flat
+    /// topology, α > 0 — the caller guarantees both).
+    fn new_parallel(spec: &MachineSpec, stats: Arc<StatsBoard>, regions: usize) -> Self {
+        let p = spec.p;
+        let net = Network::new(spec);
+        EventWorld {
+            p,
+            stats,
+            model: spec.cost,
+            overlap: spec.overlap,
+            net,
+            timeout_s: spec.recv_timeout.as_secs_f64(),
+            engine: Engine::Par(ParWorld::new(p, regions)),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, WorldState> {
         // A poisoned world means a rank body panicked; recover the state so
         // the original panic surfaces, as in the other backends.
-        self.st.lock().unwrap_or_else(|e| e.into_inner())
+        match &self.engine {
+            Engine::Seq(st) => st.lock().unwrap_or_else(|e| e.into_inner()),
+            Engine::Par(_) => unreachable!("sequential state requested from a parallel world"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The multi-region parallel engine.
+// ---------------------------------------------------------------------
+
+/// One rank's slab of scheduler state on the parallel engine — everything
+/// the single-threaded [`WorldState`] spreads over parallel vectors, packed
+/// into one struct so a region's ranks live in a single contiguous
+/// allocation.
+#[derive(Debug, Default)]
+struct RankSlab {
+    /// Delivered-but-unmatched messages, in arrival order.
+    mailbox: VecDeque<Packet>,
+    /// What this rank currently waits for.
+    wait: Wait,
+    /// The rank's virtual clock (`now`, seconds).
+    clock: f64,
+    /// Availability time of the rank's injection link. The parallel engine
+    /// runs flat topology only, where a transfer's whole route is the
+    /// receiver's injection wire — receiver-private by construction, which
+    /// is what makes regions independent between window boundaries.
+    link_free: f64,
+    /// Park counter, invalidating stale deadline entries.
+    park_epoch: u64,
+    /// Whether the rank's body future completed.
+    finished: bool,
+}
+
+/// One region of the parallel engine: a contiguous block of ranks, their
+/// slabs, and a region-local ready heap. Mid-window, only the owning worker
+/// thread touches a region (cross-region traffic goes through
+/// [`ParWorld::inboxes`]); the mutex hands the same state to the boundary
+/// leader between windows.
+struct RegionState {
+    /// First global rank of this region.
+    base: usize,
+    /// Per-rank state, indexed by `rank - base`.
+    slabs: Vec<RankSlab>,
+    /// Region-local ready heap (entries carry *global* ranks).
+    ready: BinaryHeap<ReadyEntry>,
+    /// Region-local admission counter for FIFO tie-breaking.
+    seq: u64,
+    /// Virtual deadlines of this region's parked receives.
+    deadlines: BinaryHeap<DeadlineEntry>,
+}
+
+impl RegionState {
+    fn slab(&self, rank: usize) -> &RankSlab {
+        &self.slabs[rank - self.base]
+    }
+
+    fn slab_mut(&mut self, rank: usize) -> &mut RankSlab {
+        &mut self.slabs[rank - self.base]
+    }
+
+    fn enqueue(&mut self, rank: usize, at: f64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ready.push(ReadyEntry { at, seq, rank });
+    }
+
+    /// The flat-topology analogue of [`WorldState::completion_time`]: the
+    /// route is exactly the receiver's injection link with factor 1.0, so
+    /// the arithmetic below reproduces the hop walk bitwise.
+    fn completion_time(&self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let slab = self.slab(rank);
+        let mut t = if overlap {
+            pkt.sent_at
+        } else {
+            slab.clock.max(pkt.sent_at)
+        };
+        t = t.max(slab.link_free) + pkt.transfer_s;
+        if overlap {
+            slab.clock.max(t)
+        } else {
+            t
+        }
+    }
+
+    /// [`completion_time`](Self::completion_time), committing the injection
+    /// link's occupancy (the receiving poll's consumption order — program
+    /// order of the one receiver, so region-local).
+    fn recv_completion(&mut self, rank: usize, pkt: &Packet, overlap: bool) -> f64 {
+        let slab = self.slab_mut(rank);
+        let mut t = if overlap {
+            pkt.sent_at
+        } else {
+            slab.clock.max(pkt.sent_at)
+        };
+        t = t.max(slab.link_free) + pkt.transfer_s;
+        slab.link_free = t;
+        if overlap {
+            slab.clock.max(t)
+        } else {
+            t
+        }
+    }
+
+    /// Arrival-order matching, as [`WorldState::take_match`].
+    fn take_match(&mut self, rank: usize, from: usize, tag: u64) -> Option<Packet> {
+        let inbox = &mut self.slab_mut(rank).mailbox;
+        let idx = inbox.iter().position(|m| m.from == from && m.tag == tag)?;
+        inbox.remove(idx)
+    }
+}
+
+/// Global barrier bookkeeping of the parallel engine. Arrivals update it
+/// mid-window (count and commutative max are interleaving-insensitive); the
+/// boundary leader resolves a fully-arrived epoch.
+#[derive(Debug, Default)]
+struct ParBarrier {
+    /// Arrivals in the current epoch.
+    arrived: usize,
+    /// Max arrival clock of the current epoch.
+    t_max: f64,
+    /// Completed epochs.
+    gen: u64,
+}
+
+/// Shared state of the multi-region parallel engine (see the module docs'
+/// "The parallel scheduler").
+struct ParWorld {
+    p: usize,
+    /// Ranks per region (`ceil(p / regions)`); rank `r` lives in region
+    /// `r / chunk` at slab index `r % chunk`.
+    chunk: usize,
+    /// The regions, in rank order.
+    regions: Vec<Mutex<RegionState>>,
+    /// Per-target-region inboxes for cross-region packets, drained (and
+    /// stable-sorted by sender) at each window boundary. Bounded by
+    /// construction: a window's deposits are delivered before the next
+    /// window opens, so an inbox never holds more than one window's traffic.
+    inboxes: Vec<Mutex<Vec<(usize, Packet)>>>,
+    /// Global barrier epoch state.
+    barrier: Mutex<ParBarrier>,
+    /// Per-rank RMA windows. Shared globally: one-sided ops may target any
+    /// rank. Conflicting same-window-boundary RMA ops from different regions
+    /// apply in unspecified order (as in MPI's separate-epoch semantics);
+    /// the origin-side time charge is rank-local either way.
+    windows: Mutex<Vec<Vec<f64>>>,
+}
+
+impl ParWorld {
+    fn new(p: usize, regions: usize) -> Self {
+        let chunk = p.div_ceil(regions);
+        let n_regions = p.div_ceil(chunk);
+        ParWorld {
+            p,
+            chunk,
+            regions: (0..n_regions)
+                .map(|w| {
+                    let base = w * chunk;
+                    let len = chunk.min(p - base);
+                    Mutex::new(RegionState {
+                        base,
+                        slabs: (0..len).map(|_| RankSlab::default()).collect(),
+                        ready: BinaryHeap::new(),
+                        seq: 0,
+                        deadlines: BinaryHeap::new(),
+                    })
+                })
+                .collect(),
+            inboxes: (0..n_regions).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: Mutex::new(ParBarrier::default()),
+            windows: Mutex::new((0..p).map(|_| Vec::new()).collect()),
+        }
+    }
+
+    fn region_of(&self, rank: usize) -> usize {
+        rank / self.chunk
+    }
+
+    fn lock_region(&self, region: usize) -> MutexGuard<'_, RegionState> {
+        self.regions[region].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_rank(&self, rank: usize) -> MutexGuard<'_, RegionState> {
+        self.lock_region(self.region_of(rank))
+    }
+
+    fn lock_barrier(&self) -> MutexGuard<'_, ParBarrier> {
+        self.barrier.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_windows(&self) -> MutexGuard<'_, Vec<Vec<f64>>> {
+        self.windows.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -384,7 +647,10 @@ impl EventComm {
     /// advance its virtual clock by `compute_time(flops)`.
     pub fn record_flops(&self, flops: u64) {
         let dt = self.world.model.compute_time(flops);
-        self.world.lock().clock[self.rank] += dt;
+        match &self.world.engine {
+            Engine::Seq(_) => self.world.lock().clock[self.rank] += dt,
+            Engine::Par(pw) => pw.lock_rank(self.rank).slab_mut(self.rank).clock += dt,
+        }
         let rs = self.world.stats.rank(self.rank);
         rs.record_flops(flops);
         rs.record_compute_time(dt);
@@ -405,7 +671,7 @@ impl EventComm {
     /// target's mailbox, and if the target is parked on a matching `recv`
     /// it is moved back onto the ready queue at its virtual completion time
     /// (the transfer itself is accounted when the target consumes the
-    /// message — see [`WorldState::recv_completion`]).
+    /// message — see `WorldState::recv_completion`).
     ///
     /// # Panics
     /// Panics if `to` is out of range, or with a typed
@@ -417,30 +683,72 @@ impl EventComm {
         let words = data.len() as u64;
         self.world.stats.rank(self.rank).record_send(words, phase);
         let transfer_s = self.world.model.comm_time(words, 1);
-        let mut st = self.world.lock();
-        if st.finished[to] {
-            // The receiver already exited: typed teardown, as in comm.rs.
-            drop(st);
-            crate::comm::raise(ExecError::WorldTornDown { rank: self.rank });
-        }
-        let pkt = Packet {
-            from: self.rank,
-            tag,
-            data,
-            sent_at: st.clock[self.rank],
-            transfer_s,
-        };
-        if st.waits[to] == (Wait::Recv { from: self.rank, tag }) {
-            // The target is parked on exactly this message: wake it at the
-            // estimated completion time. The wake time is only a heap
-            // priority — the recv poll recomputes (and commits) against the
-            // link states of its actual consumption order.
-            st.waits[to] = Wait::None;
-            let at = st.completion_time(&self.world.net, to, &pkt, self.world.overlap);
-            st.mailboxes[to].push_back(pkt);
-            st.enqueue(to, at);
-        } else {
-            st.mailboxes[to].push_back(pkt);
+        let data = Arc::new(data);
+        match &self.world.engine {
+            Engine::Seq(_) => {
+                let mut st = self.world.lock();
+                if st.finished[to] {
+                    // The receiver already exited: typed teardown, as in comm.rs.
+                    drop(st);
+                    crate::comm::raise(ExecError::WorldTornDown { rank: self.rank });
+                }
+                let pkt = Packet {
+                    from: self.rank,
+                    tag,
+                    data,
+                    sent_at: st.clock[self.rank],
+                    transfer_s,
+                };
+                if st.waits[to] == (Wait::Recv { from: self.rank, tag }) {
+                    // The target is parked on exactly this message: wake it at the
+                    // estimated completion time. The wake time is only a heap
+                    // priority — the recv poll recomputes (and commits) against the
+                    // link states of its actual consumption order.
+                    st.waits[to] = Wait::None;
+                    let at = st.completion_time(&self.world.net, to, &pkt, self.world.overlap);
+                    st.mailboxes[to].push_back(pkt);
+                    st.enqueue(to, at);
+                } else {
+                    st.mailboxes[to].push_back(pkt);
+                }
+            }
+            Engine::Par(pw) => {
+                let my_region = pw.region_of(self.rank);
+                let to_region = pw.region_of(to);
+                let mut reg = pw.lock_region(my_region);
+                let pkt = Packet {
+                    from: self.rank,
+                    tag,
+                    data,
+                    sent_at: reg.slab(self.rank).clock,
+                    transfer_s,
+                };
+                if to_region == my_region {
+                    // Same region: deliver (and wake) directly, exactly like
+                    // the sequential engine.
+                    if reg.slab(to).finished {
+                        drop(reg);
+                        crate::comm::raise(ExecError::WorldTornDown { rank: self.rank });
+                    }
+                    if reg.slab(to).wait == (Wait::Recv { from: self.rank, tag }) {
+                        reg.slab_mut(to).wait = Wait::None;
+                        let at = reg.completion_time(to, &pkt, self.world.overlap);
+                        reg.slab_mut(to).mailbox.push_back(pkt);
+                        reg.enqueue(to, at);
+                    } else {
+                        reg.slab_mut(to).mailbox.push_back(pkt);
+                    }
+                } else {
+                    // Cross-region: deposit into the target region's inbox;
+                    // the boundary leader delivers it (and surfaces a typed
+                    // teardown if the target already exited). The message
+                    // cannot complete before `sent_at + α`, which is at or
+                    // past the window bound — boundary delivery never delays
+                    // a wake that belonged to this window.
+                    drop(reg);
+                    pw.inboxes[to_region].lock().unwrap_or_else(|e| e.into_inner()).push((to, pkt));
+                }
+            }
         }
     }
 
@@ -493,25 +801,38 @@ impl EventComm {
     /// as exposed communication and the target stays passive.
     fn charge_rma(&self, words: u64) {
         let c = self.world.model.comm_time(words, 1);
-        self.world.lock().clock[self.rank] += c;
+        match &self.world.engine {
+            Engine::Seq(_) => self.world.lock().clock[self.rank] += c,
+            Engine::Par(pw) => pw.lock_rank(self.rank).slab_mut(self.rank).clock += c,
+        }
         self.world.stats.rank(self.rank).record_comm_time(c, 0.0);
+    }
+
+    /// Run `op` on the world's RMA window table. The parallel engine keeps
+    /// the table global behind its own lock: one-sided ops may target any
+    /// rank, and the origin-side time charge stays rank-local regardless.
+    fn with_windows<T>(&self, op: impl FnOnce(&mut Vec<Vec<f64>>) -> T) -> T {
+        match &self.world.engine {
+            Engine::Seq(_) => op(&mut self.world.lock().windows),
+            Engine::Par(pw) => op(&mut pw.lock_windows()),
+        }
     }
 
     /// (Re)size this rank's window to `words` zeroed words.
     pub fn win_resize(&self, words: usize) {
-        window::resize(&mut self.world.lock().windows[self.rank], words);
+        self.with_windows(|w| window::resize(&mut w[self.rank], words));
     }
 
     /// Write `data` into `target`'s window at `offset` (like `MPI_Put`).
     pub fn put(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        window::put(&mut self.world.lock().windows[target], offset, data);
+        self.with_windows(|w| window::put(&mut w[target], offset, data));
         record_rma(&self.world.stats, self.rank, target, data.len() as u64, phase);
         self.charge_rma(data.len() as u64);
     }
 
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
-        let out = window::get(&self.world.lock().windows[target], offset, len);
+        let out = self.with_windows(|w| window::get(&w[target], offset, len));
         record_rma(&self.world.stats, target, self.rank, len as u64, phase);
         self.charge_rma(len as u64);
         out
@@ -520,24 +841,24 @@ impl EventComm {
     /// Element-wise add `data` into `target`'s window at `offset` (like
     /// `MPI_Accumulate` with `MPI_SUM`).
     pub fn accumulate(&self, target: usize, offset: usize, data: &[f64], phase: Phase) {
-        window::accumulate(&mut self.world.lock().windows[target], offset, data);
+        self.with_windows(|w| window::accumulate(&mut w[target], offset, data));
         record_rma(&self.world.stats, self.rank, target, data.len() as u64, phase);
         self.charge_rma(data.len() as u64);
     }
 
     /// Replace this rank's window contents (local, no traffic counted).
     pub fn win_fill(&self, data: Vec<f64>) {
-        self.world.lock().windows[self.rank] = data;
+        self.with_windows(|w| w[self.rank] = data);
     }
 
     /// Read this rank's own window (no traffic counted).
     pub fn win_local(&self) -> Vec<f64> {
-        self.world.lock().windows[self.rank].clone()
+        self.with_windows(|w| w[self.rank].clone())
     }
 
     /// Read a slice of this rank's own window (no traffic counted).
     pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
-        window::read_local(&self.world.lock().windows[self.rank], offset, len)
+        self.with_windows(|w| window::read_local(&w[self.rank], offset, len))
     }
 }
 
@@ -557,43 +878,79 @@ impl Future for RecvFuture<'_> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Vec<f64>> {
         let rank = self.comm.rank;
         let world = &self.comm.world;
-        let mut st = world.lock();
-        if let Some(pkt) = st.take_match(rank, self.from, self.tag) {
-            let now = st.clock[rank];
-            let done = st.recv_completion(&world.net, rank, &pkt, world.overlap);
-            st.clock[rank] = done;
-            drop(st);
-            let stall = done - now;
-            let rs = world.stats.rank(rank);
-            rs.record_recv(pkt.data.len() as u64, self.phase);
-            rs.record_comm_time(stall, (pkt.transfer_s - stall).max(0.0));
-            Poll::Ready(pkt.data)
-        } else {
-            let wait = Wait::Recv {
-                from: self.from,
-                tag: self.tag,
-            };
-            // One outstanding wait-state per rank: a second concurrently
-            // polled future would overwrite this slot and lose its wakeup,
-            // so refuse loudly instead of deadlocking silently.
-            assert!(
-                st.waits[rank] == Wait::None || st.waits[rank] == wait,
-                "rank {rank}: a rank supports one outstanding wait-state \
-                 (found {:?} while registering {wait:?})",
-                st.waits[rank]
-            );
-            st.waits[rank] = wait;
-            // Arm the virtual recv deadline: if the world's virtual time
-            // outruns it while this rank is still parked, the scheduler
-            // reports a suspected deadlock instead of simulating on.
-            st.park_epoch[rank] += 1;
-            let entry = DeadlineEntry {
-                at: st.clock[rank] + world.timeout_s,
-                rank,
-                epoch: st.park_epoch[rank],
-            };
-            st.deadlines.push(entry);
-            Poll::Pending
+        let wait = Wait::Recv {
+            from: self.from,
+            tag: self.tag,
+        };
+        match &world.engine {
+            Engine::Seq(_) => {
+                let mut st = world.lock();
+                if let Some(pkt) = st.take_match(rank, self.from, self.tag) {
+                    let now = st.clock[rank];
+                    let done = st.recv_completion(&world.net, rank, &pkt, world.overlap);
+                    st.clock[rank] = done;
+                    drop(st);
+                    let stall = done - now;
+                    let rs = world.stats.rank(rank);
+                    rs.record_recv(pkt.data.len() as u64, self.phase);
+                    rs.record_comm_time(stall, (pkt.transfer_s - stall).max(0.0));
+                    Poll::Ready(take_payload(pkt.data))
+                } else {
+                    // One outstanding wait-state per rank: a second concurrently
+                    // polled future would overwrite this slot and lose its wakeup,
+                    // so refuse loudly instead of deadlocking silently.
+                    assert!(
+                        st.waits[rank] == Wait::None || st.waits[rank] == wait,
+                        "rank {rank}: a rank supports one outstanding wait-state \
+                         (found {:?} while registering {wait:?})",
+                        st.waits[rank]
+                    );
+                    st.waits[rank] = wait;
+                    // Arm the virtual recv deadline: if the world's virtual time
+                    // outruns it while this rank is still parked, the scheduler
+                    // reports a suspected deadlock instead of simulating on.
+                    st.park_epoch[rank] += 1;
+                    let entry = DeadlineEntry {
+                        at: st.clock[rank] + world.timeout_s,
+                        rank,
+                        epoch: st.park_epoch[rank],
+                    };
+                    st.deadlines.push(entry);
+                    Poll::Pending
+                }
+            }
+            Engine::Par(pw) => {
+                let mut reg = pw.lock_rank(rank);
+                if let Some(pkt) = reg.take_match(rank, self.from, self.tag) {
+                    let now = reg.slab(rank).clock;
+                    let done = reg.recv_completion(rank, &pkt, world.overlap);
+                    reg.slab_mut(rank).clock = done;
+                    drop(reg);
+                    let stall = done - now;
+                    let rs = world.stats.rank(rank);
+                    rs.record_recv(pkt.data.len() as u64, self.phase);
+                    rs.record_comm_time(stall, (pkt.transfer_s - stall).max(0.0));
+                    Poll::Ready(take_payload(pkt.data))
+                } else {
+                    let slab = reg.slab(rank);
+                    assert!(
+                        slab.wait == Wait::None || slab.wait == wait,
+                        "rank {rank}: a rank supports one outstanding wait-state \
+                         (found {:?} while registering {wait:?})",
+                        slab.wait
+                    );
+                    let slab = reg.slab_mut(rank);
+                    slab.wait = wait;
+                    slab.park_epoch += 1;
+                    let entry = DeadlineEntry {
+                        at: slab.clock + world.timeout_s,
+                        rank,
+                        epoch: slab.park_epoch,
+                    };
+                    reg.deadlines.push(entry);
+                    Poll::Pending
+                }
+            }
         }
     }
 }
@@ -612,6 +969,41 @@ impl Future for BarrierFuture<'_> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let rank = self.comm.rank;
         let world = self.comm.world.clone();
+        if let Engine::Par(pw) = &world.engine {
+            return match self.arrived_gen {
+                None => {
+                    // Arrival: park (even the last arriver — the boundary
+                    // leader resolves a full barrier, charging exactly what
+                    // the sequential engine's inline resolution charges) and
+                    // fold this clock into the commutative epoch max.
+                    let mut reg = pw.lock_rank(rank);
+                    let slab = reg.slab(rank);
+                    assert!(
+                        slab.wait == Wait::None,
+                        "rank {rank}: a rank supports one outstanding wait-state \
+                         (found {:?} while arriving at the barrier)",
+                        slab.wait
+                    );
+                    let clock = slab.clock;
+                    reg.slab_mut(rank).wait = Wait::Barrier;
+                    drop(reg);
+                    let mut b = pw.lock_barrier();
+                    b.arrived += 1;
+                    b.t_max = b.t_max.max(clock);
+                    self.arrived_gen = Some(b.gen);
+                    Poll::Pending
+                }
+                Some(gen) => {
+                    if pw.lock_barrier().gen > gen {
+                        Poll::Ready(())
+                    } else {
+                        // Spurious re-poll within the same epoch: keep waiting.
+                        pw.lock_rank(rank).slab_mut(rank).wait = Wait::Barrier;
+                        Poll::Pending
+                    }
+                }
+            };
+        }
         let mut st = world.lock();
         match self.arrived_gen {
             None => {
@@ -781,6 +1173,390 @@ where
         },
         trace,
     ))
+}
+
+/// Shared run control of the parallel engine's workers: the published
+/// window bound, the live-rank count, and the first failure of the run.
+struct ParControl {
+    /// The current window's exclusive virtual-time bound, as `f64` bits.
+    bound: AtomicU64,
+    /// Ranks whose body future has not completed yet.
+    live: AtomicUsize,
+    /// Raised as soon as any region fails: other regions cut their window
+    /// short instead of simulating on.
+    failed: AtomicBool,
+    /// Set by the boundary leader when the run is over (success or failure).
+    stop: AtomicBool,
+    /// First typed error of the run (window order; within one window, first
+    /// recorder wins).
+    error: Mutex<Option<ExecError>>,
+    /// First non-[`ExecError`] rank panic, re-raised after the scope joins.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The two-phase window gate all workers (leader included) meet at.
+    gate: std::sync::Barrier,
+}
+
+impl ParControl {
+    fn fail(&self, e: ExecError) {
+        let mut slot = self.error.lock().unwrap_or_else(|p| p.into_inner());
+        slot.get_or_insert(e);
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    fn panicked(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    fn bound(&self) -> f64 {
+        f64::from_bits(self.bound.load(Ordering::SeqCst))
+    }
+}
+
+/// One worker thread of the parallel engine: owns region `w`'s rank bodies
+/// (created *and* polled on this thread — rank futures are not `Send`),
+/// drains the region heap up to each window bound, and meets the other
+/// workers at the window gate. Worker 0 doubles as the boundary leader.
+fn par_worker<R, F, Fut>(
+    world: &Arc<EventWorld>,
+    pw: &ParWorld,
+    ctl: &ParControl,
+    w: usize,
+    f: &F,
+) -> Vec<Option<R>>
+where
+    F: Fn(crate::comm::RankComm) -> Fut,
+    Fut: Future<Output = R>,
+{
+    let base = w * pw.chunk;
+    let len = pw.chunk.min(pw.p - base);
+    let mut tasks: Vec<Option<Pin<Box<Fut>>>> = (base..base + len)
+        .map(|rank| {
+            let comm = EventComm {
+                rank,
+                world: world.clone(),
+            };
+            Some(Box::pin(f(crate::comm::RankComm::Event(comm))))
+        })
+        .collect();
+    let mut results: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let mut cx = Context::from_waker(Waker::noop());
+    loop {
+        let bound = ctl.bound();
+        'window: while !ctl.failed.load(Ordering::Relaxed) {
+            let next = {
+                let mut reg = pw.lock_region(w);
+                match reg.ready.peek() {
+                    Some(e) if e.at < bound => reg.ready.pop().map(|e| e.rank),
+                    _ => None,
+                }
+            };
+            let Some(r) = next else { break };
+            let task = tasks[r - base].as_mut().expect("ready rank has a live task");
+            let polled =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.as_mut().poll(&mut cx)));
+            match polled {
+                Ok(Poll::Ready(out)) => {
+                    results[r - base] = Some(out);
+                    tasks[r - base] = None;
+                    pw.lock_region(w).slab_mut(r).finished = true;
+                    ctl.live.fetch_sub(1, Ordering::SeqCst);
+                }
+                // Pending: the rank registered a wait-state; a matching send,
+                // the barrier resolution or an inbox delivery re-enqueues it.
+                Ok(Poll::Pending) => {}
+                Err(payload) => {
+                    match payload.downcast::<ExecError>() {
+                        Ok(e) => ctl.fail(*e),
+                        Err(other) => ctl.panicked(other),
+                    }
+                    break 'window;
+                }
+            }
+        }
+        ctl.gate.wait();
+        if w == 0 {
+            par_boundary(world, pw, ctl);
+        }
+        ctl.gate.wait();
+        if ctl.stop.load(Ordering::SeqCst) {
+            return results;
+        }
+    }
+}
+
+/// The window-boundary phase, run by the leader alone while every worker
+/// waits at the gate: deliver cross-region inboxes, resolve a fully-arrived
+/// barrier, surface failures, detect deadlock, and open the next window.
+fn par_boundary(world: &EventWorld, pw: &ParWorld, ctl: &ParControl) {
+    // 1) Drain inboxes. Stable-sorting by sender canonicalizes the arrival
+    //    order while preserving each sender's program order — matching is
+    //    per-(sender, tag), so any per-sender-FIFO order is equivalent.
+    for (target_region, inbox) in pw.inboxes.iter().enumerate() {
+        let mut pkts = std::mem::take(&mut *inbox.lock().unwrap_or_else(|e| e.into_inner()));
+        if pkts.is_empty() {
+            continue;
+        }
+        pkts.sort_by_key(|(_, pkt)| pkt.from);
+        let mut reg = pw.lock_region(target_region);
+        for (to, pkt) in pkts {
+            if reg.slab(to).finished {
+                // The receiver exited before delivery: the same typed
+                // teardown the sequential sender raises in-line.
+                ctl.fail(ExecError::WorldTornDown { rank: pkt.from });
+                continue;
+            }
+            if reg.slab(to).wait
+                == (Wait::Recv {
+                    from: pkt.from,
+                    tag: pkt.tag,
+                })
+            {
+                reg.slab_mut(to).wait = Wait::None;
+                let at = reg.completion_time(to, &pkt, world.overlap);
+                reg.slab_mut(to).mailbox.push_back(pkt);
+                reg.enqueue(to, at);
+            } else {
+                reg.slab_mut(to).mailbox.push_back(pkt);
+            }
+        }
+    }
+    // 2) Resolve a fully-arrived world barrier: identical charges, clocks
+    //    and (rank-ordered) wakes to the sequential engine's inline
+    //    resolution by the last arriver.
+    {
+        let mut b = pw.lock_barrier();
+        if pw.p > 0 && b.arrived == pw.p {
+            let tmax = b.t_max;
+            b.arrived = 0;
+            b.t_max = 0.0;
+            b.gen += 1;
+            drop(b);
+            for lock in &pw.regions {
+                let mut reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+                let base = reg.base;
+                for local in 0..reg.slabs.len() {
+                    if reg.slabs[local].wait == Wait::Barrier {
+                        let r = base + local;
+                        reg.slabs[local].wait = Wait::None;
+                        world.stats.rank(r).record_comm_time(tmax - reg.slabs[local].clock, 0.0);
+                        reg.slabs[local].clock = tmax;
+                        reg.enqueue(r, tmax);
+                    }
+                }
+            }
+        }
+    }
+    // 3) A failed region ends the run at the next gate.
+    if ctl.failed.load(Ordering::SeqCst) {
+        ctl.stop.store(true, Ordering::SeqCst);
+        return;
+    }
+    // 4) Find the next window floor: the earliest pending event anywhere.
+    let mut floor: Option<f64> = None;
+    for lock in &pw.regions {
+        let reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = reg.ready.peek() {
+            floor = Some(match floor {
+                Some(f) => f.min(e.at),
+                None => e.at,
+            });
+        }
+    }
+    let Some(floor) = floor else {
+        if ctl.live.load(Ordering::SeqCst) > 0 {
+            // Structural deadlock: unfinished ranks, none runnable anywhere.
+            // Report the first parked rank in rank order, as the sequential
+            // engine does; a live rank with no registered wait awaited
+            // something outside the communicator.
+            let mut found: Option<(usize, Waiting)> = None;
+            let mut first_unfinished: Option<usize> = None;
+            'scan: for lock in &pw.regions {
+                let reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+                for (local, slab) in reg.slabs.iter().enumerate() {
+                    let r = reg.base + local;
+                    if first_unfinished.is_none() && !slab.finished {
+                        first_unfinished = Some(r);
+                    }
+                    match slab.wait {
+                        Wait::Recv { from, tag } => {
+                            found = Some((r, Waiting::Message { from, tag }));
+                            break 'scan;
+                        }
+                        Wait::Barrier => {
+                            found = Some((r, Waiting::Barrier));
+                            break 'scan;
+                        }
+                        Wait::None => {}
+                    }
+                }
+            }
+            let (rank, on) =
+                found.unwrap_or_else(|| (first_unfinished.expect("live ranks exist"), Waiting::Unknown));
+            ctl.fail(ExecError::DeadlockSuspected { rank, on });
+        }
+        ctl.stop.store(true, Ordering::SeqCst);
+        return;
+    };
+    // 5) Recv deadlines, checked against the next event time like the
+    //    sequential per-pop check (window-boundary granularity: a deadline
+    //    passed mid-window is reported at the boundary that follows it).
+    let mut deadline: Option<DeadlineEntry> = None;
+    for lock in &pw.regions {
+        let mut reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(&entry) = reg.deadlines.peek() {
+            let slab = reg.slab(entry.rank);
+            let valid = slab.park_epoch == entry.epoch && matches!(slab.wait, Wait::Recv { .. });
+            if !valid {
+                reg.deadlines.pop();
+                continue;
+            }
+            // Same priority order as the sequential deadline heap:
+            // (at, rank, epoch) ascending.
+            let earlier = match deadline {
+                None => true,
+                Some(d) => (entry.at, entry.rank, entry.epoch) < (d.at, d.rank, d.epoch),
+            };
+            if earlier {
+                deadline = Some(entry);
+            }
+            break;
+        }
+    }
+    if let Some(d) = deadline {
+        if d.at < floor {
+            let reg = pw.lock_rank(d.rank);
+            let Wait::Recv { from, tag } = reg.slab(d.rank).wait else {
+                unreachable!("validated above")
+            };
+            drop(reg);
+            ctl.fail(ExecError::DeadlockSuspected {
+                rank: d.rank,
+                on: Waiting::Message { from, tag },
+            });
+            ctl.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+    // 6) Open the next window. The `next_up` floor keeps the window
+    //    non-empty even when `floor + α` rounds back to `floor` (a clock so
+    //    far past α that the sum is absorbed): the engine then degrades to
+    //    per-timestamp stepping instead of spinning.
+    let bound = (floor + par_lookahead(world)).max(floor.next_up());
+    ctl.bound.store(bound.to_bits(), Ordering::SeqCst);
+}
+
+/// The parallel engine's conservative lookahead
+/// ([`Network::region_lookahead_s`]): the cost model's per-message latency
+/// α. Every message posted at `t` completes at `t + α + β·words ≥ t + α`,
+/// so a window of width α is closed under the events it generates.
+fn par_lookahead(world: &EventWorld) -> f64 {
+    world.net.region_lookahead_s(world.model.alpha_s)
+}
+
+/// Run the world on `regions` scheduler threads; see
+/// [`try_run_spmd_event_threads`]. The caller has already verified the
+/// multi-region preconditions (flat topology, α > 0, ≥ 2 regions).
+fn run_event_world_parallel<R, F, Fut>(
+    spec: &MachineSpec,
+    regions: usize,
+    f: F,
+) -> Result<RunOutput<R>, ExecError>
+where
+    R: Send,
+    F: Fn(crate::comm::RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    let p = spec.p;
+    let stats = Arc::new(StatsBoard::new(p));
+    let world = Arc::new(EventWorld::new_parallel(spec, stats.clone(), regions));
+    let Engine::Par(pw) = &world.engine else {
+        unreachable!("new_parallel builds a parallel engine")
+    };
+    for (w, lock) in pw.regions.iter().enumerate() {
+        let mut reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let base = w * pw.chunk;
+        for local in 0..reg.slabs.len() {
+            reg.enqueue(base + local, 0.0);
+        }
+    }
+    let n_regions = pw.regions.len();
+    let ctl = ParControl {
+        bound: AtomicU64::new(par_lookahead(&world).to_bits()),
+        live: AtomicUsize::new(p),
+        failed: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        error: Mutex::new(None),
+        panic: Mutex::new(None),
+        gate: std::sync::Barrier::new(n_regions),
+    };
+    let mut region_results: Vec<Vec<Option<R>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..n_regions)
+            .map(|w| {
+                let world = &world;
+                let ctl = &ctl;
+                let f = &f;
+                s.spawn(move || {
+                    let Engine::Par(pw) = &world.engine else {
+                        unreachable!("parallel world")
+                    };
+                    par_worker(world, pw, ctl, w, f)
+                })
+            })
+            .collect();
+        let first = par_worker(&world, pw, &ctl, 0, &f);
+        let mut all = vec![first];
+        for h in handles {
+            all.push(h.join().expect("workers catch rank panics"));
+        }
+        all
+    });
+    if let Some(payload) = ctl.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(e) = ctl.error.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        return Err(e);
+    }
+    let mut results = Vec::with_capacity(p);
+    for region in &mut region_results {
+        for slot in region.drain(..) {
+            results.push(slot.expect("missing rank result"));
+        }
+    }
+    Ok(RunOutput {
+        results,
+        stats: stats.snapshot(),
+    })
+}
+
+/// Run `f` on every rank of `spec` on the event scheduler with up to
+/// `threads` region worker threads — the engine behind
+/// [`crate::exec::ExecBackend::Event`]`{ threads }`.
+///
+/// The multi-region path requires the determinism contract to be provable:
+/// a flat topology (per-rank virtual state is region-local there) and a
+/// cost model with α > 0 (the conservative lookahead). Worlds that don't
+/// qualify — and `threads <= 1` — run the single-threaded engine
+/// ([`try_run_spmd_event`]) unchanged, so stats are bitwise-identical
+/// either way; the thread count never affects *what* a run measures.
+pub fn try_run_spmd_event_threads<R, F, Fut>(
+    spec: &MachineSpec,
+    threads: usize,
+    f: F,
+) -> Result<RunOutput<R>, ExecError>
+where
+    R: Send,
+    F: Fn(crate::comm::RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    let regions = threads.min(spec.p.max(1));
+    if regions <= 1 || !spec.topology.commutes_with_region_sharding() || spec.cost.alpha_s <= 0.0 {
+        return try_run_spmd_event(spec, f);
+    }
+    run_event_world_parallel(spec, regions, f)
 }
 
 /// Run `f` on every rank of `spec` as an event-driven stackless state
@@ -1251,6 +2027,152 @@ mod tests {
                 on: Waiting::Message { from: 0, tag: 9 }
             }
         );
+    }
+
+    /// A mixed workload for the parallel-vs-sequential bitwise tests:
+    /// rank-dependent compute, a ring exchange, a long-distance exchange
+    /// with the antipodal rank (all cross-region on any even region count),
+    /// and a closing barrier.
+    async fn mixed_body(mut c: crate::comm::RankComm) -> usize {
+        let p = c.size();
+        let r = c.rank();
+        c.record_flops((r as u64 % 7) * 1000);
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        c.sendrecv(right, left, 1, vec![r as f64; 1 + r % 3], Phase::InputA).await;
+        let far = (r + p / 2) % p;
+        let got = c.sendrecv(far, far, 2, vec![r as f64], Phase::InputB).await;
+        c.barrier().await;
+        got[0] as usize
+    }
+
+    #[test]
+    fn parallel_regions_match_single_thread_bitwise() {
+        let spec = MachineSpec::test_machine(64, 1000);
+        let seq = try_run_spmd_event(&spec, mixed_body).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = try_run_spmd_event_threads(&spec, threads, mixed_body).unwrap();
+            assert_eq!(seq.results, par.results, "{threads} threads: results");
+            assert_eq!(
+                seq.stats, par.stats,
+                "{threads} threads: counters and virtual times must be bitwise-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_all_cross_region_traffic_matches_bitwise() {
+        // With 2 regions every exchange below crosses the region boundary:
+        // the inbox-drain path carries the whole workload.
+        let spec = MachineSpec::test_machine(32, 1000);
+        let body = |mut c: crate::comm::RankComm| async move {
+            let p = c.size();
+            let partner = (c.rank() + p / 2) % p;
+            c.record_flops(c.rank() as u64 * 100);
+            let got = c.sendrecv(partner, partner, 5, vec![c.rank() as f64; 4], Phase::Other).await;
+            c.barrier().await;
+            got[0] as usize
+        };
+        let seq = try_run_spmd_event(&spec, body).unwrap();
+        let par = try_run_spmd_event_threads(&spec, 2, body).unwrap();
+        assert_eq!(seq.results, par.results);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn parallel_falls_back_when_contract_is_unprovable() {
+        use crate::machine::Topology;
+        // α = 0 (no lookahead) and a shared-link topology both clamp to the
+        // sequential engine: same stats, bitwise, whatever the thread count.
+        let body = |mut c: crate::comm::RankComm| async move {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.sendrecv(right, left, 1, vec![1.0; 3], Phase::Other).await;
+            c.barrier().await;
+        };
+        let zero_alpha = unit_spec(8);
+        assert_eq!(
+            try_run_spmd_event(&zero_alpha, body).unwrap().stats,
+            try_run_spmd_event_threads(&zero_alpha, 4, body).unwrap().stats,
+        );
+        let shared_links = MachineSpec::test_machine(8, 1000).with_topology(Topology::NodeNic {
+            ranks_per_node: 2,
+            nic_factor: 1.0,
+        });
+        assert_eq!(
+            try_run_spmd_event(&shared_links, body).unwrap().stats,
+            try_run_spmd_event_threads(&shared_links, 4, body).unwrap().stats,
+        );
+    }
+
+    #[test]
+    fn parallel_structural_deadlock_is_detected() {
+        let spec = MachineSpec::test_machine(8, 1000);
+        let err = try_run_spmd_event_threads(&spec, 4, |mut c| async move {
+            // Nobody ever sends: every region's heap runs dry with all
+            // ranks parked — the boundary leader reports the first rank.
+            c.recv((c.rank() + 1) % 8, 9, Phase::Other).await
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeadlockSuspected {
+                rank: 0,
+                on: Waiting::Message { from: 1, tag: 9 }
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_cross_region_send_to_exited_rank_is_typed() {
+        // Rank 0 (region 0) exits in the first window; rank p-1 (region 1)
+        // sends to it cross-region. The boundary drain finds the receiver
+        // gone and surfaces the same typed teardown the sequential sender
+        // raises inline.
+        let spec = MachineSpec::test_machine(8, 1000);
+        let err = try_run_spmd_event_threads(&spec, 2, |mut c| async move {
+            if c.rank() == 7 {
+                c.send(0, 3, vec![1.0], Phase::Other);
+                // Keep the sender alive past the boundary so the teardown is
+                // the run's only failure.
+                c.recv(0, 4, Phase::Other).await;
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, ExecError::WorldTornDown { rank: 7 });
+    }
+
+    #[test]
+    fn parallel_rma_matches_single_thread_counters() {
+        // One-sided traffic across regions between fences; window contents
+        // conflict-free, so data and counters agree with the sequential
+        // engine (times too: the origin-side charge is rank-local).
+        let spec = MachineSpec::test_machine(8, 1000);
+        let body = |mut c: crate::comm::RankComm| async move {
+            c.win_resize(2);
+            c.fence().await;
+            let target = (c.rank() + 4) % 8;
+            c.put(target, 0, &[c.rank() as f64], Phase::OutputC);
+            c.fence().await;
+            let got = c.win_local();
+            c.fence().await;
+            got[0] as usize
+        };
+        let seq = try_run_spmd_event(&spec, body).unwrap();
+        let par = try_run_spmd_event_threads(&spec, 2, body).unwrap();
+        assert_eq!(seq.results, par.results);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn parallel_more_threads_than_ranks_clamps() {
+        let spec = MachineSpec::test_machine(3, 1000);
+        let out = try_run_spmd_event_threads(&spec, 16, |mut c| async move {
+            c.barrier().await;
+            c.rank()
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![0, 1, 2]);
     }
 
     #[test]

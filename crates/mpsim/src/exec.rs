@@ -71,15 +71,42 @@ pub enum ExecBackend {
         /// Maximum number of concurrently runnable ranks (≥ 1).
         workers: usize,
     },
-    /// Event-driven stackless state machines on one scheduler thread; any
-    /// world size (verified to p = 131072).
-    Event,
+    /// Event-driven stackless state machines on `threads` scheduler threads;
+    /// any world size (verified to p = 1,048,576).
+    ///
+    /// With `threads: 1` (the [`ExecBackend::event`] shorthand) a single
+    /// scheduler thread drives every rank. With `threads > 1` the ranks are
+    /// partitioned into contiguous regions, one OS thread each, synchronized
+    /// conservatively on windows of virtual time (lookahead = the cost
+    /// model's per-message latency α; see [`crate::event`]). Stats — counters
+    /// *and* virtual times — are bitwise-identical to the single-threaded
+    /// scheduler; parallelism is an implementation detail of wall-clock. The
+    /// multi-region path engages only where that contract is provable (flat
+    /// topology, α > 0); otherwise the scheduler silently runs its
+    /// single-threaded engine.
+    Event {
+        /// Number of scheduler threads (≥ 1; `0` is treated as 1).
+        threads: usize,
+    },
 }
 
 impl ExecBackend {
-    /// The backend for a `p`-rank world: threaded up to
-    /// [`MAX_THREADED_RANKS`], sharded over [`Self::default_workers`] up to
-    /// [`MAX_SHARDED_RANKS`], event-driven beyond.
+    /// The event backend on a single scheduler thread — the form
+    /// [`ExecBackend::auto`] escalates to, and the default `threads` for
+    /// [`ExecBackend::Event`].
+    pub const fn event() -> ExecBackend {
+        ExecBackend::Event { threads: 1 }
+    }
+
+    /// The backend for a `p`-rank world, escalating by world size:
+    ///
+    /// * `p ≤` [`MAX_THREADED_RANKS`] (512): [`ExecBackend::Threaded`] — one
+    ///   OS thread per rank.
+    /// * `p ≤` [`MAX_SHARDED_RANKS`] (8192): [`ExecBackend::Sharded`] over
+    ///   [`Self::default_workers`] runnable slots.
+    /// * beyond: [`ExecBackend::event`] — the discrete-event scheduler on a
+    ///   single thread ([`ExecBackend::Event`] with explicit `threads` is an
+    ///   opt-in, never chosen automatically).
     pub fn auto(p: usize) -> ExecBackend {
         if p <= MAX_THREADED_RANKS {
             ExecBackend::Threaded
@@ -88,7 +115,7 @@ impl ExecBackend {
                 workers: Self::default_workers(),
             }
         } else {
-            ExecBackend::Event
+            ExecBackend::event()
         }
     }
 
@@ -103,12 +130,14 @@ impl fmt::Display for ExecBackend {
         match self {
             ExecBackend::Threaded => write!(f, "threaded"),
             ExecBackend::Sharded { workers } => write!(f, "sharded({workers})"),
-            ExecBackend::Event => write!(f, "event"),
+            ExecBackend::Event { threads } if *threads <= 1 => write!(f, "event"),
+            ExecBackend::Event { threads } => write!(f, "event({threads})"),
         }
     }
 }
 
-/// A backend name failed to parse (see [`ExecBackend::from_str`]).
+/// A backend name failed to parse (see [`ExecBackend`]'s
+/// [`FromStr`](std::str::FromStr) impl).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseBackendError {
     /// The unparsable name.
@@ -119,7 +148,7 @@ impl fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown execution backend {:?} (want threaded | sharded | sharded(N) | event)",
+            "unknown execution backend {:?} (want threaded | sharded | sharded(N) | event | event(N))",
             self.name
         )
     }
@@ -130,29 +159,43 @@ impl std::error::Error for ParseBackendError {}
 impl std::str::FromStr for ExecBackend {
     type Err = ParseBackendError;
 
-    /// Parse the [`Display`](ExecBackend::fmt) form back: `threaded`,
-    /// `event`, `sharded(N)` — plus bare `sharded`, which takes
+    /// Parse the [`Display`](std::fmt::Display) form back: `threaded`,
+    /// `event`, `event(N)`, `sharded(N)` — plus bare `sharded`, which takes
     /// [`ExecBackend::default_workers`]. (`auto` is not a backend: it needs
     /// a world size — callers resolve it with [`ExecBackend::auto`].)
     fn from_str(s: &str) -> Result<Self, ParseBackendError> {
         let err = || ParseBackendError { name: s.to_string() };
+        let parse_count = |inner: &str| -> Result<usize, ParseBackendError> {
+            let n: usize = inner.parse().map_err(|_| err())?;
+            if n == 0 {
+                return Err(err());
+            }
+            Ok(n)
+        };
         match s.to_ascii_lowercase().as_str() {
             "threaded" => Ok(ExecBackend::Threaded),
-            "event" => Ok(ExecBackend::Event),
+            "event" => Ok(ExecBackend::event()),
             "sharded" => Ok(ExecBackend::Sharded {
                 workers: Self::default_workers(),
             }),
             lower => {
+                if let Some(inner) = lower
+                    .strip_prefix("event(")
+                    .and_then(|r| r.strip_suffix(')'))
+                    .or_else(|| lower.strip_prefix("event:"))
+                {
+                    return Ok(ExecBackend::Event {
+                        threads: parse_count(inner)?,
+                    });
+                }
                 let inner = lower
                     .strip_prefix("sharded(")
                     .and_then(|r| r.strip_suffix(')'))
                     .or_else(|| lower.strip_prefix("sharded:"))
                     .ok_or_else(err)?;
-                let workers: usize = inner.parse().map_err(|_| err())?;
-                if workers == 0 {
-                    return Err(err());
-                }
-                Ok(ExecBackend::Sharded { workers })
+                Ok(ExecBackend::Sharded {
+                    workers: parse_count(inner)?,
+                })
             }
         }
     }
@@ -420,7 +463,10 @@ where
             }
             run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)?
         }
-        ExecBackend::Event => try_run_spmd_event(spec, f)?,
+        ExecBackend::Event { threads } if threads > 1 => {
+            crate::event::try_run_spmd_event_threads(spec, threads, f)?
+        }
+        ExecBackend::Event { .. } => try_run_spmd_event(spec, f)?,
     };
     enforce_mem_budget(spec, out)
 }
@@ -668,8 +714,8 @@ mod tests {
             ExecBackend::Sharded { workers } if workers >= 1
         ));
         assert!(matches!(ExecBackend::auto(MAX_SHARDED_RANKS), ExecBackend::Sharded { .. }));
-        assert_eq!(ExecBackend::auto(MAX_SHARDED_RANKS + 1), ExecBackend::Event);
-        assert_eq!(ExecBackend::auto(131_072), ExecBackend::Event);
+        assert_eq!(ExecBackend::auto(MAX_SHARDED_RANKS + 1), ExecBackend::event());
+        assert_eq!(ExecBackend::auto(131_072), ExecBackend::event());
     }
 
     #[test]
@@ -739,7 +785,7 @@ mod tests {
         let counters = |out: &RunOutput<usize>| out.stats.iter().map(|s| s.sans_time()).collect::<Vec<_>>();
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
         let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers: 2 }, pattern).unwrap();
-        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::event(), pattern).unwrap();
         assert_eq!(threaded.results, sharded.results);
         assert_eq!(threaded.stats, sharded.stats);
         assert_eq!(threaded.results, event.results);
@@ -782,7 +828,7 @@ mod tests {
     #[test]
     fn event_deadlock_is_typed_through_run_spmd_with() {
         let spec = MachineSpec::test_machine(2, 1000);
-        let err = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+        let err = run_spmd_with(&spec, ExecBackend::event(), |mut c| async move {
             c.recv((c.rank() + 1) % 2, 9, Phase::Other).await
         })
         .unwrap_err();
@@ -801,7 +847,7 @@ mod tests {
         // with a neighbour and everything completes on one scheduler thread.
         let p = MAX_SHARDED_RANKS + 1000;
         let spec = MachineSpec::test_machine(p, 1000);
-        let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+        let out = run_spmd_with(&spec, ExecBackend::event(), |mut c| async move {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
             let got = c.sendrecv(right, left, 7, vec![c.rank() as f64], Phase::Other).await;
@@ -821,7 +867,7 @@ mod tests {
         // a real message per rank, far beyond any carrier-thread backend.
         let p = 131_072;
         let spec = MachineSpec::test_machine(p, 10);
-        let out = run_spmd_with(&spec, ExecBackend::Event, |mut c| async move {
+        let out = run_spmd_with(&spec, ExecBackend::event(), |mut c| async move {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
             let got = c.sendrecv(right, left, 1, vec![c.rank() as f64], Phase::Other).await;
@@ -864,7 +910,7 @@ mod tests {
         for backend in [
             ExecBackend::Threaded,
             ExecBackend::Sharded { workers: 2 },
-            ExecBackend::Event,
+            ExecBackend::event(),
         ] {
             let err = run_spmd_with(&spec, backend, |c| async move {
                 c.track_alloc(c.rank() as u64 + 1);
@@ -902,7 +948,7 @@ mod tests {
     fn advisory_memory_never_errors() {
         // Without an enforcing budget, over-allocation is only measured.
         let spec = MachineSpec::test_machine(2, 10);
-        let out = run_spmd_with(&spec, ExecBackend::Event, |c| async move {
+        let out = run_spmd_with(&spec, ExecBackend::event(), |c| async move {
             c.track_alloc(10_000);
         })
         .unwrap();
@@ -913,7 +959,8 @@ mod tests {
     fn backend_display_names() {
         assert_eq!(ExecBackend::Threaded.to_string(), "threaded");
         assert_eq!(ExecBackend::Sharded { workers: 6 }.to_string(), "sharded(6)");
-        assert_eq!(ExecBackend::Event.to_string(), "event");
+        assert_eq!(ExecBackend::event().to_string(), "event");
+        assert_eq!(ExecBackend::Event { threads: 4 }.to_string(), "event(4)");
     }
 
     #[test]
@@ -921,7 +968,8 @@ mod tests {
         for backend in [
             ExecBackend::Threaded,
             ExecBackend::Sharded { workers: 6 },
-            ExecBackend::Event,
+            ExecBackend::event(),
+            ExecBackend::Event { threads: 4 },
         ] {
             assert_eq!(backend.to_string().parse::<ExecBackend>().unwrap(), backend);
         }

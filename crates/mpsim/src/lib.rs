@@ -17,9 +17,11 @@
 //!   blocking channel implementation used by the threaded/sharded executors.
 //! * [`event`] — the event-driven machine behind `ExecBackend::Event`: a
 //!   discrete-event simulator driving rank bodies as stackless resumable
-//!   state machines on one scheduler thread, with a virtual-time-ordered
-//!   ready queue, a message-matching table, and a per-rank α-β-γ virtual
-//!   clock that measures compute / exposed-comm / hidden-comm time.
+//!   state machines, with a virtual-time-ordered ready queue, a
+//!   message-matching table, and a per-rank α-β-γ virtual clock that
+//!   measures compute / exposed-comm / hidden-comm time. Optionally sharded
+//!   across OS threads as rank regions under conservative synchronization —
+//!   bitwise-identical stats at every thread count.
 //! * [`collectives`] — binomial-tree broadcast and reduce, ring all-gather
 //!   and ring shift, built on the point-to-point layer exactly like the
 //!   paper's hand-rolled broadcast trees (§7.2); all resumable (`async`).
@@ -27,7 +29,8 @@
 //!   (threaded, ≤ 512 ranks), `p` ranks multiplexed over a fixed worker pool
 //!   of small-stack carriers (sharded, up to a few thousand ranks), or
 //!   event-driven stackless rank state machines (event, any world size —
-//!   verified to p = 131072 with real messages).
+//!   verified to p = 1,048,576 with real messages on the parallel
+//!   scheduler).
 //! * [`cost`] — the α-β-γ time model: per-round communication/computation
 //!   costs, with and without communication–computation overlap (§7.3), and
 //!   %-of-peak reporting used by Figures 8–14.
@@ -36,6 +39,8 @@
 //! execution with data (correctness, any `p`) and plan-level analysis
 //! (exact word counts at paper scale, up to 18,432 ranks). The integration
 //! tests in `tests/` assert the two modes agree.
+
+#![warn(missing_docs)]
 
 pub mod collectives;
 pub mod comm;
@@ -48,7 +53,10 @@ pub mod topo;
 
 pub use comm::{block_on_ready, Comm, RankComm};
 pub use cost::{CostModel, RoundCost, TimeBreakdown};
-pub use event::{run_spmd_event, run_spmd_event_traced, try_run_spmd_event, EventComm, SchedEvent};
+pub use event::{
+    run_spmd_event, run_spmd_event_traced, try_run_spmd_event, try_run_spmd_event_threads, EventComm,
+    SchedEvent,
+};
 pub use exec::{
     run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, Waiting, MAX_SHARDED_RANKS,
     MAX_THREADED_RANKS,

@@ -84,6 +84,22 @@ impl Topology {
         }
     }
 
+    /// Can the event scheduler shard a world under this topology across
+    /// rank regions without changing any measured virtual time?
+    ///
+    /// Region sharding commutes with the virtual clock only when every
+    /// committed quantity is a function of rank-local state plus
+    /// per-sender-FIFO message envelopes. [`Topology::Flat`] qualifies: the
+    /// sole charged link is the receiver's private injection wire, advanced
+    /// only by the receiver's own consumptions. Every other variant charges
+    /// *shared* links in global virtual-time consumption order — an order
+    /// the region interleave would perturb — so
+    /// `try_run_spmd_event_threads` falls back to the single-threaded
+    /// engine for them, keeping stats bitwise-identical by construction.
+    pub fn commutes_with_region_sharding(&self) -> bool {
+        matches!(self, Topology::Flat)
+    }
+
     /// Do the topology's parameters make sense for any world? (Positive
     /// counts, finite non-negative factors, ≤ 4 torus dimensions.)
     pub fn validate(&self) -> Result<(), &'static str> {

@@ -12,7 +12,7 @@
 //! exposed communication (stalls the rank actually waited through) and
 //! seconds of hidden communication (transfer time that proceeded behind
 //! other activity). A snapshot surfaces them as a
-//! [`TimeBreakdown`](crate::cost::TimeBreakdown) per rank — the measured
+//! [`TimeBreakdown`] per rank — the measured
 //! analogue of the plan-level `simulate_rounds` numbers. The blocking
 //! backends do not drive a virtual clock; their time fields stay zero
 //! (compare counters with [`RankStats::sans_time`]).

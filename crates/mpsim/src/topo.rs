@@ -246,6 +246,23 @@ impl Network {
         n
     }
 
+    /// The conservative-synchronization lookahead of this network under a
+    /// cost model with link latency `alpha_s`: a lower bound on the virtual
+    /// time between a message being *posted* and it *completing* at the
+    /// receiver, over every rank pair and network state.
+    ///
+    /// The parallel event scheduler advances all regions through lockstep
+    /// windows of this width — a message sent inside the window
+    /// `[floor, floor + lookahead)` cannot complete before `floor +
+    /// lookahead`, so windows are closed under event generation. Every
+    /// transfer pays the full α latency end-to-end exactly once (routing
+    /// adds bandwidth serialization on shared links, never a latency
+    /// discount), so the bound is `alpha_s` on every topology; a zero or
+    /// negative α yields zero lookahead, which disables sharding.
+    pub fn region_lookahead_s(&self, alpha_s: f64) -> f64 {
+        alpha_s
+    }
+
     /// The mean-field contention multiplier of the network under uniform
     /// traffic: the expected effective per-word cost of a transfer between
     /// a uniformly random rank pair, relative to the flat wire.

@@ -1,7 +1,8 @@
 //! The sharded, bounded, LRU plan cache.
 //!
-//! Keys are canonical [`PlanKey`]s; values are [`CachedPlan`]s — the
-//! auto-planner's [`Selection`] plus the winning `Arc<DistPlan>`, so a hit
+//! Keys are canonical [`PlanKey`]s; values are [`Planned`]s — the
+//! auto-planner's [`Selection`](crate::auto::Selection) plus the winning
+//! `Arc<DistPlan>`, so a hit
 //! skips both planning *and* selection. The map is split into shards, each
 //! behind its own `RwLock`: concurrent driver threads hitting different
 //! shards never contend, and hits on the same shard share a read lock.

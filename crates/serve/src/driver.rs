@@ -347,7 +347,7 @@ fn serve_job(shared: &Shared, job: JobRequest) -> JobResult {
         let report = match backend {
             // An event world is one single-threaded simulation; driver
             // threads interleave many of them.
-            ExecBackend::Event => session.execute_planned(&planned.plan, &job.a, &job.b)?,
+            ExecBackend::Event { .. } => session.execute_planned(&planned.plan, &job.a, &job.b)?,
             // Blocking worlds take their runnable slots from the shared
             // pool, so concurrent jobs respect one machine-wide cap.
             ExecBackend::Threaded | ExecBackend::Sharded { .. } => {
@@ -438,12 +438,12 @@ mod tests {
     fn event_and_blocking_jobs_interleave_and_agree() {
         let server = Server::new(baselines::registry(), small_config()).unwrap();
         let blocking = job(0, 8, 3);
-        let event = job(1, 8, 3).backend(ExecBackend::Event);
+        let event = job(1, 8, 3).backend(ExecBackend::event());
         let results = server.run_batch(vec![blocking, event]);
         let a = results[0].outcome.as_ref().unwrap();
         let b = results[1].outcome.as_ref().unwrap();
         assert_eq!(a.backend, ExecBackend::Threaded, "auto for p = 8");
-        assert_eq!(b.backend, ExecBackend::Event);
+        assert_eq!(b.backend, ExecBackend::event());
         assert_eq!(a.report.c, b.report.c, "backends agree bitwise");
         // Counters agree too; only the event backend measures virtual time.
         for (x, y) in a.report.stats.iter().zip(&b.report.stats) {

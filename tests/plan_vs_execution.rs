@@ -231,7 +231,7 @@ fn planned_time_predicts_measured_virtual_time() {
             .machine(model)
             .registry(baselines::registry())
             .algorithm(id)
-            .exec_backend(ExecBackend::Event);
+            .exec_backend(ExecBackend::event());
         let plan = session.plan().unwrap_or_else(|e| panic!("{id}: {e}"));
         let (a, b) = inputs(&prob);
         let report = session.execute(&a, &b).unwrap_or_else(|e| panic!("{id}: {e}"));

@@ -174,7 +174,7 @@ fn carma_streaming_respects_memory_on_event_backend() {
         let a = Matrix::deterministic(m, k, 81);
         let b = Matrix::deterministic(k, n, 82);
         let spec = MachineSpec::piz_daint_with_memory(p, s).enforcing_memory();
-        let report = execute_boxed_with(carma.as_ref(), &plan, &spec, ExecBackend::Event, &a, &b)
+        let report = execute_boxed_with(carma.as_ref(), &plan, &spec, ExecBackend::event(), &a, &b)
             .unwrap_or_else(|e| panic!("{m}x{n}x{k} p={p} S={s}: {e}"));
         assert!(matmul(&a, &b).approx_eq(&report.c, 1e-9), "{m}x{n}x{k} p={p} S={s}: wrong product");
         for (r, st) in report.stats.iter().enumerate() {
@@ -337,7 +337,7 @@ fn schedulers_never_deadlock_or_reorder() {
         let backend = if case % 2 == 0 {
             ExecBackend::Sharded { workers }
         } else {
-            ExecBackend::Event
+            ExecBackend::event()
         };
         let out = run_spmd_with(&spec, backend, |c| offset_exchange(c, offs, msgs))
             .expect("scheduled run must be accepted");
@@ -374,7 +374,7 @@ fn sharded_and_event_match_threaded_on_random_patterns() {
         };
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
         let sharded = run_spmd_with(&spec, ExecBackend::Sharded { workers }, pattern).unwrap();
-        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::event(), pattern).unwrap();
         assert_eq!(threaded.results, sharded.results, "p={p} workers={workers}");
         assert_eq!(threaded.stats, sharded.stats, "p={p} workers={workers}");
         assert_eq!(threaded.results, event.results, "event results diverge at p={p}");
@@ -423,7 +423,7 @@ fn event_matches_threaded_under_random_message_orders() {
             acc
         };
         let threaded = run_spmd_with(&spec, ExecBackend::Threaded, pattern).unwrap();
-        let event = run_spmd_with(&spec, ExecBackend::Event, pattern).unwrap();
+        let event = run_spmd_with(&spec, ExecBackend::event(), pattern).unwrap();
         assert_eq!(threaded.results, event.results, "p={p} words={words}");
         assert_eq!(counters(&threaded.stats), counters(&event.stats), "p={p} words={words}");
     }
@@ -507,9 +507,9 @@ fn virtual_clock_monotone_deterministic_and_overlap_bounded() {
             }
             c.rank()
         };
-        let on = run_spmd_with(&spec, ExecBackend::Event, body).unwrap();
-        let on2 = run_spmd_with(&spec, ExecBackend::Event, body).unwrap();
-        let off = run_spmd_with(&spec.clone().with_overlap(false), ExecBackend::Event, body).unwrap();
+        let on = run_spmd_with(&spec, ExecBackend::event(), body).unwrap();
+        let on2 = run_spmd_with(&spec, ExecBackend::event(), body).unwrap();
+        let off = run_spmd_with(&spec.clone().with_overlap(false), ExecBackend::event(), body).unwrap();
         assert_eq!(on.stats, on2.stats, "p={p}: virtual times must be deterministic");
         let model = &spec.cost;
         for (r, (st_on, st_off)) in on.stats.iter().zip(&off.stats).enumerate() {
@@ -717,16 +717,16 @@ fn contention_prices_flat_bitwise_and_fat_monotone_deterministic() {
             c.rank()
         };
         let spec = MachineSpec::test_machine(p, 1000);
-        let default = run_spmd_with(&spec, ExecBackend::Event, body).unwrap();
+        let default = run_spmd_with(&spec, ExecBackend::event(), body).unwrap();
         let explicit_flat = spec.clone().with_topology(Topology::Flat).with_placement(Placement::Block);
-        let flat = run_spmd_with(&explicit_flat, ExecBackend::Event, body).unwrap();
+        let flat = run_spmd_with(&explicit_flat, ExecBackend::event(), body).unwrap();
         assert_eq!(default.results, flat.results, "p={p}");
         assert_eq!(
             default.stats, flat.stats,
             "p={p}: explicit Flat/Block must be bitwise the default machine"
         );
         let fat_spec = spec.clone().with_topology(Topology::congested_fat_tree());
-        let fat = run_spmd_with(&fat_spec, ExecBackend::Event, body).unwrap();
+        let fat = run_spmd_with(&fat_spec, ExecBackend::event(), body).unwrap();
         assert_eq!(fat.results, flat.results, "p={p}: topology changed a computed result");
         for (r, (ff, tt)) in flat.stats.iter().zip(&fat.stats).enumerate() {
             assert_eq!(ff.sans_time(), tt.sans_time(), "p={p} rank {r}: topology changed a traffic counter");
@@ -740,10 +740,60 @@ fn contention_prices_flat_bitwise_and_fat_monotone_deterministic() {
             );
         }
         let fat_rr = fat_spec.clone().with_placement(Placement::RoundRobin);
-        let a = run_spmd_with(&fat_rr, ExecBackend::Event, body).unwrap();
-        let b = run_spmd_with(&fat_rr, ExecBackend::Event, body).unwrap();
+        let a = run_spmd_with(&fat_rr, ExecBackend::event(), body).unwrap();
+        let b = run_spmd_with(&fat_rr, ExecBackend::event(), body).unwrap();
         assert_eq!(a.results, b.results, "p={p}");
         assert_eq!(a.stats, b.stats, "p={p}: fat-tree link charges must be deterministic");
+    }
+}
+
+/// The parallel event scheduler is an implementation detail of wall-clock:
+/// under randomized worlds, workloads, overlap modes, and thread counts,
+/// every run's results *and* full per-rank stats — traffic counters and the
+/// `TimeBreakdown` virtual clock — are bitwise-identical to the
+/// single-threaded scheduler. Every third case uses an antipodal exchange
+/// (`rank ↔ rank + p/2`) so with two regions all traffic crosses the region
+/// boundary, and shared-link topologies exercise the sequential-fallback
+/// clamp on the same equality.
+#[test]
+fn parallel_scheduler_matches_single_thread_bitwise() {
+    use mpsim::machine::Topology;
+    let mut rng = Rng::new(23);
+    for case in 0..16 {
+        let p = rng.range(4, 40);
+        let words = rng.range(1, 32);
+        let rounds = rng.range(1, 4);
+        let flops = rng.range(0, 20_000) as u64;
+        let threads = rng.range(2, 9);
+        let overlap = rng.next().is_multiple_of(2);
+        let cross_region_heavy = case % 3 == 0;
+        let body = move |mut c: mpsim::RankComm| async move {
+            let p = c.size();
+            let mut acc = 0.0;
+            for r in 0..rounds {
+                let off = if cross_region_heavy { p / 2 } else { r + 1 };
+                let dst = (c.rank() + off) % p;
+                let src = (c.rank() + p - (off % p)) % p;
+                let got = c.sendrecv(dst, src, r as u64, vec![c.rank() as f64; words], Phase::Other).await;
+                acc += got.iter().sum::<f64>();
+                c.record_flops(flops);
+            }
+            c.barrier().await;
+            acc
+        };
+        let topology = match case % 4 {
+            3 => Topology::congested_fat_tree(), // clamps to the sequential engine
+            _ => Topology::Flat,
+        };
+        let spec = MachineSpec::test_machine(p, 1000).with_overlap(overlap).with_topology(topology);
+        let single = run_spmd_with(&spec, ExecBackend::event(), body).unwrap();
+        let par = run_spmd_with(&spec, ExecBackend::Event { threads }, body).unwrap();
+        assert_eq!(single.results, par.results, "p={p} threads={threads} case={case}");
+        assert_eq!(
+            single.stats, par.stats,
+            "p={p} threads={threads} overlap={overlap} case={case}: \
+             parallel scheduler stats must be bitwise-identical, times included"
+        );
     }
 }
 

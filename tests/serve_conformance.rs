@@ -75,7 +75,7 @@ fn concurrent_stream_matches_serial_run_sessions_bitwise() {
 #[test]
 fn event_backend_stream_matches_serial_including_virtual_time() {
     let n_jobs = 24;
-    let jobs = mixed_stream(n_jobs, Some(ExecBackend::Event));
+    let jobs = mixed_stream(n_jobs, Some(ExecBackend::event()));
     let server = Server::new(baselines::registry(), ServerConfig::default()).unwrap();
     let served = server.run_batch(jobs.clone());
 
@@ -89,7 +89,7 @@ fn event_backend_stream_matches_serial_including_virtual_time() {
             .algorithm(reference.selection.algo)
             .machine(model)
             .overlap(job.overlap)
-            .exec_backend(ExecBackend::Event)
+            .exec_backend(ExecBackend::event())
             .execute(&job.a, &job.b)
             .expect("serial event run");
         assert_eq!(out.report.c, report.c, "job {}: product diverged", job.id);

@@ -223,7 +223,13 @@ fn all_three_backends_agree_exactly() {
             };
             let strip = |stats: &[mpsim::RankStats]| stats.iter().map(|s| s.sans_time()).collect::<Vec<_>>();
             let threaded = run(ExecBackend::Threaded);
-            for backend in [ExecBackend::Sharded { workers: 3 }, ExecBackend::Event] {
+            let mut event_runs = Vec::new();
+            for backend in [
+                ExecBackend::Sharded { workers: 3 },
+                ExecBackend::event(),
+                ExecBackend::Event { threads: 2 },
+                ExecBackend::Event { threads: 4 },
+            ] {
                 let other = run(backend);
                 assert_eq!(
                     threaded.results, other.results,
@@ -238,13 +244,24 @@ fn all_three_backends_agree_exactly() {
                     "{id} on p={}: {backend} disagrees on measured counters",
                     prob.p
                 );
-                if backend == ExecBackend::Event {
+                if matches!(backend, ExecBackend::Event { .. }) {
                     assert!(
                         mpsim::stats::aggregate::machine_time_s(&other.stats) > 0.0,
                         "{id} on p={}: the event backend must measure virtual time",
                         prob.p
                     );
+                    event_runs.push((backend, other));
                 }
+            }
+            // Among event-scheduler runs, the full stats — virtual times
+            // included — must be bitwise-identical at every thread count.
+            let (_, single) = &event_runs[0];
+            for (backend, par) in &event_runs[1..] {
+                assert_eq!(
+                    single.stats, par.stats,
+                    "{id} on p={}: {backend} virtual times diverge from the single-threaded scheduler",
+                    prob.p
+                );
             }
         }
     }
@@ -278,7 +295,7 @@ fn event_and_sharded_agree_exactly_at_p2048() {
         let sharded = run(ExecBackend::Sharded {
             workers: ExecBackend::default_workers(),
         });
-        let event = run(ExecBackend::Event);
+        let event = run(ExecBackend::event());
         assert_eq!(
             sharded.c.as_slice(),
             event.c.as_slice(),
@@ -319,7 +336,7 @@ fn event_xl_world_executes_end_to_end() {
     let b = Matrix::deterministic(prob.k, prob.n, 72);
     let want = matmul(&a, &b);
     let spec = MachineSpec::piz_daint_with_memory(p, prob.mem_words);
-    let report = execute_boxed_with(&algo, &plan, &spec, ExecBackend::Event, &a, &b)
+    let report = execute_boxed_with(&algo, &plan, &spec, ExecBackend::event(), &a, &b)
         .unwrap_or_else(|e| panic!("p={p}: {e}"));
     assert!(want.approx_eq(&report.c, 1e-9), "p={p}: product off by {}", want.max_abs_diff(&report.c));
     for (r, st) in report.stats.iter().enumerate() {
@@ -381,7 +398,7 @@ fn dfs_carma_matches_bfs_and_reference_bitwise_on_all_backends() {
     for backend in [
         ExecBackend::Threaded,
         ExecBackend::Sharded { workers: 3 },
-        ExecBackend::Event,
+        ExecBackend::event(),
     ] {
         let c_dfs = run(&tight, backend);
         assert_eq!(c_dfs.as_slice(), c_bfs.as_slice(), "{backend}: DFS vs BFS product not bitwise equal");
