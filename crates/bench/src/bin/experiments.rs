@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Ids: `fig1 fig3 fig5 fig6 fig7 fig7m fig7f fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 table3 table4 exec exec-xl timed topo mem-sweep serve`. Each
+//! fig13 fig14 table3 table4 exec exec-xl timed topo mem-sweep serve
+//! faults`. Each
 //! experiment prints its table(s) and writes CSVs to `results/`. See
 //! `EXPERIMENTS.md` for the paper-vs-measured record. `--backend
 //! <threaded|sharded|sharded(N)|event>` pins the execution backend of the
@@ -32,8 +33,13 @@
 //!   faster than cold, hit the cache, auto-select >= 3 algorithms, and hold
 //!   machine-normalized jobs/s (per cold-plan/s, so shared-box speed swings
 //!   cancel) within 10% of the committed
-//!   `results/serve-smoke-baseline.csv`.
-//! * `bench-smoke-baseline` — regenerate all three committed baselines.
+//!   `results/serve-smoke-baseline.csv`. A closing `fault-smoke` section
+//!   arms a fixed-seed `FaultPlan` (15 of 64 ranks die mid-run) and fails
+//!   unless the job completes via the retry policy on the surviving
+//!   p′ = 49 with measured traffic and virtual clock bitwise-equal to the
+//!   committed `results/fault-smoke-baseline.csv`, and unless a quiescent
+//!   fault plan leaves the zero-fault run bitwise-untouched.
+//! * `bench-smoke-baseline` — regenerate all four committed baselines.
 //! * `exec-rss <sharded|event>` — run the square p = 4096 executed
 //!   scenario on one backend and report the process peak RSS (`VmHWM`), for
 //!   the per-backend memory table in `EXPERIMENTS.md`.
@@ -981,6 +987,110 @@ fn serve_experiment() {
 }
 
 // ---------------------------------------------------------------------------
+// faults: completion rate and recovery overhead under injected rank death
+// ---------------------------------------------------------------------------
+
+/// The `faults` experiment: a fixed 64-rank COSMA world served under seeded
+/// [`serve::FaultPlan`]s of increasing severity. Every severity level runs
+/// a batch of seeds twice — once without a retry policy (completion means
+/// the run happened to survive its faults) and once under
+/// `RetryPolicy::attempts(3)`, where the driver catches the typed
+/// `RankFailed`, re-fits the problem to the surviving p′ and re-runs clean.
+/// Reported per level: both completion rates, mean attempts, the degraded
+/// fraction, and the recovered run's virtual-clock overhead over the clean
+/// 64-rank world (fewer ranks doing the same work).
+fn faults_experiment() {
+    use densemat::matrix::Matrix;
+    use serve::{FaultPlan, JobRequest, RetryPolicy, Server, ServerConfig};
+
+    println!("== faults: injected rank death, recovery by replanning the survivors ==\n");
+    let p = 64;
+    let prob = MmmProblem::new(96, 96, 96, p, 1 << 14);
+    let a = Matrix::deterministic(prob.m, prob.k, 21);
+    let b = Matrix::deterministic(prob.k, prob.n, 22);
+    let server = Server::new(baselines::registry(), ServerConfig::default()).unwrap();
+
+    // The zero-fault reference clock. Fault horizons derive from it (half
+    // the clean makespan, deaths landing in its middle 80%), so the
+    // scheduled deaths fall squarely mid-run whatever the cost model says.
+    let clean = server
+        .run_sync(JobRequest::new(0, prob, a.clone(), b.clone()).backend(ExecBackend::event()))
+        .outcome
+        .expect("the clean reference run is feasible");
+    let t_clean = clean.report.measured_time_s();
+    assert!(t_clean > 0.0, "the event backend measures a virtual clock");
+    let horizon = t_clean / 2.0;
+    println!(
+        "(square {}^3, p = {p}, event backend; clean virtual makespan {} ms, fault \
+         horizon {} ms; 8 seeds per level, each served without and with retry)\n",
+        prob.m,
+        fmt(t_clean * 1e3, 4),
+        fmt(horizon * 1e3, 4)
+    );
+
+    let seeds_per_level: u64 = 8;
+    let mut t = Table::new(&[
+        "kills",
+        "survivors",
+        "ok no-retry",
+        "ok retry",
+        "mean attempts",
+        "degraded",
+        "time overhead",
+    ]);
+    let mut next_id = 1u64;
+    for kills in [0usize, 1, 2, 4, 8, 16] {
+        let mut ok_plain = 0usize;
+        let mut ok_retry = 0usize;
+        let mut attempts_sum = 0usize;
+        let mut degraded = 0usize;
+        let mut overhead_sum = 0.0;
+        let mut overhead_n = 0usize;
+        for s in 0..seeds_per_level {
+            let plan = FaultPlan::new(0xFA57 + 101 * s).kill_exactly(kills, horizon);
+            let plain = server.run_sync(JobRequest::new(next_id, prob, a.clone(), b.clone()).faults(plan));
+            next_id += 1;
+            if plain.outcome.is_ok() {
+                ok_plain += 1;
+            }
+            let retried = server.run_sync(
+                JobRequest::new(next_id, prob, a.clone(), b.clone())
+                    .faults(plan)
+                    .retry(RetryPolicy::attempts(3)),
+            );
+            next_id += 1;
+            attempts_sum += retried.attempts;
+            if retried.degraded {
+                degraded += 1;
+            }
+            if let Ok(out) = &retried.outcome {
+                ok_retry += 1;
+                overhead_sum += out.report.measured_time_s() / t_clean;
+                overhead_n += 1;
+            }
+        }
+        let n = seeds_per_level as usize;
+        t.row(vec![
+            kills.to_string(),
+            (p - kills).to_string(),
+            format!("{ok_plain}/{n}"),
+            format!("{ok_retry}/{n}"),
+            fmt(attempts_sum as f64 / n as f64, 2),
+            format!("{degraded}/{n}"),
+            fmt(overhead_sum / overhead_n.max(1) as f64, 3),
+        ]);
+    }
+    t.print();
+    t.write_csv("faults").expect("write csv");
+    println!(
+        "\nexpectation: without a retry policy completion collapses the moment any rank \
+         dies; with recovery every job completes on the surviving world, one extra \
+         attempt, at a modest virtual-time overhead.\n"
+    );
+    let _ = server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // bench-smoke: the CI perf-regression gate
 // ---------------------------------------------------------------------------
 
@@ -1219,6 +1329,121 @@ fn write_serve_baseline(metrics: &bench::serve_bench::ServeMetrics) {
     t.write_csv("serve-smoke-baseline").expect("write serve baseline csv");
 }
 
+/// What the fault-smoke section of the gate measured.
+struct FaultSmoke {
+    /// Whether arming a quiescent fault plan left the clean run's product
+    /// and per-rank stats bitwise-untouched.
+    zero_fault_bitwise: bool,
+    /// Whether the faulted job completed via recovery.
+    recovered_ok: bool,
+    /// Executions the recovered job took (injected failure + clean re-run).
+    attempts: usize,
+    /// Whether the job completed on fewer ranks than requested.
+    degraded: bool,
+    /// The surviving world size the recovery replanned for.
+    p_prime: usize,
+    /// The recovered run's measured traffic, MB.
+    measured_mb: f64,
+    /// The recovered run's measured virtual clock, ms.
+    measured_ms: f64,
+}
+
+/// The fault-smoke scenario: the serve-conformance world (96×80×112,
+/// p = 64) under a fixed-seed `FaultPlan` felling 15 ranks mid-run,
+/// recovered under `RetryPolicy::attempts(2)` by replanning the surviving
+/// p′ = 49. The recovery re-run is a *clean* event run at p′, so its
+/// measured traffic and virtual clock are exactly reproducible — the
+/// committed baseline holds them bitwise.
+fn fault_smoke_run() -> FaultSmoke {
+    use densemat::matrix::Matrix;
+    use serve::{FaultPlan, JobRequest, RetryPolicy, Server, ServerConfig};
+
+    let prob = MmmProblem::new(96, 80, 112, 64, 1 << 14);
+    let a = Matrix::deterministic(prob.m, prob.k, 5);
+    let b = Matrix::deterministic(prob.k, prob.n, 6);
+    let server = Server::new(baselines::registry(), ServerConfig::default()).unwrap();
+
+    // The pre-fault clock, and the same job with a quiescent plan armed —
+    // the latter must change nothing, bit for bit.
+    let clean = server
+        .run_sync(JobRequest::new(0, prob, a.clone(), b.clone()).backend(ExecBackend::event()))
+        .outcome
+        .expect("clean run");
+    let quiet = server
+        .run_sync(JobRequest::new(1, prob, a.clone(), b.clone()).faults(FaultPlan::new(7)))
+        .outcome
+        .expect("a quiescent fault plan cannot fail a run");
+    let zero_fault_bitwise = quiet.report.c == clean.report.c && quiet.report.stats == clean.report.stats;
+
+    let horizon = clean.report.measured_time_s() / 2.0;
+    let plan = FaultPlan::new(7).kill_exactly(15, horizon);
+    let recovered =
+        server.run_sync(JobRequest::new(2, prob, a, b).faults(plan).retry(RetryPolicy::attempts(2)));
+    let (recovered_ok, p_prime, measured_mb, measured_ms) = match &recovered.outcome {
+        Ok(out) => (
+            true,
+            out.plan.problem.p,
+            mpsim::stats::aggregate::total_volume(&out.report.stats) as f64 * 8.0 / 1e6,
+            out.report.measured_time_s() * 1e3,
+        ),
+        Err(_) => (false, 0, 0.0, 0.0),
+    };
+    let smoke = FaultSmoke {
+        zero_fault_bitwise,
+        recovered_ok,
+        attempts: recovered.attempts,
+        degraded: recovered.degraded,
+        p_prime,
+        measured_mb,
+        measured_ms,
+    };
+    let _ = server.shutdown();
+    smoke
+}
+
+fn fault_smoke_table(fs: &FaultSmoke) -> Table {
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["zero-fault bitwise".into(), fs.zero_fault_bitwise.to_string()]);
+    t.row(vec!["recovered".into(), fs.recovered_ok.to_string()]);
+    t.row(vec!["attempts".into(), fs.attempts.to_string()]);
+    t.row(vec!["degraded".into(), fs.degraded.to_string()]);
+    t.row(vec!["p'".into(), fs.p_prime.to_string()]);
+    t.row(vec!["measured MB".into(), fmt(fs.measured_mb, 4)]);
+    t.row(vec!["measured ms".into(), fmt(fs.measured_ms, 4)]);
+    t
+}
+
+/// Write the committed fault-smoke baseline. Floats carry 17 significant
+/// digits so parsing them back recovers the exact f64 — the gate is
+/// *bitwise*, not a tolerance band (the recovery re-run is clean at p′).
+fn write_fault_baseline(fs: &FaultSmoke) {
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["p_prime".into(), fs.p_prime.to_string()]);
+    t.row(vec!["attempts".into(), fs.attempts.to_string()]);
+    t.row(vec!["measured_mb".into(), format!("{:.17e}", fs.measured_mb)]);
+    t.row(vec!["measured_ms".into(), format!("{:.17e}", fs.measured_ms)]);
+    t.write_csv("fault-smoke-baseline").expect("write fault baseline csv");
+}
+
+/// Parse the committed fault-smoke baseline into
+/// `(p_prime, attempts, measured MB, measured ms)`.
+fn read_fault_baseline() -> Option<(usize, usize, f64, f64)> {
+    let path = bench::output::results_dir().join("fault-smoke-baseline.csv");
+    let content = std::fs::read_to_string(&path).ok()?;
+    let field = |name: &str| {
+        content.lines().find_map(|line| {
+            let (metric, value) = line.split_once(',')?;
+            (metric == name).then(|| value.parse::<f64>().ok())?
+        })
+    };
+    Some((
+        field("p_prime")? as usize,
+        field("attempts")? as usize,
+        field("measured_mb")?,
+        field("measured_ms")?,
+    ))
+}
+
 fn bench_smoke_baseline() {
     println!("== bench-smoke-baseline: (re)recording the committed gate baseline ==\n");
     let rows = smoke_rows();
@@ -1236,9 +1461,18 @@ fn bench_smoke_baseline() {
     let metrics = serve_smoke_metrics();
     serve_metrics_table(&metrics).print();
     write_serve_baseline(&metrics);
+    println!("\nrecording the fault-smoke row (96x80x112/64, seed 7, 15 kills)...\n");
+    let fs = fault_smoke_run();
+    fault_smoke_table(&fs).print();
+    assert!(
+        fs.recovered_ok && fs.zero_fault_bitwise && fs.attempts == 2 && fs.degraded,
+        "fault-smoke must recover cleanly before its baseline is recorded"
+    );
+    write_fault_baseline(&fs);
     println!(
-        "\nwrote results/bench-smoke-baseline.csv, results/topo-smoke-baseline.csv and \
-         results/serve-smoke-baseline.csv — commit all three to update the gate.\n"
+        "\nwrote results/bench-smoke-baseline.csv, results/topo-smoke-baseline.csv, \
+         results/serve-smoke-baseline.csv and results/fault-smoke-baseline.csv — \
+         commit all four to update the gate.\n"
     );
 }
 
@@ -1498,8 +1732,60 @@ fn bench_smoke() {
                 .into(),
         ),
     }
+    // Gate 4: fault-smoke — the failure-recovery contract. A fixed-seed
+    // FaultPlan fells 15 of 64 ranks mid-run; the job must complete via the
+    // retry policy by replanning the surviving p' = 49, one injected
+    // failure plus one clean re-run. The recovered run's measured traffic
+    // and virtual clock must match the committed
+    // `results/fault-smoke-baseline.csv` *bitwise* (the recovery re-run is
+    // clean at p', so nothing about it may drift), and arming a quiescent
+    // fault plan must leave the pre-fault clock bitwise-untouched.
+    println!("\n-- fault-smoke --");
+    let fs = fault_smoke_run();
+    fault_smoke_table(&fs).print();
+    if !fs.zero_fault_bitwise {
+        failures.push(
+            "fault-smoke: a quiescent fault plan perturbed the zero-fault run — \
+             arming faults must be bitwise a no-op"
+                .into(),
+        );
+    }
+    if !fs.recovered_ok {
+        failures.push("fault-smoke: the faulted job did not complete via recovery".into());
+    } else {
+        if fs.attempts != 2 || !fs.degraded {
+            failures.push(format!(
+                "fault-smoke: expected one injected failure + one degraded clean re-run, \
+                 got attempts = {}, degraded = {}",
+                fs.attempts, fs.degraded
+            ));
+        }
+        match read_fault_baseline() {
+            Some((p_prime, attempts, mb, ms)) => {
+                if fs.p_prime != p_prime || fs.attempts != attempts {
+                    failures.push(format!(
+                        "fault-smoke: recovered at p' = {} in {} attempts vs baseline \
+                         p' = {p_prime} in {attempts} — the casualty schedule moved",
+                        fs.p_prime, fs.attempts
+                    ));
+                }
+                if fs.measured_mb != mb || fs.measured_ms != ms {
+                    failures.push(format!(
+                        "fault-smoke: recovered run measured {:.17e} MB / {:.17e} ms diverges \
+                         bitwise from baseline {mb:.17e} MB / {ms:.17e} ms — the clean p' \
+                         re-run must be exactly reproducible",
+                        fs.measured_mb, fs.measured_ms
+                    ));
+                }
+            }
+            None => failures.push(
+                "results/fault-smoke-baseline.csv missing — run `experiments bench-smoke-baseline` and commit it"
+                    .into(),
+            ),
+        }
+    }
     if failures.is_empty() {
-        println!("\nbench-smoke gate: PASS ({} rows + serve-smoke)\n", rows.len());
+        println!("\nbench-smoke gate: PASS ({} rows + serve-smoke + fault-smoke)\n", rows.len());
     } else {
         eprintln!("\nbench-smoke gate: FAIL");
         for f in &failures {
@@ -1585,6 +1871,7 @@ fn run(id: &str) {
         "topo" => topo(),
         "mem-sweep" => mem_sweep(),
         "serve" => serve_experiment(),
+        "faults" => faults_experiment(),
         "bench-smoke" => bench_smoke(),
         "bench-smoke-baseline" => bench_smoke_baseline(),
         other => {
@@ -1618,8 +1905,8 @@ fn main() {
         eprintln!(
             "usage: experiments [--backend <name>] <id>...  (ids: fig1 fig3 fig5 fig6 fig7 \
              fig7m fig7f fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3 table4 exec exec-xl \
-             exec-xxl timed topo mem-sweep serve | all | bench-smoke | bench-smoke-baseline | \
-             exec-rss <sharded|event>)"
+             exec-xxl timed topo mem-sweep serve faults | all | bench-smoke | \
+             bench-smoke-baseline | exec-rss <sharded|event>)"
         );
         std::process::exit(2);
     }
@@ -1635,6 +1922,7 @@ fn main() {
         "topo",
         "mem-sweep",
         "serve",
+        "faults",
         "fig6",
         "fig7",
         "fig7m",

@@ -270,6 +270,13 @@ pub enum PlanError {
         /// Which parameter was NaN.
         field: &'static str,
     },
+    /// The job was abandoned before it could run to completion — e.g. the
+    /// serving layer shut down with the job still queued, or its driver
+    /// thread died mid-flight. The job may be safely resubmitted.
+    Aborted {
+        /// Why the job never completed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -308,6 +315,9 @@ impl fmt::Display for PlanError {
             PlanError::Execution { source } => write!(f, "execution backend refused: {source}"),
             PlanError::NonFiniteCostModel { field } => {
                 write!(f, "machine parameter {field} is NaN and cannot be canonicalized")
+            }
+            PlanError::Aborted { reason } => {
+                write!(f, "job aborted before completion: {reason}")
             }
         }
     }
@@ -711,6 +721,7 @@ pub struct RunSession {
     mem_budget: Option<u64>,
     topology: Option<Topology>,
     placement: Option<Placement>,
+    faults: Option<mpsim::FaultPlan>,
 }
 
 impl RunSession {
@@ -730,6 +741,7 @@ impl RunSession {
             mem_budget: None,
             topology: None,
             placement: None,
+            faults: None,
         }
     }
 
@@ -839,6 +851,17 @@ impl RunSession {
         self
     }
 
+    /// Inject a deterministic [`mpsim::FaultPlan`] into the session's
+    /// executions: the event scheduler kills the planned ranks and drops
+    /// the planned messages at their scheduled virtual times, surfacing as
+    /// [`ExecError::RankFailed`] inside [`PlanError::Execution`]. Only the
+    /// event backend consults the plan — blocking backends ignore it — and
+    /// a quiescent plan (no kills, no drops) is a bitwise no-op.
+    pub fn faults(mut self, plan: mpsim::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// The execution backend the session will use: the explicit
     /// [`exec_backend`](Self::exec_backend) choice, or [`ExecBackend::auto`]
     /// for the problem's world size. A
@@ -875,6 +898,9 @@ impl RunSession {
         }
         if let Some(placement) = self.placement {
             spec = spec.with_placement(placement);
+        }
+        if let Some(plan) = self.faults {
+            spec = spec.with_faults(plan);
         }
         spec
     }

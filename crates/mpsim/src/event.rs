@@ -85,6 +85,29 @@
 //! FIFO), resolves a fully-arrived world barrier, checks recv deadlines and
 //! structural deadlock, and opens the next window.
 //!
+//! # Fault injection
+//!
+//! With a [`FaultPlan`](crate::fault::FaultPlan) attached
+//! ([`MachineSpec::with_faults`]), the scheduler kills each doomed rank the
+//! first time it would poll it at or past its scheduled virtual death time
+//! (body dropped, mailbox discarded — the rank stops consuming events),
+//! silently loses sends to dead ranks and the plan's scheduled message
+//! drops, and reports a world the faults keep from completing as a typed
+//! [`ExecError::RankFailed`] carrying the earliest scheduled casualty.
+//! Every fault decision is keyed on rank-local state (the rank's own event
+//! time, the sender's program-order send index), so the sequential and
+//! multi-region engines inject the *same* faults at the *same* events, and
+//! a plan that schedules nothing is bitwise a no-op.
+//!
+//! A second guard complements the virtual recv deadline: a world whose
+//! clocks are *frozen* (α = 0, zero-word messages) can ping-pong forever
+//! without ever outrunning a parked recv's deadline. The sequential engine
+//! counts consecutive polls without strict virtual-time advance and, past a
+//! generous budget, fires the earliest pending deadline as
+//! [`ExecError::DeadlockSuspected`] — so a livelocked world errors instead
+//! of spinning (the parallel engine requires α > 0, where every window
+//! strictly advances the floor).
+//!
 //! The multi-region path only engages where its determinism contract is
 //! provable: on the **flat topology** every virtual quantity a rank commits
 //! (its clock, its receiver-private injection link, its share of the
@@ -106,6 +129,7 @@ use std::task::{Context, Poll, Waker};
 
 use crate::comm::{record_rma, window};
 use crate::exec::{ExecError, RunOutput, Waiting};
+use crate::fault::FaultSchedule;
 use crate::machine::MachineSpec;
 use crate::stats::{Phase, StatsBoard};
 use crate::topo::Network;
@@ -270,6 +294,15 @@ struct WorldState {
     windows: Vec<Vec<f64>>,
     /// Scheduler decision trace, recorded when tracing is on.
     trace: Option<Vec<SchedEvent>>,
+    /// Ranks killed by the fault plan — distinct from `finished`: a dead
+    /// rank produced no result, and sends to it are losses, not teardowns.
+    dead: Vec<bool>,
+    /// Per-rank program-order send counters, keying the fault plan's
+    /// message-drop decisions. Only advanced when a plan is attached.
+    sends: Vec<u64>,
+    /// Earliest fault-plan message drop as `(sent_at, from, to)` — the
+    /// casualty a pure-loss wedge reports.
+    first_drop: Option<(f64, usize, usize)>,
 }
 
 impl WorldState {
@@ -349,8 +382,10 @@ impl WorldState {
 /// The scheduling engine behind an [`EventWorld`]: the single-threaded
 /// global-heap simulator, or the multi-region parallel one.
 enum Engine {
-    /// One scheduler thread, one global state block — any topology.
-    Seq(Mutex<WorldState>),
+    /// One scheduler thread, one global state block — any topology. Boxed:
+    /// the state block dwarfs the parallel variant, and a world is built
+    /// once per run.
+    Seq(Box<Mutex<WorldState>>),
     /// Region-sharded scheduler threads over conservative virtual-time
     /// windows — flat topology with α > 0 only (see [`ParWorld`]).
     Par(ParWorld),
@@ -371,6 +406,10 @@ pub struct EventWorld {
     /// deadline passes while other ranks keep making virtual progress is a
     /// suspected deadlock.
     timeout_s: f64,
+    /// The fault plan compiled against this world
+    /// ([`MachineSpec::faults`]): per-rank death times and message-drop
+    /// decisions. `None` keeps every fault hook off the hot path.
+    faults: Option<FaultSchedule>,
     engine: Engine,
 }
 
@@ -386,7 +425,8 @@ impl EventWorld {
             overlap: spec.overlap,
             net,
             timeout_s: spec.recv_timeout.as_secs_f64(),
-            engine: Engine::Seq(Mutex::new(WorldState {
+            faults: spec.faults.as_ref().map(|plan| plan.schedule(p)),
+            engine: Engine::Seq(Box::new(Mutex::new(WorldState {
                 mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
                 waits: vec![Wait::None; p],
                 ready: BinaryHeap::new(),
@@ -401,7 +441,10 @@ impl EventWorld {
                 barrier_gen: 0,
                 windows: (0..p).map(|_| Vec::new()).collect(),
                 trace: traced.then(Vec::new),
-            })),
+                dead: vec![false; p],
+                sends: vec![0; p],
+                first_drop: None,
+            }))),
         }
     }
 
@@ -417,6 +460,7 @@ impl EventWorld {
             overlap: spec.overlap,
             net,
             timeout_s: spec.recv_timeout.as_secs_f64(),
+            faults: spec.faults.as_ref().map(|plan| plan.schedule(p)),
             engine: Engine::Par(ParWorld::new(p, regions)),
         }
     }
@@ -456,6 +500,10 @@ struct RankSlab {
     park_epoch: u64,
     /// Whether the rank's body future completed.
     finished: bool,
+    /// Whether the fault plan killed this rank (see [`WorldState::dead`]).
+    dead: bool,
+    /// Program-order send counter for the fault plan's drop decisions.
+    sends: u64,
 }
 
 /// One region of the parallel engine: a contiguous block of ranks, their
@@ -474,6 +522,9 @@ struct RegionState {
     seq: u64,
     /// Virtual deadlines of this region's parked receives.
     deadlines: BinaryHeap<DeadlineEntry>,
+    /// Earliest fault-plan message drop by a sender of this region, as
+    /// `(sent_at, from, to)`.
+    first_drop: Option<(f64, usize, usize)>,
 }
 
 impl RegionState {
@@ -589,6 +640,7 @@ impl ParWorld {
                         ready: BinaryHeap::new(),
                         seq: 0,
                         deadlines: BinaryHeap::new(),
+                        first_drop: None,
                     })
                 })
                 .collect(),
@@ -687,6 +739,24 @@ impl EventComm {
         match &self.world.engine {
             Engine::Seq(_) => {
                 let mut st = self.world.lock();
+                if let Some(sched) = &self.world.faults {
+                    let n = st.sends[self.rank];
+                    st.sends[self.rank] = n + 1;
+                    if sched.drops(self.rank, to, n) {
+                        // The wire lost this message: the sender proceeds
+                        // none the wiser (the send was counted), the
+                        // receiver will starve and the wedge reports a
+                        // typed fault.
+                        let at = st.clock[self.rank];
+                        note_drop(&mut st.first_drop, at, self.rank, to);
+                        return;
+                    }
+                    if st.dead[to] {
+                        // The receiver was killed mid-run: a typed loss,
+                        // not a teardown — the wedge reports RankFailed.
+                        return;
+                    }
+                }
                 if st.finished[to] {
                     // The receiver already exited: typed teardown, as in comm.rs.
                     drop(st);
@@ -716,6 +786,26 @@ impl EventComm {
                 let my_region = pw.region_of(self.rank);
                 let to_region = pw.region_of(to);
                 let mut reg = pw.lock_region(my_region);
+                if let Some(sched) = &self.world.faults {
+                    let n = reg.slab(self.rank).sends;
+                    reg.slab_mut(self.rank).sends = n + 1;
+                    if sched.drops(self.rank, to, n) {
+                        // Sender-local decision (seed + program-order send
+                        // index), so the same message vanishes on every
+                        // engine. Recorded region-locally; verdicts fold
+                        // the per-region minima.
+                        let at = reg.slab(self.rank).clock;
+                        let rank = self.rank;
+                        note_drop(&mut reg.first_drop, at, rank, to);
+                        return;
+                    }
+                    if to_region == my_region && reg.slab(to).dead {
+                        // Killed receiver in our own region: typed loss.
+                        // (Cross-region deaths are observed at the window
+                        // boundary, where delivery happens anyway.)
+                        return;
+                    }
+                }
                 let pkt = Packet {
                     from: self.rank,
                     tag,
@@ -1054,6 +1144,102 @@ impl Future for BarrierFuture<'_> {
     }
 }
 
+/// Fold a fault-plan message drop into a running `(sent_at, from, to)`
+/// minimum — the canonical "earliest loss" both engines agree on for all
+/// drops they both observed.
+fn note_drop(slot: &mut Option<(f64, usize, usize)>, at: f64, from: usize, to: usize) {
+    let cand = (at, from, to);
+    let better = match slot {
+        None => true,
+        Some(cur) => cand < *cur,
+    };
+    if better {
+        *slot = Some(cand);
+    }
+}
+
+/// The casualty a fault-afflicted world reports when it cannot complete:
+/// the earliest *scheduled* death among ranks that are dead or still
+/// unfinished with a death pending — a schedule-derived attribution, so the
+/// sequential and parallel engines (whose wedge points may differ by up to
+/// one window) report the same `(rank, at)`. A pure message-loss wedge
+/// (no deaths in play) blames the starved receiver of the earliest drop.
+fn fault_casualty(
+    sched: &FaultSchedule,
+    p: usize,
+    mut status: impl FnMut(usize) -> (bool, bool), // (dead, finished)
+    first_drop: Option<(f64, usize, usize)>,
+) -> Option<ExecError> {
+    let mut first: Option<(f64, usize)> = None;
+    for r in 0..p {
+        let Some(d) = sched.death_time(r) else { continue };
+        let (dead, finished) = status(r);
+        if dead || !finished {
+            let cand = (d, r);
+            if first.is_none_or(|cur| cand < cur) {
+                first = Some(cand);
+            }
+        }
+    }
+    if let Some((at, rank)) = first {
+        return Some(ExecError::RankFailed { rank, at });
+    }
+    first_drop.map(|(at, _from, to)| ExecError::RankFailed { rank: to, at })
+}
+
+/// [`fault_casualty`] against the sequential engine's state. `include_drops`
+/// is off on the completion path: a run that finished despite losses lost
+/// only messages nobody waited for.
+fn seq_fault_error(world: &EventWorld, st: &WorldState, include_drops: bool) -> Option<ExecError> {
+    let sched = world.faults.as_ref()?;
+    fault_casualty(
+        sched,
+        world.p,
+        |r| (st.dead[r], st.finished[r]),
+        if include_drops { st.first_drop } else { None },
+    )
+}
+
+/// [`fault_casualty`] against the parallel engine's regions (called by the
+/// boundary leader or after the workers joined — never mid-window).
+fn par_fault_error(world: &EventWorld, pw: &ParWorld, include_drops: bool) -> Option<ExecError> {
+    let sched = world.faults.as_ref()?;
+    let mut dead = vec![false; pw.p];
+    let mut finished = vec![false; pw.p];
+    let mut first_drop: Option<(f64, usize, usize)> = None;
+    for lock in &pw.regions {
+        let reg = lock.lock().unwrap_or_else(|e| e.into_inner());
+        for (local, slab) in reg.slabs.iter().enumerate() {
+            dead[reg.base + local] = slab.dead;
+            finished[reg.base + local] = slab.finished;
+        }
+        if include_drops {
+            if let Some((at, from, to)) = reg.first_drop {
+                note_drop(&mut first_drop, at, from, to);
+            }
+        }
+    }
+    fault_casualty(sched, pw.p, |r| (dead[r], finished[r]), first_drop)
+}
+
+/// The frozen-clock livelock guard's poll budget: how many consecutive
+/// scheduler polls without strict virtual-time advance the sequential
+/// engine tolerates while a receive deadline is pending.
+///
+/// A world whose clocks are frozen (α = 0 and only zero-word messages in
+/// flight) can ping-pong forever without ever outrunning a parked recv's
+/// virtual deadline — `recv_timeout` never fires and the scheduler spins.
+/// The budget converts "no virtual progress for an absurd number of polls"
+/// into the same [`ExecError::DeadlockSuspected`] the deadline would have
+/// produced. Generous (≥ 2²⁰ polls, scaled by world size so same-timestamp
+/// bursts of large untimed worlds never trip it): a legitimate workload
+/// advancing time or finishing ranks resets the count. The parallel engine
+/// needs no guard — it only engages with α > 0, where every window
+/// strictly advances the floor.
+fn livelock_poll_budget(p: usize) -> u64 {
+    (p as u64) * 64 + (1 << 20)
+}
+
 /// Run the world to completion on the calling thread; see
 /// [`run_spmd_event`].
 fn run_event_world<R, F, Fut>(
@@ -1087,33 +1273,67 @@ where
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
     let mut live = p;
     let mut cx = Context::from_waker(Waker::noop());
+    // Frozen-clock livelock guard (see `livelock_poll_budget`): consecutive
+    // polls without strict virtual-time advance, reset on any progress.
+    let stall_budget = livelock_poll_budget(p);
+    let mut last_advance = f64::NEG_INFINITY;
+    let mut stalled_polls: u64 = 0;
     while live > 0 {
         let next = {
             let mut st = world.lock();
             let entry = st.ready.pop();
             if let Some(e) = &entry {
+                if e.at > last_advance {
+                    last_advance = e.at;
+                    stalled_polls = 0;
+                } else {
+                    stalled_polls += 1;
+                }
                 // The recv-timeout deadline, in virtual time: before
                 // advancing to the earliest runnable rank, check whether a
                 // parked recv's deadline already passed — the world has
                 // outrun it, so the message it waits for can no longer make
                 // it in time. Stale entries (the rank was woken, or parked
-                // anew) are drained lazily.
+                // anew) are drained lazily. A frozen virtual clock can never
+                // outrun a deadline, so the livelock guard fires the
+                // earliest pending one once the poll budget is exhausted.
                 while let Some(&DeadlineEntry { at, rank, epoch }) = st.deadlines.peek() {
                     let valid = st.park_epoch[rank] == epoch && matches!(st.waits[rank], Wait::Recv { .. });
                     if !valid {
                         st.deadlines.pop();
                         continue;
                     }
-                    if at < e.at {
+                    if at < e.at || stalled_polls > stall_budget {
                         let Wait::Recv { from, tag } = st.waits[rank] else {
                             unreachable!("validated above")
                         };
-                        return Err(ExecError::DeadlockSuspected {
-                            rank,
-                            on: Waiting::Message { from, tag },
-                        });
+                        return Err(seq_fault_error(&world, &st, true).unwrap_or(
+                            ExecError::DeadlockSuspected {
+                                rank,
+                                on: Waiting::Message { from, tag },
+                            },
+                        ));
                     }
                     break;
+                }
+                // The fault plan's kill point: the first time a doomed
+                // rank would be polled at or past its scheduled death, it
+                // dies instead — body dropped, mailbox discarded, no
+                // result. Decided against the rank's own event time, so
+                // every engine kills at the same event.
+                if let Some(sched) = &world.faults {
+                    if let Some(d) = sched.death_time(e.rank) {
+                        if !st.dead[e.rank] && e.at >= d {
+                            let r = e.rank;
+                            st.dead[r] = true;
+                            st.waits[r] = Wait::None;
+                            st.mailboxes[r].clear();
+                            drop(st);
+                            tasks[r] = None;
+                            live -= 1;
+                            continue;
+                        }
+                    }
                 }
                 if let Some(t) = &mut st.trace {
                     t.push(SchedEvent::Poll(e.rank));
@@ -1128,6 +1348,12 @@ where
             // communicator (which this scheduler can never re-wake): report
             // that honestly rather than inventing a barrier.
             let st = world.lock();
+            if let Some(e) = seq_fault_error(&world, &st, true) {
+                // The wedge is the fault plan's doing (ranks dead or doomed,
+                // or a dropped message starving its receiver): report the
+                // scheduled casualty instead of a plain deadlock.
+                return Err(e);
+            }
             let (rank, on) = st
                 .waits
                 .iter()
@@ -1155,6 +1381,8 @@ where
                 tasks[r] = None;
                 live -= 1;
                 world.lock().finished[r] = true;
+                // A finishing rank is progress even at a frozen timestamp.
+                stalled_polls = 0;
             }
             // Pending: the rank registered a wait-state; a matching send or
             // the closing barrier arrival re-enqueues it.
@@ -1163,6 +1391,16 @@ where
                 Ok(e) => return Err(*e),
                 Err(payload) => std::panic::resume_unwind(payload),
             },
+        }
+    }
+    if world.faults.is_some() {
+        // Every surviving rank finished, but a run with casualties has no
+        // complete result set: report the earliest scheduled death. (Drops
+        // are not consulted — a run that completed despite losses only
+        // lost messages nobody waited for.)
+        let st = world.lock();
+        if let Some(e) = seq_fault_error(&world, &st, false) {
+            return Err(e);
         }
     }
     let trace = world.lock().trace.take().unwrap_or_default();
@@ -1250,7 +1488,29 @@ where
             let next = {
                 let mut reg = pw.lock_region(w);
                 match reg.ready.peek() {
-                    Some(e) if e.at < bound => reg.ready.pop().map(|e| e.rank),
+                    Some(e) if e.at < bound => {
+                        let e = reg.ready.pop().expect("peeked entry exists");
+                        // The fault plan's kill point — the same event the
+                        // sequential engine kills at (the decision compares
+                        // the rank's own event time with its own death
+                        // time, so the window interleave is irrelevant).
+                        if let Some(sched) = &world.faults {
+                            if let Some(d) = sched.death_time(e.rank) {
+                                if !reg.slab(e.rank).dead && e.at >= d {
+                                    let r = e.rank;
+                                    let slab = reg.slab_mut(r);
+                                    slab.dead = true;
+                                    slab.wait = Wait::None;
+                                    slab.mailbox.clear();
+                                    drop(reg);
+                                    tasks[r - base] = None;
+                                    ctl.live.fetch_sub(1, Ordering::SeqCst);
+                                    continue 'window;
+                                }
+                            }
+                        }
+                        Some(e.rank)
+                    }
                     _ => None,
                 }
             };
@@ -1303,6 +1563,11 @@ fn par_boundary(world: &EventWorld, pw: &ParWorld, ctl: &ParControl) {
         pkts.sort_by_key(|(_, pkt)| pkt.from);
         let mut reg = pw.lock_region(target_region);
         for (to, pkt) in pkts {
+            if reg.slab(to).dead {
+                // The receiver was killed by the fault plan: a typed loss
+                // (the wedge will report RankFailed), not a teardown.
+                continue;
+            }
             if reg.slab(to).finished {
                 // The receiver exited before delivery: the same typed
                 // teardown the sequential sender raises in-line.
@@ -1369,9 +1634,15 @@ fn par_boundary(world: &EventWorld, pw: &ParWorld, ctl: &ParControl) {
     let Some(floor) = floor else {
         if ctl.live.load(Ordering::SeqCst) > 0 {
             // Structural deadlock: unfinished ranks, none runnable anywhere.
-            // Report the first parked rank in rank order, as the sequential
-            // engine does; a live rank with no registered wait awaited
-            // something outside the communicator.
+            // A fault-afflicted wedge reports the scheduled casualty;
+            // otherwise report the first parked rank in rank order, as the
+            // sequential engine does (a live rank with no registered wait
+            // awaited something outside the communicator).
+            if let Some(e) = par_fault_error(world, pw, true) {
+                ctl.fail(e);
+                ctl.stop.store(true, Ordering::SeqCst);
+                return;
+            }
             let mut found: Option<(usize, Waiting)> = None;
             let mut first_unfinished: Option<usize> = None;
             'scan: for lock in &pw.regions {
@@ -1433,10 +1704,10 @@ fn par_boundary(world: &EventWorld, pw: &ParWorld, ctl: &ParControl) {
                 unreachable!("validated above")
             };
             drop(reg);
-            ctl.fail(ExecError::DeadlockSuspected {
+            ctl.fail(par_fault_error(world, pw, true).unwrap_or(ExecError::DeadlockSuspected {
                 rank: d.rank,
                 on: Waiting::Message { from, tag },
-            });
+            }));
             ctl.stop.store(true, Ordering::SeqCst);
             return;
         }
@@ -1519,6 +1790,13 @@ where
     }
     if let Some(e) = ctl.error.lock().unwrap_or_else(|e| e.into_inner()).take() {
         return Err(e);
+    }
+    if world.faults.is_some() {
+        // Every surviving rank finished; a run with casualties still has no
+        // complete result set (see the sequential completion check).
+        if let Some(e) = par_fault_error(&world, pw, false) {
+            return Err(e);
+        }
     }
     let mut results = Vec::with_capacity(p);
     for region in &mut region_results {
@@ -2201,5 +2479,154 @@ mod tests {
                 on: Waiting::Message { from: 0, tag: 9 }
             }
         );
+    }
+
+    #[test]
+    fn livelocked_world_with_inflight_messages_errors_as_deadlock() {
+        // α = 0 and zero-word messages freeze every clock at t = 0: ranks 0
+        // and 1 ping-pong forever without advancing virtual time, so rank
+        // 2's recv deadline can never be outrun by the clock. The frozen-
+        // clock poll budget must convert the spin into the same
+        // `DeadlockSuspected` the deadline would have produced.
+        let spec = unit_spec(3).with_recv_timeout(std::time::Duration::from_secs(1));
+        let err = try_run_spmd_event(&spec, |mut c| async move {
+            match c.rank() {
+                0 => loop {
+                    c.send(1, 1, vec![], Phase::Other);
+                    c.recv(1, 1, Phase::Other).await;
+                },
+                1 => loop {
+                    c.recv(0, 1, Phase::Other).await;
+                    c.send(0, 1, vec![], Phase::Other);
+                },
+                _ => {
+                    c.recv(0, 9, Phase::Other).await;
+                }
+            }
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::DeadlockSuspected { .. }),
+            "frozen-clock livelock must surface as DeadlockSuspected, got {err:?}"
+        );
+    }
+
+    /// A long, barrier-paced workload for the fault tests: every rank has
+    /// poll points spread across the whole makespan, so any death scheduled
+    /// inside the horizon reliably materializes.
+    async fn barrier_paced_body(mut c: crate::comm::RankComm) {
+        for _ in 0..10 {
+            c.record_flops(100);
+            c.barrier().await;
+        }
+    }
+
+    #[test]
+    fn injected_rank_death_surfaces_as_rank_failed() {
+        use crate::fault::FaultPlan;
+        // unit_spec clocks: 100 s of compute per iteration, 10 iterations —
+        // a horizon of 500 s puts the single death squarely mid-run.
+        let plan = FaultPlan::new(0xC0FFEE).kill_exactly(1, 500.0);
+        assert_eq!(plan.planned_kills(8), 1);
+        assert_eq!(plan.survivors(8), 7);
+        let sched = plan.schedule(8);
+        let (victim, death) = (0..8)
+            .filter_map(|r| sched.death_time(r).map(|d| (r, d)))
+            .next()
+            .expect("one death scheduled");
+        let err = try_run_spmd_event(&unit_spec(8).with_faults(plan), barrier_paced_body).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::RankFailed {
+                rank: victim,
+                at: death
+            }
+        );
+    }
+
+    #[test]
+    fn fault_failure_is_identical_across_event_thread_counts() {
+        use crate::fault::FaultPlan;
+        // test_machine: 1000 flops ≈ 1 µs per iteration, 20 iterations — a
+        // 10 µs horizon schedules all three deaths mid-run. The parallel
+        // engine (α = 1 µs > 0, flat topology) must report the exact same
+        // typed failure as the sequential engine at every thread count.
+        let body = |mut c: crate::comm::RankComm| async move {
+            for _ in 0..20 {
+                c.record_flops(1000);
+                c.barrier().await;
+            }
+        };
+        let plan = FaultPlan::new(42).kill_exactly(3, 10e-6);
+        let spec = MachineSpec::test_machine(64, 1000).with_faults(plan);
+        let seq = try_run_spmd_event(&spec, body).unwrap_err();
+        assert!(matches!(seq, ExecError::RankFailed { .. }), "got {seq:?}");
+        for threads in [2, 4, 8] {
+            let par = try_run_spmd_event_threads(&spec, threads, body).unwrap_err();
+            assert_eq!(seq, par, "{threads} threads: failure attribution must match");
+        }
+    }
+
+    #[test]
+    fn quiescent_fault_plan_is_a_bitwise_no_op() {
+        use crate::fault::FaultPlan;
+        // A plan with no kills and no drops must not perturb a single
+        // counter or virtual timestamp, on either engine.
+        let base = MachineSpec::test_machine(64, 1000);
+        let armed = base.clone().with_faults(FaultPlan::new(7));
+        let plain = try_run_spmd_event(&base, mixed_body).unwrap();
+        let quiet = try_run_spmd_event(&armed, mixed_body).unwrap();
+        assert_eq!(plain.results, quiet.results);
+        assert_eq!(plain.stats, quiet.stats, "quiescent plan must be invisible to the clock");
+        let quiet_par = try_run_spmd_event_threads(&armed, 4, mixed_body).unwrap();
+        assert_eq!(plain.stats, quiet_par.stats);
+    }
+
+    #[test]
+    fn dropped_message_starves_receiver_into_rank_failed() {
+        use crate::fault::FaultPlan;
+        // Every send is dropped: rank 1's recv can never be satisfied, and
+        // the structural wedge must be attributed to the starved receiver
+        // at the drop's send time — not reported as a plain deadlock.
+        let plan = FaultPlan::new(1).drop_rate(1.0);
+        let err = try_run_spmd_event(&unit_spec(2).with_faults(plan), |mut c| async move {
+            if c.rank() == 0 {
+                c.record_flops(3);
+                c.send(1, 1, vec![0.0; 2], Phase::Other);
+            } else {
+                c.recv(0, 1, Phase::Other).await;
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, ExecError::RankFailed { rank: 1, at: 3.0 });
+    }
+
+    #[test]
+    fn unconsumed_drops_do_not_fail_a_completed_run() {
+        use crate::fault::FaultPlan;
+        // The same total drop rate, but nobody waits on the lost message:
+        // the world completes, and a completed run ignores pure drops.
+        let plan = FaultPlan::new(1).drop_rate(1.0);
+        let out = try_run_spmd_event(&unit_spec(2).with_faults(plan), |c| async move {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0.0; 2], Phase::Other);
+            }
+            c.record_flops(5);
+        })
+        .unwrap();
+        assert_eq!(out.stats[0].time.compute_s, 5.0);
+    }
+
+    #[test]
+    fn death_scheduled_past_the_makespan_never_fires() {
+        use crate::fault::FaultPlan;
+        // The horizon lies entirely beyond the run's end: no rank is ever
+        // polled at or past its death time, so the run completes clean.
+        let plan = FaultPlan::new(9).kill_exactly(2, 1e9);
+        let sched = plan.schedule(4);
+        let earliest = (0..4).filter_map(|r| sched.death_time(r)).fold(f64::MAX, f64::min);
+        assert!(earliest > 1000.0, "horizon must be far past the ~600 s makespan");
+        let out = try_run_spmd_event(&unit_spec(4).with_faults(plan), barrier_paced_body);
+        assert!(out.is_ok(), "un-materialized deaths must not fail the run: {out:?}");
     }
 }

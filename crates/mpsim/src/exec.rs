@@ -235,7 +235,7 @@ impl fmt::Display for Waiting {
 /// Why an executor refused to run a world (before any rank started), or
 /// rejected a finished or wedged one — the typed surface that keeps
 /// threaded/sharded deadlocks from aborting the process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecError {
     /// The threaded backend's rank cap was exceeded.
     WorldTooLarge {
@@ -276,7 +276,26 @@ pub enum ExecError {
         /// The rank that observed the teardown.
         rank: usize,
     },
+    /// A rank was killed by the machine's fault-injection plan
+    /// ([`MachineSpec::faults`](crate::machine::MachineSpec)) and the world
+    /// could not complete without it. Carries the earliest *scheduled*
+    /// casualty of the plan — a schedule-derived attribution, so the
+    /// single-threaded and multi-region event engines report the same
+    /// failure — or, for a pure message-loss wedge, the starved receiver
+    /// of the first lost message. A recovery driver can re-fit the problem
+    /// to [`FaultPlan::survivors`](crate::fault::FaultPlan::survivors) and
+    /// re-run clean.
+    RankFailed {
+        /// The failed rank (earliest scheduled death; ties by rank).
+        rank: usize,
+        /// Its virtual death time, seconds.
+        at: f64,
+    },
 }
+
+// `at` is derived from a finite fault horizon and never NaN, so equality is
+// reflexive despite the f64 field.
+impl Eq for ExecError {}
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -300,6 +319,12 @@ impl fmt::Display for ExecError {
                 f,
                 "rank {rank}: world torn down mid-operation (a peer exited with \
                  communication still in flight)"
+            ),
+            ExecError::RankFailed { rank, at } => write!(
+                f,
+                "rank {rank} failed at virtual t = {at:.6}s (injected fault) and the \
+                 world could not complete without it; replan for the surviving ranks \
+                 (FaultPlan::survivors) and re-run"
             ),
         }
     }

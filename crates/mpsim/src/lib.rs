@@ -34,6 +34,11 @@
 //! * [`cost`] — the α-β-γ time model: per-round communication/computation
 //!   costs, with and without communication–computation overlap (§7.3), and
 //!   %-of-peak reporting used by Figures 8–14.
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   the event scheduler consults to kill ranks and drop messages at
+//!   scheduled points of *virtual* time, surfacing as a typed
+//!   [`exec::ExecError::RankFailed`] a caller can recover from by
+//!   replanning the surviving world.
 //!
 //! Algorithms run in two modes backed by the same decomposition code: real
 //! execution with data (correctness, any `p`) and plan-level analysis
@@ -47,6 +52,7 @@ pub mod comm;
 pub mod cost;
 pub mod event;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod stats;
 pub mod topo;
@@ -61,6 +67,7 @@ pub use exec::{
     run_spmd, run_spmd_with, ExecBackend, ExecError, RunOutput, Waiting, MAX_SHARDED_RANKS,
     MAX_THREADED_RANKS,
 };
+pub use fault::FaultPlan;
 pub use machine::{MachineSpec, Placement, Topology};
 pub use stats::{Phase, RankStats, StatsBoard};
 pub use topo::Network;

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 
 /// Default deadlock guard: how long a `recv` waits for a matching message
 /// before the run is declared deadlock-suspected (see
@@ -205,6 +206,15 @@ pub struct MachineSpec {
     /// Rank→node assignment under the topology (see [`Placement`]).
     /// Ignored by [`Topology::Flat`].
     pub placement: Placement,
+    /// Deterministic fault injection (see [`FaultPlan`]). `None` (the
+    /// default) runs fault-free. `Some(plan)` makes the event backend kill
+    /// the plan's scheduled ranks at their virtual death times and lose the
+    /// plan's scheduled messages; a run the faults keep from completing
+    /// returns [`ExecError::RankFailed`](crate::exec::ExecError). A
+    /// quiescent plan ([`FaultPlan::new`]) is bitwise a no-op. The blocking
+    /// backends ignore the plan (no virtual clock to key death times
+    /// against).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineSpec {
@@ -221,7 +231,15 @@ impl MachineSpec {
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             topology: Topology::Flat,
             placement: Placement::Block,
+            faults: None,
         }
+    }
+
+    /// Attach a deterministic fault-injection plan (see
+    /// [`MachineSpec::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Set the interconnect topology (see [`MachineSpec::topology`]).

@@ -11,6 +11,13 @@
 //! (only on insert into a full shard) removes the least-recently-used entry
 //! of that shard. Hit/miss/insert/eviction counters are atomic and
 //! readable at any time via [`PlanCache::stats`].
+//!
+//! The cache is panic-hardened for the serving layer: every lock
+//! acquisition recovers a poisoned guard (`unwrap_or_else(e.into_inner())`
+//! — the map is only ever mutated through complete insert/remove
+//! operations, so a panicking holder cannot leave a half-written entry),
+//! and the planning closure runs *outside* any lock, so a panicking
+//! planner can never poison a shard in the first place.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -291,6 +298,23 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 1, "one resident entry regardless of racing");
         assert_eq!(stats.hits + stats.misses, 8);
+    }
+
+    #[test]
+    fn panicking_planner_does_not_poison_the_cache() {
+        // The planning closure runs outside any shard lock, so a worker
+        // dying mid-plan must leave the cache fully serviceable — the same
+        // key plans cleanly on the next request.
+        let cache = PlanCache::new(2, 8);
+        let (key, planned) = planned_for(16);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_try_insert_with(key, || panic!("planner worker died"))
+        }));
+        assert!(died.is_err());
+        let (got, hit) = cache.get_or_try_insert_with(key, || Ok(planned)).unwrap();
+        assert!(!hit, "the dead attempt must not have cached anything");
+        assert_eq!(got.selection.algo, got.plan.algo);
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

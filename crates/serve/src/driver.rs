@@ -17,10 +17,25 @@
 //! plan and the per-rank [`ExecReport`]. Every step is deterministic, so a
 //! job's result is bitwise-identical to the same job run serially through
 //! `RunSession` — concurrency changes throughput, never answers.
+//!
+//! # Fault recovery
+//!
+//! A job may arm a deterministic [`FaultPlan`]: the event scheduler kills
+//! the planned ranks mid-run and the execution comes back as the typed
+//! [`ExecError::RankFailed`]. Under a [`RetryPolicy`] the driver recovers
+//! by *shrinking the world to the survivors* — the paper's §1 argument that
+//! COSMA's grid fitting handles awkward processor counts means p′ = p − k
+//! is as servable as p — replanning through the same cache (a different
+//! `p` is a different [`PlanKey`], so failed worlds never poison cached
+//! plans) and re-executing clean. The per-job [`JobResult::attempts`] and
+//! [`JobResult::degraded`] record what recovery did.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cosma::api::{AlgorithmRegistry, ExecReport, PlanError, RunSession};
 use cosma::plan::DistPlan;
@@ -29,10 +44,59 @@ use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
 use mpsim::exec::{ExecBackend, ExecError, SchedulerPool};
 use mpsim::machine::{Placement, Topology};
+use mpsim::FaultPlan;
 
 use crate::auto::{AlgoChoice, AutoPlanner, Selection};
 use crate::cache::{CacheStats, PlanCache};
 use crate::key::PlanKey;
+
+/// How many times a failed job may be re-executed, and how long to pause
+/// between attempts.
+///
+/// Only [`ExecError::RankFailed`] — the typed fault-injection failure — is
+/// retried: it is the one failure mode with a principled recovery (drop the
+/// dead ranks, replan for the survivors). Structural errors (infeasible
+/// grids, unsupported rank counts) are deterministic and would fail
+/// identically again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions allowed, first attempt included; `1` means no
+    /// retries. Clamped to at least 1.
+    pub max_attempts: usize,
+    /// Wall-clock pause between attempts (virtual time is free; this knob
+    /// models a caller-visible re-admission delay).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `n` attempts with no pause between them.
+    pub fn attempts(n: usize) -> Self {
+        RetryPolicy {
+            max_attempts: n.max(1),
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Set the pause between attempts.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
 
 /// One tenant request: a problem, its inputs, and the per-request knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +129,14 @@ pub struct JobRequest {
     /// Rank→node placement under [`topology`](Self::topology) (default:
     /// [`Placement::Block`]).
     pub placement: Placement,
+    /// Deterministic fault injection for this job's execution (default:
+    /// none). Arming a plan routes the job to the event backend unless an
+    /// explicit [`backend`](Self::backend) was pinned — blocking backends
+    /// ignore fault plans.
+    pub faults: Option<FaultPlan>,
+    /// Recovery policy when an injected fault fells the world (default:
+    /// [`RetryPolicy::none`] — the typed failure surfaces immediately).
+    pub retry: RetryPolicy,
 }
 
 impl JobRequest {
@@ -83,6 +155,8 @@ impl JobRequest {
             backend: None,
             topology: Topology::Flat,
             placement: Placement::Block,
+            faults: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -110,6 +184,18 @@ impl JobRequest {
         self.placement = placement;
         self
     }
+
+    /// Arm a deterministic [`FaultPlan`] for this job's execution.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Set the recovery policy for injected faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
 }
 
 /// What a successfully served job produced.
@@ -134,6 +220,25 @@ pub struct JobResult {
     pub id: u64,
     /// The served output, or the typed planning/execution failure.
     pub outcome: Result<JobOutput, PlanError>,
+    /// Executions this job consumed: 1 for a clean run, more when the
+    /// [`RetryPolicy`] recovered from injected faults, 0 when the job was
+    /// aborted before it ever ran (server shutdown, dead drivers).
+    pub attempts: usize,
+    /// Whether recovery shrank the world: the job completed on fewer ranks
+    /// than requested (p′ < p after dropping the casualties).
+    pub degraded: bool,
+}
+
+/// Final accounting from [`Server::shutdown`].
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Plan-cache counters at shutdown.
+    pub cache: CacheStats,
+    /// Every result the caller had not yet [`recv`](Server::recv)ed, in
+    /// ascending id order: completed jobs verbatim, and one typed
+    /// [`PlanError::Aborted`] result per job that was still queued — the
+    /// queue is never silently dropped.
+    pub undelivered: Vec<JobResult>,
 }
 
 /// Sizing knobs of a [`Server`].
@@ -189,7 +294,12 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     jobs_tx: Option<Sender<JobRequest>>,
+    // The server's own clone of the result sender: lets `submit` synthesize
+    // a typed result when every driver thread has died, so batch callers
+    // still get one result per request instead of hanging on `recv`.
+    results_tx: Option<Sender<JobResult>>,
     results_rx: Mutex<Receiver<JobResult>>,
+    shutting: Arc<AtomicBool>,
     drivers: Vec<JoinHandle<()>>,
 }
 
@@ -212,11 +322,13 @@ impl Server {
         let (jobs_tx, jobs_rx) = mpsc::channel::<JobRequest>();
         let (results_tx, results_rx) = mpsc::channel::<JobResult>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let shutting = Arc::new(AtomicBool::new(false));
         let drivers = (0..config.drivers)
             .map(|i| {
                 let shared = shared.clone();
                 let jobs_rx = jobs_rx.clone();
                 let results_tx = results_tx.clone();
+                let shutting = shutting.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-driver-{i}"))
                     .spawn(move || loop {
@@ -225,9 +337,20 @@ impl Server {
                         // as waiting for a job.
                         let job = match jobs_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
                             Ok(job) => job,
-                            Err(_) => break, // queue closed: server shut down
+                            Err(_) => break, // queue closed and drained
                         };
-                        let result = serve_job(&shared, job);
+                        let id = job.id;
+                        let result = if shutting.load(Ordering::SeqCst) {
+                            // Shutdown drain: the queue's leftover jobs
+                            // become typed results, never silent drops.
+                            aborted(id, "server shut down with the job still queued", 0)
+                        } else {
+                            // A panicking job (bad operands, a planner bug)
+                            // must cost that job its result, not the whole
+                            // driver thread — later jobs still get served.
+                            std::panic::catch_unwind(AssertUnwindSafe(|| serve_job(&shared, job)))
+                                .unwrap_or_else(|_| aborted(id, "job panicked inside the driver", 1))
+                        };
                         if results_tx.send(result).is_err() {
                             break; // receiver gone: server dropped mid-flight
                         }
@@ -238,19 +361,32 @@ impl Server {
         Ok(Server {
             shared,
             jobs_tx: Some(jobs_tx),
+            results_tx: Some(results_tx),
             results_rx: Mutex::new(results_rx),
+            shutting,
             drivers,
         })
     }
 
     /// Enqueue a job; some driver thread will pick it up. Results arrive in
     /// *completion* order via [`recv`](Self::recv), not submission order.
+    ///
+    /// If every driver thread has died (each one caught a panic it could
+    /// not attribute to a job), the job is answered immediately with a
+    /// typed [`PlanError::Aborted`] result instead of hanging the queue.
     pub fn submit(&self, job: JobRequest) {
-        self.jobs_tx
+        let id = job.id;
+        let undeliverable = self
+            .jobs_tx
             .as_ref()
             .expect("server accepts jobs until shutdown")
             .send(job)
-            .expect("driver threads outlive the server handle");
+            .is_err();
+        if undeliverable {
+            if let Some(tx) = self.results_tx.as_ref() {
+                let _ = tx.send(aborted(id, "no live driver threads to serve the job", 0));
+            }
+        }
     }
 
     /// Block for the next finished job. `None` only after
@@ -292,20 +428,39 @@ impl Server {
         &self.shared.pool
     }
 
-    /// Stop accepting jobs, drain the driver threads, and report the final
-    /// cache counters. Undelivered results are discarded.
-    pub fn shutdown(mut self) -> CacheStats {
+    /// Stop accepting jobs, drain the driver threads, and account for every
+    /// job: results already computed come back verbatim in
+    /// [`ShutdownReport::undelivered`], and jobs still queued come back as
+    /// typed [`PlanError::Aborted`] results — `run_batch`-style callers get
+    /// exactly one result per request, shutdown or not. In-flight jobs run
+    /// to completion first.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.close();
-        self.shared.cache.stats()
+        let mut undelivered: Vec<JobResult> = {
+            let rx = self.results_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_iter().collect()
+        };
+        undelivered.sort_by_key(|r| r.id);
+        ShutdownReport {
+            cache: self.shared.cache.stats(),
+            undelivered,
+        }
     }
 
     fn close(&mut self) {
+        // Flag first, then close the queue: drivers that dequeue after this
+        // point convert the job to a typed aborted result instead of
+        // serving it, so shutdown is prompt even with a deep queue.
+        self.shutting.store(true, Ordering::SeqCst);
         drop(self.jobs_tx.take()); // closes the queue: drivers drain and exit
         for h in self.drivers.drain(..) {
             if let Err(payload) = h.join() {
                 std::panic::resume_unwind(payload);
             }
         }
+        // Drop our result-sender clone so `recv` (and the shutdown drain)
+        // observe a closed channel once the drivers are gone.
+        drop(self.results_tx.take());
     }
 }
 
@@ -315,54 +470,130 @@ impl Drop for Server {
     }
 }
 
-/// The serving pipeline for one job: cached planning, then execution.
+/// A typed "this job never completed" result.
+fn aborted(id: u64, reason: &'static str, attempts: usize) -> JobResult {
+    JobResult {
+        id,
+        outcome: Err(PlanError::Aborted { reason }),
+        attempts,
+        degraded: false,
+    }
+}
+
+/// The serving pipeline for one job: cached planning, execution, and —
+/// under a [`RetryPolicy`] — survivor replanning when injected faults fell
+/// the world.
 fn serve_job(shared: &Shared, job: JobRequest) -> JobResult {
     let id = job.id;
-    let outcome = (|| {
-        let model = job.model.unwrap_or_else(CostModel::piz_daint_two_sided);
-        let key = PlanKey::try_new(
-            &job.prob,
-            &model,
-            job.overlap,
-            job.mem_budget,
-            &job.choice,
-            &job.topology,
-            job.placement,
-        )?;
-        let (planned, cache_hit) = shared.cache.get_or_try_insert_with(key, || {
-            shared.planner.select(&job.prob, &model, job.overlap, &job.choice)
-        })?;
-        let backend = job.backend.unwrap_or_else(|| ExecBackend::auto(job.prob.p));
-        let mut session = RunSession::new(job.prob)
-            .registry(shared.planner.registry().clone())
-            .algorithm(planned.selection.algo)
-            .machine(model)
-            .overlap(job.overlap)
-            .topology(job.topology.clone())
-            .placement(job.placement)
-            .exec_backend(backend);
-        if let Some(words) = job.mem_budget {
-            session = session.mem_budget(words);
-        }
-        let report = match backend {
-            // An event world is one single-threaded simulation; driver
-            // threads interleave many of them.
-            ExecBackend::Event { .. } => session.execute_planned(&planned.plan, &job.a, &job.b)?,
-            // Blocking worlds take their runnable slots from the shared
-            // pool, so concurrent jobs respect one machine-wide cap.
-            ExecBackend::Threaded | ExecBackend::Sharded { .. } => {
-                session.execute_planned_pooled(&planned.plan, &shared.pool, &job.a, &job.b)?
+    let mut p = job.prob.p;
+    let mut faults = job.faults;
+    let mut attempts = 0;
+    let mut degraded = false;
+    loop {
+        attempts += 1;
+        let outcome = serve_attempt(shared, &job, p, faults);
+        let rank_failed = matches!(
+            outcome,
+            Err(PlanError::Execution {
+                source: ExecError::RankFailed { .. }
+            })
+        );
+        if rank_failed && attempts < job.retry.max_attempts {
+            if let Some(plan) = faults.take() {
+                // Recovery: shrink the world to the survivors (COSMA's grid
+                // fitting handles any p′, power of two or not) and re-run
+                // *clean* — a retry must not re-inject the faults it is
+                // recovering from. A pure message-loss failure keeps p′ = p:
+                // same world, no drops this time.
+                let survivors = plan.survivors(p);
+                if survivors > 0 {
+                    degraded |= survivors < p;
+                    p = survivors;
+                    if !job.retry.backoff.is_zero() {
+                        std::thread::sleep(job.retry.backoff);
+                    }
+                    continue;
+                }
             }
+        }
+        return JobResult {
+            id,
+            outcome,
+            attempts,
+            degraded,
         };
-        Ok(JobOutput {
-            selection: planned.selection.clone(),
-            plan: planned.plan.clone(),
-            report,
-            cache_hit,
-            backend,
-        })
-    })();
-    JobResult { id, outcome }
+    }
+}
+
+/// One execution attempt at world size `p` (the job's own `p`, or the
+/// survivor count after a recovery step) with `faults` armed or not.
+fn serve_attempt(
+    shared: &Shared,
+    job: &JobRequest,
+    p: usize,
+    faults: Option<FaultPlan>,
+) -> Result<JobOutput, PlanError> {
+    let model = job.model.unwrap_or_else(CostModel::piz_daint_two_sided);
+    // A shrunken world is a fresh problem with its own PlanKey, so a failed
+    // world's replan lands in a different cache slot — the p-rank entry is
+    // never poisoned by the failure (and stays warm for clean requests).
+    let prob = if p == job.prob.p {
+        job.prob
+    } else {
+        MmmProblem::new(job.prob.m, job.prob.n, job.prob.k, p, job.prob.mem_words)
+    };
+    let key = PlanKey::try_new(
+        &prob,
+        &model,
+        job.overlap,
+        job.mem_budget,
+        &job.choice,
+        &job.topology,
+        job.placement,
+    )?;
+    let (planned, cache_hit) = shared
+        .cache
+        .get_or_try_insert_with(key, || shared.planner.select(&prob, &model, job.overlap, &job.choice))?;
+    // Fault plans are an event-scheduler feature: when one is armed and no
+    // explicit backend was pinned, route the job (and its recovery re-runs,
+    // for comparable virtual clocks) to the event backend — blocking
+    // backends ignore the plan entirely.
+    let backend = match job.backend {
+        Some(explicit) => explicit,
+        None if job.faults.is_some() => ExecBackend::event(),
+        None => ExecBackend::auto(p),
+    };
+    let mut session = RunSession::new(prob)
+        .registry(shared.planner.registry().clone())
+        .algorithm(planned.selection.algo)
+        .machine(model)
+        .overlap(job.overlap)
+        .topology(job.topology.clone())
+        .placement(job.placement)
+        .exec_backend(backend);
+    if let Some(words) = job.mem_budget {
+        session = session.mem_budget(words);
+    }
+    if let Some(plan) = faults {
+        session = session.faults(plan);
+    }
+    let report = match backend {
+        // An event world is one single-threaded simulation; driver
+        // threads interleave many of them.
+        ExecBackend::Event { .. } => session.execute_planned(&planned.plan, &job.a, &job.b)?,
+        // Blocking worlds take their runnable slots from the shared
+        // pool, so concurrent jobs respect one machine-wide cap.
+        ExecBackend::Threaded | ExecBackend::Sharded { .. } => {
+            session.execute_planned_pooled(&planned.plan, &shared.pool, &job.a, &job.b)?
+        }
+    };
+    Ok(JobOutput {
+        selection: planned.selection.clone(),
+        plan: planned.plan.clone(),
+        report,
+        cache_hit,
+        backend,
+    })
 }
 
 #[cfg(test)]
@@ -410,7 +641,9 @@ mod tests {
         let jobs: Vec<JobRequest> = (0..9).map(|i| job(i, [4, 6, 8][i as usize % 3], i % 3)).collect();
         let results = server.run_batch(jobs);
         assert!(results.iter().all(|r| r.outcome.is_ok()));
-        let stats = server.shutdown();
+        let report = server.shutdown();
+        assert!(report.undelivered.is_empty(), "batch already collected every result");
+        let stats = report.cache;
         assert_eq!(stats.inserts, 3);
         assert_eq!(stats.hits + stats.misses, 9);
         assert!(stats.hits >= 6, "at least the 6 repeats hit; got {stats:?}");
@@ -463,5 +696,114 @@ mod tests {
                 source: ExecError::MemBudgetExceeded { .. }
             })
         ));
+    }
+
+    #[test]
+    fn clean_jobs_report_one_attempt_and_no_degradation() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        let result = server.run_sync(job(0, 4, 0));
+        assert!(result.outcome.is_ok());
+        assert_eq!(result.attempts, 1);
+        assert!(!result.degraded);
+    }
+
+    #[test]
+    fn injected_fault_without_retry_surfaces_rank_failed() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        // Horizon from a clean clocked run, so the deaths land mid-run.
+        let clean = server.run_sync(job(0, 8, 3).backend(ExecBackend::event()));
+        let t = clean.outcome.unwrap().report.measured_time_s();
+        assert!(t > 0.0);
+        let plan = FaultPlan::new(11).kill_exactly(2, t / 2.0);
+        let result = server.run_sync(job(1, 8, 3).faults(plan));
+        assert!(
+            matches!(
+                result.outcome,
+                Err(PlanError::Execution {
+                    source: ExecError::RankFailed { .. }
+                })
+            ),
+            "{:?}",
+            result.outcome
+        );
+        assert_eq!(result.attempts, 1);
+        assert!(!result.degraded);
+    }
+
+    #[test]
+    fn retry_policy_recovers_by_replanning_the_survivors() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        let clean = server.run_sync(job(0, 8, 3).backend(ExecBackend::event()));
+        let t = clean.outcome.unwrap().report.measured_time_s();
+        let plan = FaultPlan::new(11).kill_exactly(2, t / 2.0);
+        assert_eq!(plan.survivors(8), 6);
+        let result = server.run_sync(job(1, 8, 3).faults(plan).retry(RetryPolicy::attempts(3)));
+        let out = result.outcome.expect("recovery must complete the job");
+        assert_eq!(result.attempts, 2, "one failure, one clean re-run");
+        assert!(result.degraded, "the world shrank to the survivors");
+        assert_eq!(out.plan.problem.p, 6, "replanned for p′ = 6");
+        // The degraded product is still the product: bitwise-equal to a
+        // fresh 6-rank run of the same operands.
+        let fresh = server.run_sync(job(2, 6, 3).backend(ExecBackend::event()));
+        assert_eq!(out.report.c, fresh.outcome.unwrap().report.c);
+    }
+
+    #[test]
+    fn shutdown_accounts_for_every_queued_job() {
+        // One driver, a slow job at the head of the queue, then a pile of
+        // queued jobs: immediate shutdown must hand back one result per
+        // submission — the in-flight job served, the rest typed aborts.
+        let config = ServerConfig {
+            drivers: 1,
+            ..small_config()
+        };
+        let server = Server::new(baselines::registry(), config).unwrap();
+        let n = 8;
+        let heavy = {
+            let prob = MmmProblem::new(96, 96, 96, 16, 1 << 14);
+            let a = Matrix::deterministic(prob.m, prob.k, 1);
+            let b = Matrix::deterministic(prob.k, prob.n, 2);
+            JobRequest::new(0, prob, a, b).backend(ExecBackend::event())
+        };
+        server.submit(heavy);
+        for i in 1..n {
+            server.submit(job(i, 4, i));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.undelivered.len(), n as usize, "one result per submitted job");
+        for (i, r) in report.undelivered.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            match &r.outcome {
+                Ok(_) => {}
+                Err(PlanError::Aborted { .. }) => assert_eq!(r.attempts, 0),
+                other => panic!("job {i}: expected served or aborted, got {other:?}"),
+            }
+        }
+        assert!(
+            report
+                .undelivered
+                .iter()
+                .any(|r| matches!(r.outcome, Err(PlanError::Aborted { .. }))),
+            "with one driver busy on the heavy job, queued jobs must be aborted"
+        );
+    }
+
+    #[test]
+    fn panicking_job_costs_its_result_not_the_driver() {
+        let config = ServerConfig {
+            drivers: 1,
+            ..small_config()
+        };
+        let server = Server::new(baselines::registry(), config).unwrap();
+        // Operand shape contradicts the problem statement: the rank bodies
+        // index out of bounds and panic. The driver must catch it, type it,
+        // and keep serving.
+        let poison = {
+            let prob = MmmProblem::new(24, 20, 28, 4, 1 << 12);
+            JobRequest::new(0, prob, Matrix::deterministic(2, 2, 1), Matrix::deterministic(2, 2, 2))
+        };
+        let results = server.run_batch(vec![poison, job(1, 4, 5)]);
+        assert!(matches!(results[0].outcome, Err(PlanError::Aborted { .. })), "{:?}", results[0].outcome);
+        assert!(results[1].outcome.is_ok(), "the driver survived to serve the next job");
     }
 }

@@ -26,7 +26,10 @@
 //!   [`SchedulerPool`](mpsim::exec::SchedulerPool) (a machine-wide worker
 //!   cap across *all* concurrent jobs), event worlds interleave. Per-job
 //!   [`ExecReport`](cosma::api::ExecReport)s come back with the selection,
-//!   the (possibly cached) plan and a cache-hit flag.
+//!   the (possibly cached) plan and a cache-hit flag. Jobs may arm a
+//!   deterministic [`FaultPlan`]; under a [`RetryPolicy`] the driver
+//!   recovers from injected rank death by replanning the surviving world
+//!   (see the `driver` module docs).
 //!
 //! ```
 //! use cosma::problem::MmmProblem;
@@ -54,5 +57,6 @@ pub mod key;
 
 pub use auto::{AlgoChoice, AutoPlanner, Planned, Ranked, Selection};
 pub use cache::{CacheStats, PlanCache};
-pub use driver::{JobOutput, JobRequest, JobResult, Server, ServerConfig};
+pub use driver::{JobOutput, JobRequest, JobResult, RetryPolicy, Server, ServerConfig, ShutdownReport};
 pub use key::PlanKey;
+pub use mpsim::FaultPlan;

@@ -811,3 +811,59 @@ fn theorem2_bound_monotone_in_memory() {
         assert!(hi <= lo + 1e-9, "more memory must not raise the bound");
     }
 }
+
+/// Fault determinism (the PR-9 contract): the same seeded `FaultPlan` must
+/// produce the *identical* outcome on the sequential and the 4-thread event
+/// scheduler — same typed failure when the world wedges, bitwise-identical
+/// stats when it completes — and a quiescent plan must be a bitwise no-op
+/// against the fault-free clock.
+#[test]
+fn fault_plans_behave_identically_across_event_thread_counts() {
+    use mpsim::{try_run_spmd_event, try_run_spmd_event_threads, FaultPlan};
+    let mut rng = Rng::new(0xFA);
+    let mut failures = 0;
+    for case in 0..10 {
+        let p = rng.range(8, 40);
+        let kills = rng.range(0, 3);
+        let dropping = rng.range(0, 2) == 1;
+        let seed = rng.next();
+        let mut plan = FaultPlan::new(seed);
+        if kills > 0 {
+            plan = plan.kill_exactly(kills, 8e-6);
+        }
+        if dropping {
+            plan = plan.drop_rate(0.05);
+        }
+        let body = |mut c: mpsim::RankComm| async move {
+            let p = c.size();
+            for _ in 0..12 {
+                c.record_flops(1000);
+                let right = (c.rank() + 1) % p;
+                let left = (c.rank() + p - 1) % p;
+                c.sendrecv(right, left, 1, vec![c.rank() as f64; 2], Phase::Other).await;
+                c.barrier().await;
+            }
+        };
+        let armed = MachineSpec::test_machine(p, 1000).with_faults(plan);
+        let seq = try_run_spmd_event(&armed, body);
+        let par = try_run_spmd_event_threads(&armed, 4, body);
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.stats, b.stats, "case {case}: completed stats must be bitwise-identical");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "case {case}: typed failures must be identical");
+                failures += 1;
+            }
+            (a, b) => panic!("case {case}: engines disagree on survival: {a:?} vs {b:?}"),
+        }
+        if kills == 0 && !dropping {
+            // Quiescent plan: bitwise no-op against the fault-free world.
+            let bare = MachineSpec::test_machine(p, 1000);
+            let clean = try_run_spmd_event(&bare, body).unwrap();
+            let quiet = try_run_spmd_event(&armed, body).unwrap();
+            assert_eq!(clean.stats, quiet.stats, "case {case}: quiescent plan perturbed the clock");
+        }
+    }
+    assert!(failures > 0, "the sample must exercise at least one injected failure");
+}

@@ -10,9 +10,11 @@
 
 use bench::serve_bench::{mixed_stream, unique_combos};
 use cosma::api::{AlgoId, RunSession};
+use cosma::problem::MmmProblem;
+use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
 use mpsim::exec::ExecBackend;
-use serve::{AutoPlanner, Server, ServerConfig};
+use serve::{AutoPlanner, FaultPlan, JobRequest, RetryPolicy, Server, ServerConfig};
 
 /// A ≥64-job mixed stream (repeat + unique plan keys) through a concurrent
 /// [`Server`]: every `JobResult` matches a serial [`RunSession`] run of the
@@ -63,7 +65,9 @@ fn concurrent_stream_matches_serial_run_sessions_bitwise() {
     }
 
     assert!(selected.len() >= 3, "want >= 3 algorithms auto-selected, got {selected:?}");
-    let stats = server.shutdown();
+    let report = server.shutdown();
+    assert!(report.undelivered.is_empty(), "the batch already collected every result");
+    let stats = report.cache;
     assert!(stats.hit_rate() > 0.0, "key repeats must hit the cache: {stats:?}");
     assert_eq!(stats.hits + stats.misses, n_jobs as u64);
 }
@@ -97,4 +101,43 @@ fn event_backend_stream_matches_serial_including_virtual_time() {
         // the contract, not stripped.
         assert_eq!(out.report.stats, report.stats, "job {}: stats diverged", job.id);
     }
+}
+
+/// The PR-9 recovery contract end-to-end: a seeded `FaultPlan` fells 15 of
+/// 64 ranks mid-run; the retry policy replans for the surviving p′ = 49 —
+/// a rank count only grid fitting handles gracefully (not a power of two,
+/// not a perfect square) — and the recovered job's product *and per-rank
+/// virtual-clock stats* are bitwise-identical to a fresh p′ = 49 run of the
+/// same operands through the same pipeline.
+#[test]
+fn fault_recovery_replans_survivors_and_matches_fresh_run_bitwise() {
+    let prob = MmmProblem::new(96, 80, 112, 64, 1 << 14);
+    let a = Matrix::deterministic(prob.m, prob.k, 5);
+    let b = Matrix::deterministic(prob.k, prob.n, 6);
+    let server = Server::new(baselines::registry(), ServerConfig::default()).unwrap();
+
+    // Derive the fault horizon from a clean clocked run, so the scheduled
+    // deaths land squarely mid-run whatever the machine model says.
+    let clean = server.run_sync(JobRequest::new(0, prob, a.clone(), b.clone()).backend(ExecBackend::event()));
+    let t = clean.outcome.expect("clean run").report.measured_time_s();
+    assert!(t > 0.0);
+
+    let plan = FaultPlan::new(2024).kill_exactly(15, t / 2.0);
+    assert_eq!(plan.survivors(64), 49);
+    let recovered = server.run_sync(
+        JobRequest::new(1, prob, a.clone(), b.clone())
+            .faults(plan)
+            .retry(RetryPolicy::attempts(2)),
+    );
+    let out = recovered.outcome.expect("recovery must complete the job");
+    assert_eq!(recovered.attempts, 2, "one injected failure, one clean re-run");
+    assert!(recovered.degraded);
+    assert_eq!(out.plan.problem.p, 49, "replanned for the surviving world");
+
+    let prob49 = MmmProblem::new(prob.m, prob.n, prob.k, 49, prob.mem_words);
+    let fresh = server.run_sync(JobRequest::new(2, prob49, a, b).backend(ExecBackend::event()));
+    let fresh_out = fresh.outcome.expect("fresh p' run");
+    assert_eq!(fresh.attempts, 1);
+    assert_eq!(out.report.c, fresh_out.report.c, "recovered product must equal a fresh p' run bitwise");
+    assert_eq!(out.report.stats, fresh_out.report.stats, "virtual clocks included");
 }
