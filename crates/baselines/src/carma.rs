@@ -36,7 +36,7 @@ use cosma::algorithm::CPart;
 use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture, RankRequirement};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
-use densemat::gemm::gemm_tiled;
+use densemat::gemm::gemm_packed;
 use densemat::matrix::Matrix;
 use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
@@ -429,13 +429,15 @@ async fn execute_leaf(
                         let flat_len = ks.len() * cols.len();
                         let my_off = share_offset(flat_len, group, idx);
                         let my_len = piece_len(flat_len, group, idx);
-                        (flat_len, flat_block_slice(b, &ks, &cols, my_off, my_len), Phase::InputB)
+                        let buf = comm.pool().take_clear(my_len);
+                        (flat_len, flat_block_slice(b, &ks, &cols, my_off, my_len, buf), Phase::InputB)
                     }
                     _ => {
                         let flat_len = rows.len() * ks.len();
                         let my_off = share_offset(flat_len, group, idx);
                         let my_len = piece_len(flat_len, group, idx);
-                        (flat_len, flat_block_slice(a, &rows, &ks, my_off, my_len), Phase::InputA)
+                        let buf = comm.pool().take_clear(my_len);
+                        (flat_len, flat_block_slice(a, &rows, &ks, my_off, my_len, buf), Phase::InputA)
                     }
                 };
                 // Send buffer + received share are both resident at the
@@ -454,6 +456,7 @@ async fn execute_leaf(
                     piece_len(flat_len, group, if upper { idx - hsize } else { idx + hsize })
                 );
                 comm.track_free(sent_len + got.len() as u64);
+                comm.recycle(got);
             }
             SplitDim::K => {}
         }
@@ -470,15 +473,19 @@ async fn execute_leaf(
     }
 
     // Leaf multiply: the leaf footprint |A| + |B| + |C| is the working set.
+    // All three buffers are leased from the world's arena — across DFS
+    // leaves (and across jobs on a warm serve pool) the leaf bricks recycle
+    // the same storage instead of re-allocating per leaf.
     let brick = &tr.brick;
     let (lm, ln, lk) = (brick.rows.len(), brick.cols.len(), brick.ks.len());
     comm.track_alloc((lm * lk + lk * ln + lm * ln) as u64);
-    let leaf_a = a.block(brick.rows.clone(), brick.ks.clone());
-    let leaf_b = b.block(brick.ks.clone(), brick.cols.clone());
-    let mut c_leaf = Matrix::zeros(lm, ln);
-    gemm_tiled(&leaf_a, &leaf_b, &mut c_leaf);
+    let leaf_a = a.block_into(brick.rows.clone(), brick.ks.clone(), comm.pool().take_clear(lm * lk));
+    let leaf_b = b.block_into(brick.ks.clone(), brick.cols.clone(), comm.pool().take_clear(lk * ln));
+    let mut c_leaf = Matrix::from_recycled(lm, ln, comm.pool().take_clear(lm * ln));
+    gemm_packed(&leaf_a, &leaf_b, &mut c_leaf);
     comm.record_flops(2 * (lm * ln * lk) as u64);
-    drop((leaf_a, leaf_b));
+    comm.recycle(leaf_a.into_vec());
+    comm.recycle(leaf_b.into_vec());
     comm.track_free((lm * lk + lk * ln) as u64);
 
     // Upward: recursive-halving reduce-scatter over the k-splits. Partners
@@ -538,6 +545,7 @@ async fn execute_leaf(
         }
         comm.record_flops(kept.len() as u64);
         comm.track_free(got.len() as u64);
+        comm.recycle(got);
         if level.upper {
             off += lower_len;
         }
@@ -564,20 +572,21 @@ fn share_offset(len: usize, parts: usize, idx: usize) -> usize {
 }
 
 /// The `[off, off + len)` words of the row-major flattening of
-/// `mat[rows, cols]`, materialized without building the whole block — the
-/// descent exchanges buffer only the share being sent, which is what keeps
-/// the streaming executor's working set at the leaf footprint.
+/// `mat[rows, cols]`, materialized into the (pooled) `buf` without building
+/// the whole block — the descent exchanges buffer only the share being sent,
+/// which is what keeps the streaming executor's working set at the leaf
+/// footprint.
 fn flat_block_slice(
     mat: &Matrix,
     rows: &std::ops::Range<usize>,
     cols: &std::ops::Range<usize>,
     off: usize,
     len: usize,
+    mut buf: Vec<f64>,
 ) -> Vec<f64> {
     let w = cols.len();
-    (off..off + len)
-        .map(|f| mat.get(rows.start + f / w, cols.start + f % w))
-        .collect()
+    buf.extend((off..off + len).map(|f| mat.get(rows.start + f / w, cols.start + f % w)));
+    buf
 }
 
 /// Tags: disjoint per `(leaf, level)` pair; `+ 1` marks the upward k-split

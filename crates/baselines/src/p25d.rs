@@ -18,7 +18,7 @@ use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
 use cosma::treecount;
-use densemat::gemm::gemm_tiled;
+use densemat::gemm::gemm_packed;
 use densemat::matrix::Matrix;
 use mpsim::collectives::{bcast, reduce_sum};
 use mpsim::comm::RankComm;
@@ -271,10 +271,15 @@ pub async fn execute(
     for s in 0..step {
         let t = (i + j + off + s) % q;
         let lk_t = even_range(prob.k, q, t).len();
-        let ap = Matrix::from_vec(lm, lk_t, a_cur.clone());
-        let bp = Matrix::from_vec(lk_t, ln, b_cur.clone());
-        gemm_tiled(&ap, &bp, &mut c_local);
+        // Pooled copies of the live panels: the originals keep circulating
+        // on the shift rings while the multiply runs, and the copies go
+        // back to the arena instead of the allocator every step.
+        let ap = Matrix::from_vec(lm, lk_t, comm.pool().take_copy(&a_cur));
+        let bp = Matrix::from_vec(lk_t, ln, comm.pool().take_copy(&b_cur));
+        gemm_packed(&ap, &bp, &mut c_local);
         comm.record_flops(2 * (lm * ln * lk_t) as u64);
+        comm.recycle(ap.into_vec());
+        comm.recycle(bp.into_vec());
         if s + 1 < step {
             let a_dst = geo.rank_of(i, (j + q - 1) % q, l);
             let a_src = geo.rank_of(i, (j + 1) % q, l);

@@ -18,7 +18,7 @@ use cosma::algorithm::{even_range, CPart};
 use cosma::api::{AlgoId, MmmAlgorithm, PlanError, RankFuture};
 use cosma::plan::{Brick, DistPlan, RankPlan, Round};
 use cosma::problem::MmmProblem;
-use densemat::gemm::gemm_tiled;
+use densemat::gemm::gemm_packed;
 use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
 use mpsim::collectives::{bcast_pipelined, bcast_pipelined_recv_msgs};
@@ -231,7 +231,7 @@ pub async fn execute(
         bcast_pipelined(comm, &grid.col_group(j), b_root, &mut b_panel, w * ln, b_tag, Phase::InputB).await;
         let ap = Matrix::from_vec(lm, w, a_panel);
         let bp = Matrix::from_vec(w, ln, b_panel);
-        gemm_tiled(&ap, &bp, &mut c_local);
+        gemm_packed(&ap, &bp, &mut c_local);
         comm.record_flops(2 * (lm * ln * w) as u64);
     }
     (rows, cols, c_local)

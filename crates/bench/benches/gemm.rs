@@ -1,9 +1,9 @@
-//! Local GEMM kernel microbenchmarks: the naive, tiled and parallel kernels
-//! that replace vendor BLAS, across the block shapes the distributed
+//! Local GEMM kernel microbenchmarks: the naive, tiled, packed and parallel
+//! kernels that replace vendor BLAS, across the block shapes the distributed
 //! algorithms actually multiply (square tiles, thin slabs).
 
 use bench::micro::Group;
-use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
+use densemat::gemm::{gemm_naive, gemm_packed, gemm_parallel, gemm_tiled};
 use densemat::matrix::Matrix;
 
 fn main() {
@@ -19,6 +19,11 @@ fn main() {
         group.bench(&format!("tiled/{n}"), || {
             let mut cmat = Matrix::zeros(n, n);
             gemm_tiled(&a, &b, &mut cmat);
+            cmat
+        });
+        group.bench(&format!("packed/{n}"), || {
+            let mut cmat = Matrix::zeros(n, n);
+            gemm_packed(&a, &b, &mut cmat);
             cmat
         });
         group.bench(&format!("parallel4/{n}"), || {
@@ -37,6 +42,11 @@ fn main() {
         group.bench(&format!("tiled/{s}"), || {
             let mut cmat = Matrix::zeros(mn, mn);
             gemm_tiled(&a, &b, &mut cmat);
+            cmat
+        });
+        group.bench(&format!("packed/{s}"), || {
+            let mut cmat = Matrix::zeros(mn, mn);
+            gemm_packed(&a, &b, &mut cmat);
             cmat
         });
     }

@@ -38,7 +38,12 @@
 //!   unless the job completes via the retry policy on the surviving
 //!   p′ = 49 with measured traffic and virtual clock bitwise-equal to the
 //!   committed `results/fault-smoke-baseline.csv`, and unless a quiescent
-//!   fault plan leaves the zero-fault run bitwise-untouched.
+//!   fault plan leaves the zero-fault run bitwise-untouched. A closing
+//!   `gemm-smoke` section times the default packed local kernel against the
+//!   naive reference and fails unless it matches bitwise on integer
+//!   matrices and beats it by the committed factor (the measured flop rate
+//!   also feeds `CostModel::calibrated_gamma` — the printed γ is the
+//!   machine's real %-peak denominator).
 //! * `bench-smoke-baseline` — regenerate all four committed baselines.
 //! * `exec-rss <sharded|event>` — run the square p = 4096 executed
 //!   scenario on one backend and report the process peak RSS (`VmHWM`), for
@@ -516,6 +521,8 @@ fn executed_table() -> Table {
         "planned ms",
         "meas ms",
         "meas %peak",
+        "allocs",
+        "pool hit %",
     ])
 }
 
@@ -536,6 +543,10 @@ fn push_executed_rows(t: &mut Table, name: &str, p: usize, rows: &[runner::Execu
             // Blocking backends keep no virtual clock: measured ms is 0.
             fmt(row.measured_time_s * 1e3, 4),
             fmt(row.measured_percent_peak, 2),
+            // Arena counters: observability only (the hit/miss split depends
+            // on scheduling order), so they never enter a bitwise gate.
+            row.allocs.to_string(),
+            fmt(row.pool_hit_rate * 100.0, 1),
         ]);
     }
 }
@@ -1165,7 +1176,7 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
              \"algorithm\": \"{}\", \"planned_mb\": {:.6}, \"measured_mb\": {:.6}, \
              \"exact\": {}, \"wall_s\": {:.3}, \"peak_mem_words\": {}, \
              \"within_mem\": {}, \"planned_time_s\": {:.9}, \"measured_time_s\": {:.9}, \
-             \"measured_percent_peak\": {:.4}}}{comma}",
+             \"measured_percent_peak\": {:.4}, \"allocs\": {}, \"pool_hit_rate\": {:.4}}}{comma}",
             row.backend,
             row.algo,
             row.planned_mb,
@@ -1176,7 +1187,9 @@ fn write_smoke_json(rows: &[(String, usize, runner::ExecutedRow)]) -> std::path:
             row.within_mem,
             row.planned_time_s,
             row.measured_time_s,
-            row.measured_percent_peak
+            row.measured_percent_peak,
+            row.allocs,
+            row.pool_hit_rate
         )
         .unwrap();
     }
@@ -1442,6 +1455,106 @@ fn read_fault_baseline() -> Option<(usize, usize, f64, f64)> {
         field("measured_mb")?,
         field("measured_ms")?,
     ))
+}
+
+// ---------------------------------------------------------------------------
+// gemm-smoke: the local-kernel half of the gate (§7 local tuning)
+// ---------------------------------------------------------------------------
+
+/// The committed local-kernel speedup floor: on the gate's 320³ multiply,
+/// `gemm_packed` must beat `gemm_naive` by at least this factor. With the
+/// workspace's `target-cpu=native` build the packed kernel measures ~2.3×
+/// naive; the floor is set low enough to absorb noisy CI neighbours while
+/// still failing if the default kernel silently decays to naive speed.
+const GEMM_SMOKE_MIN_SPEEDUP: f64 = 1.5;
+
+/// What the gemm-smoke section of the gate measured.
+struct GemmSmoke {
+    /// Whether packed and naive agreed bit for bit on the integer matrices.
+    bitwise: bool,
+    /// Best per-multiply seconds of the naive kernel.
+    naive_s: f64,
+    /// Best per-multiply seconds of the packed kernel.
+    packed_s: f64,
+    /// The packed kernel's sustained flop rate.
+    packed_flops_per_s: f64,
+    /// That rate as a percent of the cost model's single-core peak.
+    percent_peak: f64,
+    /// γ after [`CostModel::calibrated_gamma`] on the measured rate.
+    calibrated_gamma_flops: f64,
+}
+
+/// Best per-iteration seconds of three adaptive reps (one warm-up call
+/// sizes the iteration count to ~120 ms per rep). The minimum over reps is
+/// the least-contended estimate — the standard noisy-neighbour defence.
+fn best_time_s(mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(std::time::Duration::from_nanos(1));
+    let iters = (120_000_000u128 / once.as_nanos()).clamp(1, 100_000) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn gemm_smoke_run(m: &CostModel) -> GemmSmoke {
+    use bench::micro::black_box;
+    use densemat::gemm::{gemm_naive, gemm_packed, mmm_flops};
+    use densemat::matrix::Matrix;
+    let n = 320;
+    // Small-integer entries: every product and partial sum is exact, so the
+    // bitwise comparison cannot hide behind rounding noise (the kernels
+    // share the k-order on arbitrary f64 anyway — §7's kernel swap is
+    // contracted to be invisible, and this row gates that on every CI run).
+    let ints = |s: usize| Matrix::from_fn(n, n, move |i, j| ((i * 31 + j * 7 + s) % 8 + 1) as f64);
+    let a = ints(1);
+    let b = ints(2);
+    let mut c_naive = Matrix::zeros(n, n);
+    gemm_naive(&a, &b, &mut c_naive);
+    let mut c_packed = Matrix::zeros(n, n);
+    gemm_packed(&a, &b, &mut c_packed);
+    let bitwise = c_naive
+        .as_slice()
+        .iter()
+        .zip(c_packed.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    // The kernels accumulate into C, so reusing one sink across timed
+    // iterations is safe (the values grow, the work does not change).
+    let mut sink = Matrix::zeros(n, n);
+    let naive_s = best_time_s(|| gemm_naive(black_box(&a), black_box(&b), black_box(&mut sink)));
+    let mut sink = Matrix::zeros(n, n);
+    let packed_s = best_time_s(|| gemm_packed(black_box(&a), black_box(&b), black_box(&mut sink)));
+    let packed_flops_per_s = mmm_flops(n, n, n) as f64 / packed_s;
+    GemmSmoke {
+        bitwise,
+        naive_s,
+        packed_s,
+        packed_flops_per_s,
+        percent_peak: 100.0 * packed_flops_per_s / m.peak_flops,
+        calibrated_gamma_flops: m.calibrated_gamma(packed_flops_per_s).gamma_flops(),
+    }
+}
+
+fn gemm_smoke_table(gs: &GemmSmoke) -> Table {
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["bitwise vs naive".into(), gs.bitwise.to_string()]);
+    t.row(vec!["naive ms".into(), fmt(gs.naive_s * 1e3, 3)]);
+    t.row(vec!["packed ms".into(), fmt(gs.packed_s * 1e3, 3)]);
+    t.row(vec!["speedup".into(), fmt(gs.naive_s / gs.packed_s, 2)]);
+    t.row(vec!["packed Gflop/s".into(), fmt(gs.packed_flops_per_s / 1e9, 2)]);
+    t.row(vec!["% of model peak".into(), fmt(gs.percent_peak, 1)]);
+    t.row(vec![
+        "calibrated gamma Gflop/s".into(),
+        fmt(gs.calibrated_gamma_flops / 1e9, 2),
+    ]);
+    t
 }
 
 fn bench_smoke_baseline() {
@@ -1784,8 +1897,32 @@ fn bench_smoke() {
             ),
         }
     }
+    // Gate 5: gemm-smoke — the local-kernel contract (§7 local tuning).
+    // The default `gemm_packed` must (a) agree bit for bit with the naive
+    // reference on integer matrices, and (b) beat it by the committed
+    // GEMM_SMOKE_MIN_SPEEDUP factor, so the data-plane kernel can neither
+    // drift numerically nor silently decay to naive speed. The measured
+    // rate also feeds `CostModel::calibrated_gamma` — the printed γ is the
+    // machine's actual single-core γ, the paper's %-peak denominator.
+    println!("\n-- gemm-smoke (packed vs naive, 320^3) --");
+    let gs = gemm_smoke_run(&m);
+    gemm_smoke_table(&gs).print();
+    if !gs.bitwise {
+        failures.push("gemm-smoke: gemm_packed diverges bitwise from gemm_naive on integer matrices".into());
+    }
+    let speedup = gs.naive_s / gs.packed_s;
+    if speedup < GEMM_SMOKE_MIN_SPEEDUP {
+        failures.push(format!(
+            "gemm-smoke: packed is only {}x naive (committed floor {}x)",
+            fmt(speedup, 2),
+            fmt(GEMM_SMOKE_MIN_SPEEDUP, 2)
+        ));
+    }
     if failures.is_empty() {
-        println!("\nbench-smoke gate: PASS ({} rows + serve-smoke + fault-smoke)\n", rows.len());
+        println!(
+            "\nbench-smoke gate: PASS ({} rows + serve-smoke + fault-smoke + gemm-smoke)\n",
+            rows.len()
+        );
     } else {
         eprintln!("\nbench-smoke gate: FAIL");
         for f in &failures {

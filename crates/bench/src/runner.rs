@@ -199,6 +199,13 @@ pub struct ExecutedRow {
     /// Measured percent of machine peak (Figures 8/10/13/14's metric, taken
     /// from the virtual clock). Zero when no time was measured.
     pub measured_percent_peak: f64,
+    /// Fresh heap allocations the run's buffer arena performed (pool
+    /// misses). Observability only — never part of a bitwise gate, because
+    /// the hit/miss split depends on scheduling order.
+    pub allocs: u64,
+    /// Fraction of buffer requests served from the arena's free lists,
+    /// in `[0, 1]`. Observability only, like [`ExecutedRow::allocs`].
+    pub pool_hit_rate: f64,
 }
 
 /// Execute every registry algorithm on `prob` with real data under
@@ -309,6 +316,8 @@ fn execute_rows(
                     measured_time_s,
                     model,
                 ),
+                allocs: report.pool.allocs(),
+                pool_hit_rate: report.pool.hit_rate(),
             })
         })
         .collect()
@@ -542,6 +551,20 @@ mod tests {
         for row in execute_all(&prob, &model(), ExecBackend::Threaded) {
             assert!(row.peak_mem_words > 0, "{}: no memory tracked", row.algo);
             assert!(row.within_mem, "{}: exceeded ample S", row.algo);
+        }
+    }
+
+    #[test]
+    fn executed_rows_carry_arena_counters() {
+        let prob = MmmProblem::new(48, 48, 48, 16, 1 << 14);
+        for row in execute_all(&prob, &model(), ExecBackend::Threaded) {
+            assert!(row.allocs > 0, "{}: a run always allocates something", row.algo);
+            assert!(
+                (0.0..=1.0).contains(&row.pool_hit_rate),
+                "{}: hit rate {} out of range",
+                row.algo,
+                row.pool_hit_rate
+            );
         }
     }
 

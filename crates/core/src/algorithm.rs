@@ -22,7 +22,7 @@
 //! Both backends move exactly the words the plan predicts — the integration
 //! tests assert equality against the mpiP-style counters.
 
-use densemat::gemm::gemm_tiled;
+use densemat::gemm::gemm_packed;
 use densemat::layout::even_splits;
 use densemat::matrix::Matrix;
 use mpsim::collectives::{allgather_bruck, even_chunk_ranges, reduce_scatter_ring};
@@ -290,7 +290,7 @@ pub async fn execute(
             }
         };
         // --- Multiply ---
-        gemm_tiled(&a_slab, &b_slab, &mut c_local);
+        gemm_packed(&a_slab, &b_slab, &mut c_local);
         comm.record_flops(2 * (lm * ln * w) as u64);
     }
 

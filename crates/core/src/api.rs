@@ -52,6 +52,7 @@ use mpsim::comm::RankComm;
 use mpsim::cost::CostModel;
 use mpsim::exec::{run_spmd_pooled, run_spmd_with, ExecBackend, ExecError, SchedulerPool};
 use mpsim::machine::{MachineSpec, Placement, Topology};
+use mpsim::pool::PoolStats;
 use mpsim::stats::RankStats;
 
 use crate::algorithm::{self, assemble_c, Backend, CPart, CosmaConfig};
@@ -361,6 +362,11 @@ pub struct ExecReport {
     /// unless the machine was built with one, so callers comparing measured
     /// times know which contention model produced them.
     pub topology: Topology,
+    /// Buffer-arena counters of the run (allocations vs. recycled hits).
+    /// Display-only observability: recycling is invisible to `c` and
+    /// `stats`, and the hit/miss split is not part of the determinism
+    /// contract (it depends on scheduling order).
+    pub pool: PoolStats,
 }
 
 impl ExecReport {
@@ -523,6 +529,7 @@ pub fn execute_boxed_with(
         c,
         stats: out.stats,
         topology: machine.topology.clone(),
+        pool: out.pool,
     })
 }
 
@@ -557,6 +564,7 @@ pub fn execute_boxed_pooled(
         c,
         stats: out.stats,
         topology: machine.topology.clone(),
+        pool: out.pool,
     })
 }
 

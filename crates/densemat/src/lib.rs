@@ -9,7 +9,8 @@
 //!   views, used both by the local kernels and by the distributed algorithms to
 //!   describe sub-domains.
 //! * [`gemm`] — local matrix-multiplication kernels: a reference naive kernel,
-//!   a cache-tiled kernel, and a multi-threaded kernel over std scoped
+//!   a cache-tiled kernel, a packed register-blocked kernel (the default, the
+//!   paper's §7 "local tuning"), and a multi-threaded kernel over std scoped
 //!   threads. All kernels compute `C += A * B` so that the distributed
 //!   algorithms can accumulate partial results exactly like the paper's
 //!   rank-1-update formulation (Listing 1).
@@ -25,6 +26,6 @@ pub mod gemm;
 pub mod layout;
 pub mod matrix;
 
-pub use gemm::{gemm_naive, gemm_parallel, gemm_tiled, mmm_flops, Gemm};
+pub use gemm::{gemm_naive, gemm_packed, gemm_parallel, gemm_tiled, matmul, mmm_flops, Gemm};
 pub use layout::{BlockCyclic, BlockedLayout, Distribution};
 pub use matrix::Matrix;

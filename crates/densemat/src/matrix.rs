@@ -51,6 +51,23 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Create a `rows x cols` zero matrix on top of a recycled buffer,
+    /// reusing its capacity instead of allocating fresh storage.
+    ///
+    /// This is the arena-friendly twin of [`Matrix::zeros`]: algorithms that
+    /// lease scratch from a buffer pool hand the (arbitrary-length) lease
+    /// here and get a zeroed matrix without a `vec![0.0; rows * cols]`
+    /// allocation. The buffer's previous contents are discarded.
+    pub fn from_recycled(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
     /// Create a matrix with deterministic pseudo-random entries in `[-1, 1)`.
     ///
     /// Uses a splitmix64-style hash of `(seed, i, j)` so that a given element
@@ -138,6 +155,28 @@ impl Matrix {
             rows: h,
             cols: w,
             data,
+        }
+    }
+
+    /// Copy the sub-matrix `rows x cols` into a matrix built on a recycled
+    /// buffer — [`Matrix::block`] without the fresh allocation (and without
+    /// the zero-fill: rows are appended directly).
+    ///
+    /// # Panics
+    /// Panics if the ranges exceed the matrix bounds.
+    pub fn block_into(&self, rows: Range<usize>, cols: Range<usize>, mut buf: Vec<f64>) -> Matrix {
+        assert!(rows.end <= self.rows, "row range out of bounds");
+        assert!(cols.end <= self.cols, "col range out of bounds");
+        let (h, w) = (rows.len(), cols.len());
+        buf.clear();
+        buf.reserve(h * w);
+        for i in rows {
+            buf.extend_from_slice(&self.data[i * self.cols + cols.start..i * self.cols + cols.end]);
+        }
+        Matrix {
+            rows: h,
+            cols: w,
+            data: buf,
         }
     }
 
@@ -284,6 +323,30 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_rejects_bad_length() {
         let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn from_recycled_reuses_capacity_and_zeroes() {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&[9.0, 8.0, 7.0]);
+        let ptr = buf.as_ptr();
+        let m = Matrix::from_recycled(4, 5, buf);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        let back = m.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "capacity was large enough: no realloc");
+    }
+
+    #[test]
+    fn block_into_matches_block_and_reuses_capacity() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let buf = Vec::with_capacity(16);
+        let ptr = buf.as_ptr();
+        let b = m.block_into(1..3, 2..4, buf);
+        assert_eq!(b, m.block(1..3, 2..4));
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr);
     }
 
     #[test]

@@ -53,11 +53,13 @@ pub async fn bcast(
         mask <<= 1;
     }
     // Forward to children below the bit we received on (or all bits, for the
-    // root where mask ran past g).
+    // root where mask ran past g). Outgoing copies are leased from the
+    // world's arena; the receiver recovers ownership and recycles.
     mask >>= 1;
     while mask > 0 {
         if relative + mask < g {
-            comm.send(abs(relative + mask), tag, data.clone(), phase);
+            let payload = comm.pool().take_copy(data);
+            comm.send(abs(relative + mask), tag, payload, phase);
         }
         mask >>= 1;
     }
@@ -158,12 +160,14 @@ pub async fn bcast_pipelined(
             None => {
                 let lo = (s * seg).min(total_words);
                 let hi = ((s + 1) * seg).min(total_words);
-                data[lo..hi].to_vec()
+                comm.pool().take_copy(&data[lo..hi])
             }
         };
         for &child in &children {
-            comm.send(child, tag.wrapping_add(s as u64), chunk.clone(), phase);
+            let payload = comm.pool().take_copy(&chunk);
+            comm.send(child, tag.wrapping_add(s as u64), payload, phase);
         }
+        comm.recycle(chunk);
     }
     debug_assert_eq!(data.len(), total_words, "assembled payload length mismatch");
 }
@@ -199,9 +203,11 @@ pub async fn reduce_sum(
                 for (d, s) in data.iter_mut().zip(&chunk) {
                     *d += *s;
                 }
+                comm.recycle(chunk);
             }
         } else {
-            comm.send(abs(relative - mask), tag, data.to_vec(), phase);
+            let payload = comm.pool().take_copy(data);
+            comm.send(abs(relative - mask), tag, payload, phase);
             break;
         }
         mask <<= 1;
@@ -228,7 +234,8 @@ pub async fn allgather_ring(
     for step in 0..g.saturating_sub(1) {
         let send_idx = (pos + g - step) % g;
         let recv_idx = (pos + g - step - 1) % g;
-        let outgoing = chunks[send_idx].clone().expect("ring invariant: chunk to forward present");
+        let outgoing = chunks[send_idx].as_deref().expect("ring invariant: chunk to forward present");
+        let outgoing = comm.pool().take_copy(outgoing);
         let incoming = comm.sendrecv(right, left, tag.wrapping_add(step as u64), outgoing, phase).await;
         chunks[recv_idx] = Some(incoming);
     }
@@ -265,7 +272,8 @@ pub async fn allgather_bruck(
         let dst = group[(pos + g - step) % g];
         let src = group[(pos + step) % g];
         // dst lacks my first `want` blocks (its collection ends at pos - 1).
-        let mut payload = Vec::new();
+        let payload_words: usize = have.iter().take(want).map(Vec::len).sum();
+        let mut payload = comm.pool().take_clear(payload_words);
         for blk in have.iter().take(want) {
             payload.extend_from_slice(blk);
         }
@@ -274,10 +282,11 @@ pub async fn allgather_bruck(
         let mut off = 0;
         for j in 0..want {
             let len = chunk_words[(pos + step + j) % g];
-            have.push(received[off..off + len].to_vec());
+            have.push(comm.pool().take_copy(&received[off..off + len]));
             off += len;
         }
         assert_eq!(off, received.len(), "bruck payload framing mismatch");
+        comm.recycle(received);
         step <<= 1;
         round += 1;
     }
@@ -315,13 +324,14 @@ pub async fn reduce_scatter_ring(
     for s in 0..g - 1 {
         let send_idx = (pos + g - s) % g;
         let recv_idx = (pos + g - s - 1) % g;
-        let outgoing = data[ranges[send_idx].clone()].to_vec();
+        let outgoing = comm.pool().take_copy(&data[ranges[send_idx].clone()]);
         let incoming = comm.sendrecv(right, left, tag.wrapping_add(s as u64), outgoing, phase).await;
         let dst = &mut data[ranges[recv_idx].clone()];
         assert_eq!(incoming.len(), dst.len(), "reduce-scatter chunk mismatch");
         for (d, v) in dst.iter_mut().zip(&incoming) {
             *d += *v;
         }
+        comm.recycle(incoming);
     }
     let own = (pos + 1) % g;
     (own, data[ranges[own].clone()].to_vec())

@@ -37,6 +37,7 @@ use std::time::Duration;
 use crate::event::EventComm;
 use crate::exec::{ExecError, Waiting, WorkerGate};
 use crate::machine::DEFAULT_RECV_TIMEOUT;
+use crate::pool::BufferPool;
 use crate::stats::{Phase, StatsBoard};
 
 /// Unwind this rank with a typed executor failure. The executors' recovery
@@ -66,6 +67,7 @@ struct SharedState {
     stats: Arc<StatsBoard>,
     barrier: std::sync::Barrier,
     windows: Vec<Mutex<Vec<f64>>>,
+    pool: Arc<BufferPool>,
 }
 
 /// Lock a window mutex; a poisoned lock means another rank already
@@ -97,10 +99,12 @@ pub(crate) mod window {
         w[offset..offset + data.len()].copy_from_slice(data);
     }
 
-    /// `MPI_Get`: read `len` words at `offset`.
-    pub fn get(w: &[f64], offset: usize, len: usize) -> Vec<f64> {
+    /// `MPI_Get` into a caller-provided (typically pooled) buffer: `out` is
+    /// cleared and filled with the `len` words at `offset`.
+    pub fn get_into(w: &[f64], offset: usize, len: usize, out: &mut Vec<f64>) {
         assert!(offset + len <= w.len(), "get past window end");
-        w[offset..offset + len].to_vec()
+        out.clear();
+        out.extend_from_slice(&w[offset..offset + len]);
     }
 
     /// `MPI_Accumulate` with `MPI_SUM`: element-wise add into the window.
@@ -111,10 +115,12 @@ pub(crate) mod window {
         }
     }
 
-    /// Local window read (no traffic).
-    pub fn read_local(w: &[f64], offset: usize, len: usize) -> Vec<f64> {
+    /// Local window read (no traffic) into a caller-provided (typically
+    /// pooled) buffer.
+    pub fn read_local_into(w: &[f64], offset: usize, len: usize, out: &mut Vec<f64>) {
         assert!(offset + len <= w.len(), "local window read past end");
-        w[offset..offset + len].to_vec()
+        out.clear();
+        out.extend_from_slice(&w[offset..offset + len]);
     }
 }
 
@@ -175,18 +181,20 @@ pub struct Comm {
 impl Comm {
     /// Build communicators for a world of `p` ranks sharing `stats`.
     pub fn create_world(p: usize, stats: Arc<StatsBoard>) -> Vec<Comm> {
-        Comm::create_world_gated(p, stats, None, DEFAULT_RECV_TIMEOUT)
+        Comm::create_world_gated(p, stats, None, DEFAULT_RECV_TIMEOUT, BufferPool::shared())
     }
 
     /// [`create_world`](Self::create_world) for an executor: every rank's
     /// blocking rendezvous will yield its runnable slot to `gate` (sharded
-    /// worlds), and a blocking receive that waits past `recv_timeout` raises
-    /// the typed deadlock guard.
+    /// worlds), a blocking receive that waits past `recv_timeout` raises
+    /// the typed deadlock guard, and `pool` is the world's buffer-reuse
+    /// arena (shared across worlds by the serving layer).
     pub fn create_world_gated(
         p: usize,
         stats: Arc<StatsBoard>,
         gate: Option<Arc<WorkerGate>>,
         recv_timeout: Duration,
+        pool: Arc<BufferPool>,
     ) -> Vec<Comm> {
         assert!(p > 0, "world needs at least one rank");
         assert_eq!(stats.len(), p, "stats board size mismatch");
@@ -202,6 +210,7 @@ impl Comm {
             stats,
             barrier: std::sync::Barrier::new(p),
             windows: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            pool,
         });
         receivers
             .into_iter()
@@ -243,6 +252,11 @@ impl Comm {
     /// The shared statistics board.
     pub fn stats(&self) -> &StatsBoard {
         &self.shared.stats
+    }
+
+    /// The world's buffer-reuse arena (see [`crate::pool::BufferPool`]).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.shared.pool
     }
 
     /// Record `flops` local floating-point operations for this rank.
@@ -389,9 +403,12 @@ impl Comm {
     }
 
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
-    /// Counts as words received by this rank and sent by the target.
+    /// Counts as words received by this rank and sent by the target. The
+    /// returned buffer comes from the world's arena, never a fresh
+    /// allocation on a pool hit.
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
-        let out = window::get(&lock(&self.shared.windows[target]), offset, len);
+        let mut out = self.shared.pool.take_clear(len);
+        window::get_into(&lock(&self.shared.windows[target]), offset, len, &mut out);
         record_rma(&self.shared.stats, target, self.rank, len as u64, phase);
         out
     }
@@ -410,14 +427,21 @@ impl Comm {
         *lock(&self.shared.windows[self.rank]) = data;
     }
 
-    /// Read this rank's own window (no traffic counted).
+    /// Read this rank's own window (no traffic counted). Copies the whole
+    /// window into a pooled buffer — prefer
+    /// [`win_read_local`](Self::win_read_local) when only a slice is needed.
     pub fn win_local(&self) -> Vec<f64> {
-        lock(&self.shared.windows[self.rank]).clone()
+        let w = lock(&self.shared.windows[self.rank]);
+        self.shared.pool.take_copy(&w)
     }
 
-    /// Read a slice of this rank's own window (no traffic counted).
+    /// Read a slice of this rank's own window (no traffic counted) into a
+    /// pooled buffer — the slice-sized alternative to cloning the whole
+    /// window via [`win_local`](Self::win_local).
     pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
-        window::read_local(&lock(&self.shared.windows[self.rank]), offset, len)
+        let mut out = self.shared.pool.take_clear(len);
+        window::read_local_into(&lock(&self.shared.windows[self.rank]), offset, len, &mut out);
+        out
     }
 
     /// Close an RMA epoch: all puts/gets/accumulates issued before the fence
@@ -488,6 +512,21 @@ impl RankComm {
             RankComm::Blocking(c) => c.stats(),
             RankComm::Event(c) => c.stats(),
         }
+    }
+
+    /// The world's buffer-reuse arena (see [`crate::pool::BufferPool`]).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        match self {
+            RankComm::Blocking(c) => c.pool(),
+            RankComm::Event(c) => c.pool(),
+        }
+    }
+
+    /// Hand a consumed buffer back to the world's arena for reuse. Purely an
+    /// allocation optimization — recycling never changes results, counters
+    /// or virtual time.
+    pub fn recycle(&self, buf: Vec<f64>) {
+        self.pool().give(buf);
     }
 
     /// Record `flops` local floating-point operations for this rank.

@@ -131,6 +131,7 @@ use crate::comm::{record_rma, window};
 use crate::exec::{ExecError, RunOutput, Waiting};
 use crate::fault::FaultSchedule;
 use crate::machine::MachineSpec;
+use crate::pool::BufferPool;
 use crate::stats::{Phase, StatsBoard};
 use crate::topo::Network;
 
@@ -410,11 +411,15 @@ pub struct EventWorld {
     /// ([`MachineSpec::faults`]): per-rank death times and message-drop
     /// decisions. `None` keeps every fault hook off the hot path.
     faults: Option<FaultSchedule>,
+    /// The world's buffer-reuse arena (§7 "buffer reuse"): window reads and
+    /// collective scratch lease buffers here and recycle them on return.
+    /// Recycling is bitwise-invisible to results, counters and virtual time.
+    pool: Arc<BufferPool>,
     engine: Engine,
 }
 
 impl EventWorld {
-    fn new(spec: &MachineSpec, stats: Arc<StatsBoard>, traced: bool) -> Self {
+    fn new(spec: &MachineSpec, stats: Arc<StatsBoard>, traced: bool, pool: Arc<BufferPool>) -> Self {
         let p = spec.p;
         let net = Network::new(spec);
         let n_links = net.n_links();
@@ -426,6 +431,7 @@ impl EventWorld {
             net,
             timeout_s: spec.recv_timeout.as_secs_f64(),
             faults: spec.faults.as_ref().map(|plan| plan.schedule(p)),
+            pool,
             engine: Engine::Seq(Box::new(Mutex::new(WorldState {
                 mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
                 waits: vec![Wait::None; p],
@@ -450,7 +456,12 @@ impl EventWorld {
 
     /// A world on the multi-region parallel engine (`regions` ≥ 2; flat
     /// topology, α > 0 — the caller guarantees both).
-    fn new_parallel(spec: &MachineSpec, stats: Arc<StatsBoard>, regions: usize) -> Self {
+    fn new_parallel(
+        spec: &MachineSpec,
+        stats: Arc<StatsBoard>,
+        regions: usize,
+        pool: Arc<BufferPool>,
+    ) -> Self {
         let p = spec.p;
         let net = Network::new(spec);
         EventWorld {
@@ -461,6 +472,7 @@ impl EventWorld {
             net,
             timeout_s: spec.recv_timeout.as_secs_f64(),
             faults: spec.faults.as_ref().map(|plan| plan.schedule(p)),
+            pool,
             engine: Engine::Par(ParWorld::new(p, regions)),
         }
     }
@@ -695,6 +707,11 @@ impl EventComm {
         &self.world.stats
     }
 
+    /// The world's buffer-reuse arena (see [`crate::pool::BufferPool`]).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.world.pool
+    }
+
     /// Record `flops` local floating-point operations for this rank and
     /// advance its virtual clock by `compute_time(flops)`.
     pub fn record_flops(&self, flops: u64) {
@@ -921,8 +938,11 @@ impl EventComm {
     }
 
     /// Read `len` words at `offset` from `target`'s window (like `MPI_Get`).
+    /// The returned buffer is leased from the world's arena — hand it back
+    /// with [`crate::comm::RankComm::recycle`] when done.
     pub fn get(&self, target: usize, offset: usize, len: usize, phase: Phase) -> Vec<f64> {
-        let out = self.with_windows(|w| window::get(&w[target], offset, len));
+        let mut out = self.world.pool.take_clear(len);
+        self.with_windows(|w| window::get_into(&w[target], offset, len, &mut out));
         record_rma(&self.world.stats, target, self.rank, len as u64, phase);
         self.charge_rma(len as u64);
         out
@@ -936,19 +956,25 @@ impl EventComm {
         self.charge_rma(data.len() as u64);
     }
 
-    /// Replace this rank's window contents (local, no traffic counted).
+    /// Replace this rank's window contents (local, no traffic counted). The
+    /// displaced window buffer is recycled into the arena.
     pub fn win_fill(&self, data: Vec<f64>) {
-        self.with_windows(|w| w[self.rank] = data);
+        let old = self.with_windows(|w| std::mem::replace(&mut w[self.rank], data));
+        self.world.pool.give(old);
     }
 
-    /// Read this rank's own window (no traffic counted).
+    /// Read this rank's own window (no traffic counted). The copy is leased
+    /// from the arena, not freshly allocated.
     pub fn win_local(&self) -> Vec<f64> {
-        self.with_windows(|w| w[self.rank].clone())
+        self.with_windows(|w| self.world.pool.take_copy(&w[self.rank]))
     }
 
-    /// Read a slice of this rank's own window (no traffic counted).
+    /// Read a slice of this rank's own window (no traffic counted) — slices
+    /// out of the shared window without cloning the whole thing.
     pub fn win_read_local(&self, offset: usize, len: usize) -> Vec<f64> {
-        self.with_windows(|w| window::read_local(&w[self.rank], offset, len))
+        let mut out = self.world.pool.take_clear(len);
+        self.with_windows(|w| window::read_local_into(&w[self.rank], offset, len, &mut out));
+        out
     }
 }
 
@@ -1246,6 +1272,7 @@ fn run_event_world<R, F, Fut>(
     spec: &MachineSpec,
     f: F,
     traced: bool,
+    pool: Arc<BufferPool>,
 ) -> Result<(RunOutput<R>, Vec<SchedEvent>), ExecError>
 where
     F: Fn(crate::comm::RankComm) -> Fut,
@@ -1253,7 +1280,7 @@ where
 {
     let p = spec.p;
     let stats = Arc::new(StatsBoard::new(p));
-    let world = Arc::new(EventWorld::new(spec, stats.clone(), traced));
+    let world = Arc::new(EventWorld::new(spec, stats.clone(), traced, pool));
     // One boxed state machine per rank — the entire per-rank footprint.
     let mut tasks: Vec<Option<Pin<Box<Fut>>>> = (0..p)
         .map(|rank| {
@@ -1408,6 +1435,7 @@ where
         RunOutput {
             results: results.into_iter().map(|s| s.expect("missing rank result")).collect(),
             stats: stats.snapshot(),
+            pool: world.pool.stats(),
         },
         trace,
     ))
@@ -1735,6 +1763,7 @@ fn run_event_world_parallel<R, F, Fut>(
     spec: &MachineSpec,
     regions: usize,
     f: F,
+    pool: Arc<BufferPool>,
 ) -> Result<RunOutput<R>, ExecError>
 where
     R: Send,
@@ -1743,7 +1772,7 @@ where
 {
     let p = spec.p;
     let stats = Arc::new(StatsBoard::new(p));
-    let world = Arc::new(EventWorld::new_parallel(spec, stats.clone(), regions));
+    let world = Arc::new(EventWorld::new_parallel(spec, stats.clone(), regions, pool));
     let Engine::Par(pw) = &world.engine else {
         unreachable!("new_parallel builds a parallel engine")
     };
@@ -1807,6 +1836,7 @@ where
     Ok(RunOutput {
         results,
         stats: stats.snapshot(),
+        pool: world.pool.stats(),
     })
 }
 
@@ -1830,11 +1860,34 @@ where
     F: Fn(crate::comm::RankComm) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
+    let pool = spec_pool(spec);
+    try_run_spmd_event_threads_pooled(spec, threads, f, pool)
+}
+
+/// [`try_run_spmd_event_threads`] against a caller-supplied arena — the
+/// executor layer threads one warm pool through many runs here.
+pub(crate) fn try_run_spmd_event_threads_pooled<R, F, Fut>(
+    spec: &MachineSpec,
+    threads: usize,
+    f: F,
+    pool: Arc<BufferPool>,
+) -> Result<RunOutput<R>, ExecError>
+where
+    R: Send,
+    F: Fn(crate::comm::RankComm) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
     let regions = threads.min(spec.p.max(1));
     if regions <= 1 || !spec.topology.commutes_with_region_sharding() || spec.cost.alpha_s <= 0.0 {
-        return try_run_spmd_event(spec, f);
+        return run_event_world(spec, f, false, pool).map(|(out, _)| out);
     }
-    run_event_world_parallel(spec, regions, f)
+    run_event_world_parallel(spec, regions, f, pool)
+}
+
+/// The arena a spec asks for: enabled unless [`MachineSpec::pooling`] turned
+/// recycling off (the pool then degrades to plain allocation).
+fn spec_pool(spec: &MachineSpec) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(spec.pooling))
 }
 
 /// Run `f` on every rank of `spec` as an event-driven stackless state
@@ -1847,7 +1900,8 @@ where
     F: Fn(crate::comm::RankComm) -> Fut,
     Fut: Future<Output = R>,
 {
-    run_event_world(spec, f, false).map(|(out, _)| out)
+    let pool = spec_pool(spec);
+    run_event_world(spec, f, false, pool).map(|(out, _)| out)
 }
 
 /// Legacy panicking form of [`try_run_spmd_event`].
@@ -1876,7 +1930,8 @@ where
     F: Fn(crate::comm::RankComm) -> Fut,
     Fut: Future<Output = R>,
 {
-    match run_event_world(spec, f, true) {
+    let pool = spec_pool(spec);
+    match run_event_world(spec, f, true, pool) {
         Ok(out) => out,
         Err(e) => panic!("{e}"),
     }

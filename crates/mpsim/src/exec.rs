@@ -37,8 +37,8 @@ use std::future::Future;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::comm::{block_on_ready, Comm, RankComm};
-use crate::event::try_run_spmd_event;
 use crate::machine::MachineSpec;
+use crate::pool::{BufferPool, PoolStats};
 use crate::stats::{RankStats, StatsBoard};
 
 /// Maximum number of simulated ranks the threaded executor accepts. Beyond
@@ -339,6 +339,11 @@ pub struct RunOutput<R> {
     pub results: Vec<R>,
     /// Per-rank measured statistics (the mpiP-equivalent numbers).
     pub stats: Vec<RankStats>,
+    /// Buffer-arena counters of the run (allocations vs. recycled hits).
+    /// Display-only: recycling is bitwise-invisible to `results` and
+    /// `stats`, and these counters are *not* part of the determinism
+    /// contract — hit/miss splits depend on scheduling order.
+    pub pool: PoolStats,
 }
 
 /// The shared budget gate of all three backends: with an enforcing
@@ -480,20 +485,29 @@ where
                     max: MAX_THREADED_RANKS,
                 });
             }
-            run_world(spec, None, f)?
+            run_world(spec, None, spec_arena(spec), f)?
         }
         ExecBackend::Sharded { workers } => {
             if workers == 0 {
                 return Err(ExecError::NoWorkers);
             }
-            run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), f)?
+            run_world(spec, Some(Arc::new(WorkerGate::new(workers.min(spec.p)))), spec_arena(spec), f)?
         }
         ExecBackend::Event { threads } if threads > 1 => {
-            crate::event::try_run_spmd_event_threads(spec, threads, f)?
+            crate::event::try_run_spmd_event_threads_pooled(spec, threads, f, spec_arena(spec))?
         }
-        ExecBackend::Event { .. } => try_run_spmd_event(spec, f)?,
+        ExecBackend::Event { .. } => {
+            crate::event::try_run_spmd_event_threads_pooled(spec, 1, f, spec_arena(spec))?
+        }
     };
     enforce_mem_budget(spec, out)
+}
+
+/// A fresh per-run arena honouring [`MachineSpec::pooling`]. A disabled
+/// arena hands out plain allocations and drops returns, so a `pooling:
+/// false` run exercises the exact pre-arena allocation behaviour.
+fn spec_arena(spec: &MachineSpec) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(spec.pooling))
 }
 
 /// A shareable admission pool for the sharded executor: many *independent*
@@ -508,6 +522,10 @@ where
 pub struct SchedulerPool {
     gate: Arc<WorkerGate>,
     workers: usize,
+    /// One warm buffer arena shared by every world run over this pool:
+    /// buffers recycled by one job are reused by the next instead of being
+    /// reallocated per request.
+    arena: Arc<BufferPool>,
 }
 
 impl SchedulerPool {
@@ -523,12 +541,18 @@ impl SchedulerPool {
         Ok(SchedulerPool {
             gate: Arc::new(WorkerGate::new(workers)),
             workers,
+            arena: BufferPool::shared(),
         })
     }
 
     /// The pool's total runnable-rank slots.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The pool's shared buffer arena (one warm arena across all jobs).
+    pub fn arena(&self) -> &Arc<BufferPool> {
+        &self.arena
     }
 }
 
@@ -561,7 +585,15 @@ where
     F: Fn(RankComm) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
-    let out = run_world(spec, Some(pool.gate.clone()), f)?;
+    // `pooling: false` opts a run out of the shared arena too — a disabled
+    // stand-in keeps the run allocation-for-allocation identical to the
+    // pre-arena behaviour without cooling other tenants' warm buffers.
+    let arena = if spec.pooling {
+        pool.arena.clone()
+    } else {
+        Arc::new(BufferPool::disabled())
+    };
+    let out = run_world(spec, Some(pool.gate.clone()), arena, f)?;
     enforce_mem_budget(spec, out)
 }
 
@@ -602,6 +634,7 @@ where
 fn run_world<R, F, Fut>(
     spec: &MachineSpec,
     gate: Option<Arc<WorkerGate>>,
+    pool: Arc<BufferPool>,
     f: F,
 ) -> Result<RunOutput<R>, ExecError>
 where
@@ -610,7 +643,8 @@ where
     Fut: Future<Output = R>,
 {
     let stats = Arc::new(StatsBoard::new(spec.p));
-    let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone(), spec.recv_timeout);
+    let pool_stats_src = pool.clone();
+    let comms = Comm::create_world_gated(spec.p, stats.clone(), gate.clone(), spec.recv_timeout, pool);
     let mut slots: Vec<Option<R>> = (0..spec.p).map(|_| None).collect();
     let mut failures: Vec<ExecError> = Vec::new();
     std::thread::scope(|s| {
@@ -654,6 +688,7 @@ where
     Ok(RunOutput {
         results: slots.into_iter().map(|s| s.expect("missing rank result")).collect(),
         stats: stats.snapshot(),
+        pool: pool_stats_src.stats(),
     })
 }
 

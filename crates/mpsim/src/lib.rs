@@ -39,6 +39,10 @@
 //!   scheduled points of *virtual* time, surfacing as a typed
 //!   [`exec::ExecError::RankFailed`] a caller can recover from by
 //!   replanning the surviving world.
+//! * [`pool`] — size-classed buffer-reuse arenas (§7 "buffer reuse"): one
+//!   [`pool::BufferPool`] per world recycles message payloads, collective
+//!   scratch and leaf buffers, bitwise-invisibly to results, counters and
+//!   virtual time.
 //!
 //! Algorithms run in two modes backed by the same decomposition code: real
 //! execution with data (correctness, any `p`) and plan-level analysis
@@ -54,6 +58,7 @@ pub mod event;
 pub mod exec;
 pub mod fault;
 pub mod machine;
+pub mod pool;
 pub mod stats;
 pub mod topo;
 
@@ -69,5 +74,6 @@ pub use exec::{
 };
 pub use fault::FaultPlan;
 pub use machine::{MachineSpec, Placement, Topology};
+pub use pool::{BufferPool, PoolHandle, PoolStats};
 pub use stats::{Phase, RankStats, StatsBoard};
 pub use topo::Network;

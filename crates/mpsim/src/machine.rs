@@ -215,6 +215,14 @@ pub struct MachineSpec {
     /// backends ignore the plan (no virtual clock to key death times
     /// against).
     pub faults: Option<FaultPlan>,
+    /// Buffer-reuse arenas (§7 "buffer reuse"). `true` (the default): the
+    /// world's [`BufferPool`](crate::pool::BufferPool) recycles message
+    /// payloads, collective scratch and leaf buffers across the run.
+    /// `false`: every take is a fresh allocation. Either way results,
+    /// counters and virtual times are bitwise-identical — the pool only
+    /// changes where bytes live, never what they hold (the pooling-on/off
+    /// property suite gates this).
+    pub pooling: bool,
 }
 
 impl MachineSpec {
@@ -232,7 +240,14 @@ impl MachineSpec {
             topology: Topology::Flat,
             placement: Placement::Block,
             faults: None,
+            pooling: true,
         }
+    }
+
+    /// Enable or disable buffer-reuse arenas (see [`MachineSpec::pooling`]).
+    pub fn with_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
+        self
     }
 
     /// Attach a deterministic fault-injection plan (see
@@ -427,6 +442,13 @@ mod tests {
             ranks_per_node: 0,
             nic_factor: 1.0,
         });
+    }
+
+    #[test]
+    fn pooling_defaults_on_and_toggles() {
+        let m = MachineSpec::test_machine(4, 100);
+        assert!(m.pooling, "buffer-reuse arenas are the default");
+        assert!(!m.with_pooling(false).pooling);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use densemat::matrix::Matrix;
 use mpsim::cost::CostModel;
 use mpsim::exec::{ExecBackend, ExecError, SchedulerPool};
 use mpsim::machine::{Placement, Topology};
+use mpsim::pool::PoolStats;
 use mpsim::FaultPlan;
 
 use crate::auto::{AlgoChoice, AutoPlanner, Selection};
@@ -428,6 +429,16 @@ impl Server {
         &self.shared.pool
     }
 
+    /// Buffer-arena counters of the shared scheduler pool. Every
+    /// blocking-backend world this server runs leases scratch from one warm
+    /// arena and parks it back on completion, so across a stream of jobs the
+    /// hit rate climbs: later jobs multiply in earlier jobs' buffers instead
+    /// of reallocating per request. Display-only observability — recycling
+    /// never changes results or per-rank counters.
+    pub fn arena_stats(&self) -> PoolStats {
+        self.shared.pool.arena().stats()
+    }
+
     /// Stop accepting jobs, drain the driver threads, and account for every
     /// job: results already computed come back verbatim in
     /// [`ShutdownReport::undelivered`], and jobs still queued come back as
@@ -746,6 +757,31 @@ mod tests {
         // fresh 6-rank run of the same operands.
         let fresh = server.run_sync(job(2, 6, 3).backend(ExecBackend::event()));
         assert_eq!(out.report.c, fresh.outcome.unwrap().report.c);
+    }
+
+    #[test]
+    fn warm_arena_recycles_buffers_across_jobs() {
+        let server = Server::new(baselines::registry(), small_config()).unwrap();
+        // CARMA's streaming executor leases every leaf buffer from the
+        // arena, so it exercises the pool on the blocking (pooled) path.
+        let carma = |id, seed| job(id, 4, seed).choice(AlgoChoice::Fixed(AlgoId::Carma));
+        let first = server.run_sync(carma(0, 0));
+        assert!(first.outcome.is_ok());
+        let cold = server.arena_stats();
+        assert!(cold.returns > 0, "the first job must park buffers in the shared arena");
+        let second = server.run_sync(carma(1, 0));
+        assert!(second.outcome.is_ok());
+        let warm = server.arena_stats();
+        assert!(
+            warm.hits > cold.hits,
+            "the second job must recycle the first job's buffers: {cold} then {warm}"
+        );
+        // And the warm-arena product is the same product.
+        assert_eq!(
+            first.outcome.unwrap().report.c,
+            second.outcome.unwrap().report.c,
+            "recycling is invisible to results"
+        );
     }
 
     #[test]

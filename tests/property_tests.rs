@@ -276,7 +276,7 @@ fn blocked_layout_roundtrip() {
 
 #[test]
 fn gemm_kernels_agree() {
-    use densemat::gemm::{gemm_naive, gemm_parallel, gemm_tiled};
+    use densemat::gemm::{gemm_naive, gemm_packed, gemm_parallel, gemm_tiled};
     let mut rng = Rng::new(8);
     for _ in 0..CASES {
         let m = rng.range(1, 48);
@@ -288,11 +288,19 @@ fn gemm_kernels_agree() {
         let mut c0 = Matrix::zeros(m, n);
         let mut c1 = Matrix::zeros(m, n);
         let mut c2 = Matrix::zeros(m, n);
+        let mut c3 = Matrix::zeros(m, n);
         gemm_naive(&a, &b, &mut c0);
         gemm_tiled(&a, &b, &mut c1);
         gemm_parallel(&a, &b, &mut c2, threads);
+        gemm_packed(&a, &b, &mut c3);
         assert!(c0.approx_eq(&c1, 1e-10));
         assert!(c0.approx_eq(&c2, 1e-10));
+        // The default packed kernel keeps the naive k-order, so it agrees
+        // bitwise, not just approximately.
+        assert!(
+            c0.as_slice().iter().zip(c3.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{m}x{n}x{k}: packed diverges bitwise from naive"
+        );
     }
 }
 
@@ -795,6 +803,69 @@ fn parallel_scheduler_matches_single_thread_bitwise() {
              parallel scheduler stats must be bitwise-identical, times included"
         );
     }
+}
+
+/// Buffer-reuse arenas are invisible (the PR-10 contract): executing a
+/// planned algorithm with pooling enabled and disabled produces
+/// bitwise-identical products and per-rank stats on all three executors —
+/// the arena only changes where bytes live, never what they hold or what
+/// the clock reads. The pool counters (the observability side) must show
+/// real recycling on enough pooled runs, and a disabled arena must never
+/// hit or park.
+#[test]
+fn buffer_pooling_is_bitwise_invisible_across_backends() {
+    use cosma::api::execute_boxed_with;
+    let reg = baselines::registry();
+    let model = CostModel::piz_daint_two_sided();
+    let mut rng = Rng::new(0xB0);
+    let mut recycled = 0usize;
+    let mut runs = 0usize;
+    for case in 0..9 {
+        let m = rng.range(8, 56);
+        let n = rng.range(8, 56);
+        let k = rng.range(8, 56);
+        let p = 1usize << rng.range(1, 4);
+        let algo = reg
+            .by_id(match case % 3 {
+                0 => AlgoId::Cosma,
+                1 => AlgoId::Carma,
+                _ => AlgoId::Summa,
+            })
+            .unwrap();
+        let prob = MmmProblem::new(m, n, k, p, 1 << 20);
+        if algo.supports(&prob).is_err() {
+            continue;
+        }
+        let plan = algo.plan(&prob, &model).unwrap();
+        let a = Matrix::deterministic(m, k, 31);
+        let b = Matrix::deterministic(k, n, 32);
+        for backend in [
+            ExecBackend::Threaded,
+            ExecBackend::Sharded { workers: 3 },
+            ExecBackend::event(),
+        ] {
+            let spec = MachineSpec::piz_daint_with_memory(p, 1 << 20);
+            let on = execute_boxed_with(algo.as_ref(), &plan, &spec, backend, &a, &b).unwrap();
+            let off =
+                execute_boxed_with(algo.as_ref(), &plan, &spec.clone().with_pooling(false), backend, &a, &b)
+                    .unwrap();
+            let ctx = format!("{} {m}x{n}x{k} p={p} {backend}", algo.id());
+            assert!(
+                on.c.as_slice()
+                    .iter()
+                    .zip(off.c.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{ctx}: recycling changed a product bit"
+            );
+            assert_eq!(on.stats, off.stats, "{ctx}: recycling moved a counter or the clock");
+            assert_eq!(off.pool.hits, 0, "{ctx}: a disabled arena must never recycle");
+            assert_eq!(off.pool.returns, 0, "{ctx}: a disabled arena must never park");
+            runs += 1;
+            recycled += usize::from(on.pool.hits > 0);
+        }
+    }
+    assert!(runs >= 18, "only {runs} pooled-vs-unpooled runs — weak sample");
+    assert!(recycled * 2 >= runs, "only {recycled}/{runs} pooled runs recycled — arena not engaged");
 }
 
 #[test]
